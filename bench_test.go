@@ -1,0 +1,240 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (Section 6),
+// plus ablations. Each benchmark regenerates the artifact through the
+// internal/exp drivers and prints the rows/series once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. EXPERIMENTS.md records the outputs next
+// to the paper's numbers.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/gen"
+)
+
+// benchCfg keeps the full suite in the minutes range; raise QueriesPerPoint
+// (or run cmd/ctcbench -queries 100) for tighter averages.
+var benchCfg = exp.Config{
+	QueriesPerPoint: 4,
+	Seed:            0xBE7C,
+	BasicTimeout:    1500 * time.Millisecond,
+	Quiet:           true,
+}
+
+var printOnce sync.Map
+
+// printFigures renders the artifact the first time its benchmark runs.
+func printFigures(id string, figs []*exp.Figure) {
+	if _, loaded := printOnce.LoadOrStore(id, true); loaded {
+		return
+	}
+	for _, f := range figs {
+		f.Render(os.Stdout)
+	}
+}
+
+func printTable(id string, t *exp.Table) {
+	if _, loaded := printOnce.LoadOrStore(id, true); loaded {
+		return
+	}
+	t.Render(os.Stdout)
+}
+
+func network(b *testing.B, name string) *gen.Network {
+	b.Helper()
+	nw, err := gen.NetworkByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+func BenchmarkTable2Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printTable("t2", exp.Table2(benchCfg))
+	}
+}
+
+func BenchmarkTable3Index(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printTable("t3", exp.Table3(benchCfg))
+	}
+}
+
+func BenchmarkFig5QuerySizeDBLP(b *testing.B) {
+	nw := network(b, "dblp")
+	for i := 0; i < b.N; i++ {
+		printFigures("f5", exp.RunQuerySize(nw, "Fig5", benchCfg))
+	}
+}
+
+func BenchmarkFig6QuerySizeFacebook(b *testing.B) {
+	nw := network(b, "facebook")
+	for i := 0; i < b.N; i++ {
+		printFigures("f6", exp.RunQuerySize(nw, "Fig6", benchCfg))
+	}
+}
+
+func BenchmarkFig7DegreeRankDBLP(b *testing.B) {
+	nw := network(b, "dblp")
+	for i := 0; i < b.N; i++ {
+		printFigures("f7", exp.RunDegreeRank(nw, "Fig7", benchCfg))
+	}
+}
+
+func BenchmarkFig8DegreeRankFacebook(b *testing.B) {
+	nw := network(b, "facebook")
+	for i := 0; i < b.N; i++ {
+		printFigures("f8", exp.RunDegreeRank(nw, "Fig8", benchCfg))
+	}
+}
+
+func BenchmarkFig9InterDistDBLP(b *testing.B) {
+	nw := network(b, "dblp")
+	for i := 0; i < b.N; i++ {
+		printFigures("f9", exp.RunInterDistance(nw, "Fig9", benchCfg))
+	}
+}
+
+func BenchmarkFig10InterDistFacebook(b *testing.B) {
+	nw := network(b, "facebook")
+	for i := 0; i < b.N; i++ {
+		printFigures("f10", exp.RunInterDistance(nw, "Fig10", benchCfg))
+	}
+}
+
+func BenchmarkFig11CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.CaseStudy(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := printOnce.LoadOrStore("f11", true); !loaded {
+			res.Table().Render(os.Stdout)
+			fmt.Fprintf(os.Stdout, "  community: %v\n\n", res.MemberNames)
+		}
+	}
+}
+
+func BenchmarkFig12GroundTruth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printFigures("f12", exp.RunGroundTruth(benchCfg, nil))
+	}
+}
+
+func BenchmarkFig13DiamTruss(b *testing.B) {
+	nw := network(b, "facebook")
+	for i := 0; i < b.N; i++ {
+		printFigures("f13", exp.RunDiamApprox(nw, benchCfg))
+	}
+}
+
+func BenchmarkFig14VaryK(b *testing.B) {
+	nw := network(b, "facebook")
+	for i := 0; i < b.N; i++ {
+		printFigures("f14", []*exp.Figure{exp.RunVaryK(nw, benchCfg)})
+	}
+}
+
+func BenchmarkFig15VaryEta(b *testing.B) {
+	nw := network(b, "dblp")
+	for i := 0; i < b.N; i++ {
+		printFigures("f15", exp.RunVaryEta(nw, benchCfg))
+	}
+}
+
+func BenchmarkFig16VaryGamma(b *testing.B) {
+	nw := network(b, "dblp")
+	for i := 0; i < b.N; i++ {
+		printFigures("f16", exp.RunVaryGamma(nw, benchCfg))
+	}
+}
+
+func BenchmarkAblationSteiner(b *testing.B) {
+	nw := network(b, "facebook")
+	for i := 0; i < b.N; i++ {
+		printFigures("abl-steiner", []*exp.Figure{exp.RunAblationSteiner(nw, benchCfg)})
+	}
+}
+
+func BenchmarkAblationBulkRule(b *testing.B) {
+	nw := network(b, "facebook")
+	for i := 0; i < b.N; i++ {
+		printFigures("abl-bulk", []*exp.Figure{exp.RunAblationBulkRule(nw, benchCfg)})
+	}
+}
+
+// Micro-benchmarks for the primitive operations the complexity analysis of
+// Section 4 talks about: index construction (Remark 1), FindG0 (Remark 2),
+// and single queries per algorithm.
+
+func BenchmarkMicroIndexBuildFacebook(b *testing.B) {
+	g := network(b, "facebook").Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := Open(g)
+		_ = c.MaxTrussness()
+	}
+}
+
+func BenchmarkMicroQueryLCTCDBLP(b *testing.B) {
+	nw := network(b, "dblp")
+	s := exp.SearcherFor(nw)
+	rng := gen.NewRNG(1)
+	q, err := gen.QueryByDegreeRank(nw.Graph(), rng, 0, 5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.LCTC(q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroQueryBDDBLP(b *testing.B) {
+	nw := network(b, "dblp")
+	s := exp.SearcherFor(nw)
+	rng := gen.NewRNG(1)
+	q, err := gen.QueryByDegreeRank(nw.Graph(), rng, 0, 5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.BulkDelete(q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroFindG0DBLP(b *testing.B) {
+	nw := network(b, "dblp")
+	ix := exp.IndexFor(nw)
+	rng := gen.NewRNG(1)
+	q, err := gen.QueryByDegreeRank(nw.Graph(), rng, 0, 5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.FindG0(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtMaintenanceTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printTable("ext", exp.ExtensionTable(benchCfg))
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run(true, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(false, "", "", ""); err == nil {
+		t.Fatal("missing network accepted")
+	}
+	if err := run(false, "nonesuch", "", ""); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	// facebook has no ground truth: asking for it must fail.
+	dir := t.TempDir()
+	err := run(false, "facebook", filepath.Join(dir, "g.txt"), filepath.Join(dir, "t.txt"))
+	if err == nil || !strings.Contains(err.Error(), "ground-truth") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	gPath := filepath.Join(dir, "amazon.txt")
+	tPath := filepath.Join(dir, "amazon.gt")
+	if err := run(false, "amazon", gPath, tPath); err != nil {
+		t.Fatal(err)
+	}
+	gBytes, err := os.ReadFile(gPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(gBytes), "# undirected graph:") {
+		t.Fatal("edge list header missing")
+	}
+	tBytes, err := os.ReadFile(tPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(tBytes)), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("only %d ground-truth lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "#") {
+		t.Fatal("ground truth header missing")
+	}
+}

@@ -1,0 +1,143 @@
+// Command ctcsearch answers closest-truss-community queries over an edge
+// list or a generated synthetic network.
+//
+// Usage:
+//
+//	ctcsearch -graph graph.txt -q 12,35,77 [-algo lctc|basic|bd|truss] \
+//	          [-k K] [-eta N] [-gamma G] [-v]
+//	ctcsearch -network dblp -q 12,35,77
+//
+// It prints the community's trussness, size, density, query distance and
+// diameter, and optionally the member vertices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file (\"u v\" lines, # comments)")
+		network   = flag.String("network", "", "synthetic network name (facebook, amazon, dblp, youtube, livejournal, orkut)")
+		queryStr  = flag.String("q", "", "comma-separated query vertex IDs (required)")
+		algo      = flag.String("algo", "lctc", "algorithm: lctc, basic, bd, truss")
+		fixedK    = flag.Int("k", 0, "fixed trussness k (0 = maximize)")
+		eta       = flag.Int("eta", 0, "LCTC expansion budget η (0 = default 1000)")
+		gamma     = flag.Float64("gamma", 0, "LCTC truss-distance penalty γ (0 = default 3)")
+		timeout   = flag.Duration("timeout", 0, "abort the search after this long (0 = no limit)")
+		members   = flag.Bool("members", false, "print the community's vertex IDs")
+		dotPath   = flag.String("dot", "", "write the community as a Graphviz DOT file")
+		verify    = flag.Bool("v", false, "verify the result is a connected k-truss containing Q")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *network, *queryStr, *algo, *fixedK, *eta, *gamma, *timeout, *members, *verify, *dotPath); err != nil {
+		fmt.Fprintln(os.Stderr, "ctcsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, network, queryStr, algo string, fixedK, eta int, gamma float64,
+	timeout time.Duration, members, verify bool, dotPath string) error {
+	q, err := parseQuery(queryStr)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(graphPath, network)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
+	start := time.Now()
+	client := repro.Open(g)
+	fmt.Printf("truss index built in %v (max trussness %d)\n", time.Since(start).Round(time.Millisecond), client.MaxTrussness())
+	opt := &repro.Options{FixedK: int32(fixedK), Eta: eta, Gamma: gamma, Verify: verify, Timeout: timeout}
+	var search func([]int, *repro.Options) (*repro.Community, error)
+	switch strings.ToLower(algo) {
+	case "lctc":
+		search = client.LCTC
+	case "basic":
+		search = client.Basic
+	case "bd", "bulkdelete":
+		search = client.BulkDelete
+	case "truss":
+		search = client.TrussOnly
+	default:
+		return fmt.Errorf("unknown algorithm %q (want lctc, basic, bd or truss)", algo)
+	}
+	start = time.Now()
+	c, err := search(q, opt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%s found a %d-truss community in %v\n", c.Algorithm, c.K, elapsed.Round(time.Microsecond))
+	fmt.Printf("  vertices:       %d\n", c.N())
+	fmt.Printf("  edges:          %d\n", c.M())
+	fmt.Printf("  density:        %.3f\n", c.Density())
+	fmt.Printf("  query distance: %d\n", c.QueryDist())
+	fmt.Printf("  diameter:       %d\n", c.Diameter())
+	if members {
+		fmt.Printf("  members:        %v\n", c.Vertices())
+	}
+	if dotPath != "" {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		highlight := map[int]string{}
+		for _, v := range c.Vertices() {
+			highlight[v] = "lightblue"
+		}
+		for _, v := range q {
+			highlight[v] = "gold"
+		}
+		if err := repro.WriteDOT(f, c.Subgraph(), highlight); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", dotPath)
+	}
+	return nil
+}
+
+func parseQuery(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -q (comma-separated vertex IDs)")
+	}
+	parts := strings.Split(s, ",")
+	q := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad query vertex %q: %v", p, err)
+		}
+		q = append(q, v)
+	}
+	return q, nil
+}
+
+func loadGraph(graphPath, network string) (*repro.Graph, error) {
+	switch {
+	case graphPath != "" && network != "":
+		return nil, fmt.Errorf("use either -graph or -network, not both")
+	case graphPath != "":
+		f, err := os.Open(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return repro.LoadEdgeList(f)
+	case network != "":
+		g, _, err := repro.GenerateNetwork(network)
+		return g, err
+	default:
+		return nil, fmt.Errorf("need -graph FILE or -network NAME")
+	}
+}

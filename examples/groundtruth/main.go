@@ -1,0 +1,83 @@
+// Ground-truth evaluation: generate a planted-community network, sample
+// queries from known communities, and compare the F1 accuracy of LCTC
+// against the Truss, MDC and QDC baselines (the paper's Exp-3 in miniature).
+//
+//	go run ./examples/groundtruth
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	g, comms, err := repro.GenerateNetwork("amazon")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("amazon analogue: %d vertices, %d edges, %d ground-truth communities\n\n",
+		g.N(), g.M(), len(comms))
+	client := repro.Open(g)
+	rng := gen.NewRNG(42)
+	queries := gen.QueriesFromGroundTruth(rng, comms, 30, 2, 4)
+
+	type method struct {
+		name string
+		run  func(q []int) ([]int, error)
+	}
+	methods := []method{
+		{"Truss", func(q []int) ([]int, error) {
+			c, err := client.TrussOnly(q, nil)
+			if err != nil {
+				return nil, err
+			}
+			return c.Vertices(), nil
+		}},
+		{"LCTC", func(q []int) ([]int, error) {
+			c, err := client.LCTC(q, nil)
+			if err != nil {
+				return nil, err
+			}
+			return c.Vertices(), nil
+		}},
+		{"MDC", func(q []int) ([]int, error) {
+			// The Cocktail Party model's fixed distance and size constraints.
+			r, err := client.MDC(q, &repro.MDCOptions{DistBound: 2, SizeBound: 10})
+			if err != nil {
+				return nil, err
+			}
+			return r.Vertices, nil
+		}},
+		{"QDC", func(q []int) ([]int, error) {
+			r, err := client.QDC(q, nil)
+			if err != nil {
+				return nil, err
+			}
+			return r.Vertices, nil
+		}},
+	}
+	fmt.Printf("%-6s %8s %8s\n", "method", "avg F1", "answers")
+	for _, m := range methods {
+		total, count := 0.0, 0
+		for _, gq := range queries {
+			detected, err := m.run(gq.Q)
+			if err != nil {
+				continue
+			}
+			total += repro.F1(detected, gq.Community)
+			count++
+		}
+		avg := 0.0
+		if count > 0 {
+			avg = total / float64(count)
+		}
+		fmt.Printf("%-6s %8.3f %8d\n", m.name, avg, count)
+	}
+	fmt.Println("\nTruss is diluted by free riders; LCTC recovers most of the planted")
+	fmt.Println("community. On these cleanly-planted communities the density- and")
+	fmt.Println("degree-based baselines are competitive; the paper's advantage for")
+	fmt.Println("LCTC grows on real, noisier ground truth (see EXPERIMENTS.md).")
+}

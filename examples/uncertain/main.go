@@ -1,0 +1,82 @@
+// Uncertain and directed graphs: the paper's §8 future-work directions,
+// implemented as extensions. A protein-interaction-style uncertain graph
+// shows confidence-aware community search ((k,γ)-trusses); a follow-graph
+// shows directed D-truss community search.
+//
+//	go run ./examples/uncertain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	probabilistic()
+	directedSearch()
+}
+
+func probabilistic() {
+	fmt.Println("--- probabilistic (k,γ)-truss community ---")
+	// Two 5-cliques sharing the query protein 0: interactions in the first
+	// are high-confidence (0.95), in the second speculative (0.4).
+	b := repro.NewBuilder(9, 0)
+	reliable := []int{0, 1, 2, 3, 4}
+	flaky := []int{0, 5, 6, 7, 8}
+	probs := map[repro.EdgeKey]float64{}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(reliable[i], reliable[j])
+			probs[repro.Key(reliable[i], reliable[j])] = 0.95
+			b.AddEdge(flaky[i], flaky[j])
+			if k := repro.Key(flaky[i], flaky[j]); probs[k] == 0 {
+				probs[k] = 0.4
+			}
+		}
+	}
+	g := b.Build()
+	pg, err := repro.NewProbGraph(g, probs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ignoring uncertainty, both cliques are 5-trusses sharing vertex 0, so
+	// the deterministic community contains all nine proteins.
+	det, err := repro.Open(g).TrussOnly([]int{0}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deterministic k-truss: k=%d with %d members: %v\n",
+		det.K, det.N(), det.Vertices())
+	c, err := repro.ProbSearch(pg, []int{0}, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("γ=0.60 (k,γ)-truss:    k=%d with %d members: %v\n",
+		c.K, len(c.Vertices), c.Vertices)
+	fmt.Println("confidence-aware search drops the speculative clique {5..8}")
+}
+
+func directedSearch() {
+	fmt.Println("\n--- directed D-truss community ---")
+	// A mutual-follow clique {0..3} plus a one-way broadcast hub 4.
+	b := repro.NewDiBuilder(5)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v {
+				b.AddArc(u, v)
+			}
+		}
+	}
+	for v := 0; v < 4; v++ {
+		b.AddArc(4, v) // the hub follows no one back
+	}
+	g := b.Build()
+	c, err := repro.DirectedSearch(g, []int{0, 1}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("community for {0,1}: cycle-support kc=%d, members %v\n", c.Kc, c.Vertices)
+	fmt.Println("the one-way hub 4 is excluded: broadcast edges form no mutual cycles")
+}

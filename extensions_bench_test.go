@@ -1,0 +1,123 @@
+package repro
+
+// Benchmarks for the §8 future-work extensions and supporting machinery:
+// dynamic truss maintenance vs full rebuild, probabilistic decomposition,
+// directed community search, and the parallel diameter sweep.
+
+import (
+	"testing"
+
+	"repro/internal/directed"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/prob"
+	"repro/internal/truss"
+)
+
+func benchGraph() *graph.Graph {
+	g, _ := gen.CommunityGraph(gen.CommunityParams{
+		N: 2000, NumCommunities: 80, MinSize: 10, MaxSize: 30,
+		Overlap: 0.3, PIntra: 0.4, BackgroundEdges: 2000,
+		PlantedClique: 12, Seed: 0xBE,
+	})
+	return g
+}
+
+func BenchmarkExtDynamicChurn(b *testing.B) {
+	// 100 alternating edge deletions/insertions maintained incrementally.
+	g := benchGraph()
+	edges := g.EdgeKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dy := truss.NewDynamic(g)
+		for j := 0; j < 100; j++ {
+			u, v := edges[j*37%len(edges)].Endpoints()
+			dy.DeleteEdge(u, v)
+			dy.InsertEdge(u, v)
+		}
+	}
+}
+
+func BenchmarkExtFullRebuildChurn(b *testing.B) {
+	// The same 100 updates handled by full recomputation (the alternative
+	// the dynamic index is measured against).
+	g := benchGraph()
+	edges := g.EdgeKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu := graph.NewMutable(g, nil)
+		for j := 0; j < 10; j++ { // 10 of 100: full rebuilds are ~10x slower
+			u, v := edges[j*37%len(edges)].Endpoints()
+			mu.DeleteEdge(u, v)
+			_ = truss.DecomposeMutable(mu)
+			mu.AddEdge(u, v)
+			_ = truss.DecomposeMutable(mu)
+		}
+	}
+}
+
+func BenchmarkExtProbDecompose(b *testing.B) {
+	g, _ := gen.CommunityGraph(gen.CommunityParams{
+		N: 300, NumCommunities: 15, MinSize: 8, MaxSize: 20,
+		Overlap: 0.2, PIntra: 0.5, BackgroundEdges: 200, Seed: 0xF0,
+	})
+	probs := map[graph.EdgeKey]float64{}
+	rng := gen.NewRNG(1)
+	g.ForEachEdge(func(u, v int) {
+		probs[graph.Key(u, v)] = 0.5 + 0.5*rng.Float64()
+	})
+	pg, err := prob.NewGraph(g, probs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prob.Decompose(pg, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtDirectedSearch(b *testing.B) {
+	rng := gen.NewRNG(7)
+	db := directed.NewDiBuilder(300)
+	// Mutual-follow clusters plus random arcs.
+	for c := 0; c < 20; c++ {
+		base := c * 15
+		for i := 0; i < 15; i++ {
+			for j := 0; j < 15; j++ {
+				if i != j && rng.Float64() < 0.4 {
+					db.AddArc(base+i, base+j)
+				}
+			}
+		}
+	}
+	for i := 0; i < 600; i++ {
+		db.AddArc(rng.Intn(300), rng.Intn(300))
+	}
+	dg := db.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := directed.Search(dg, []int{0, 1}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroDiameterParallel(b *testing.B) {
+	g := benchGraph()
+	mu := graph.NewMutable(g, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.DiameterParallel(mu, 0)
+	}
+}
+
+func BenchmarkMicroDiameterSequential(b *testing.B) {
+	g := benchGraph()
+	mu := graph.NewMutable(g, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Diameter(mu)
+	}
+}

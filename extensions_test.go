@@ -1,0 +1,89 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTCPFacade(t *testing.T) {
+	c := Open(figure1())
+	// The paper's §1 query: TCP must fail, CTC must succeed.
+	if _, err := c.TCP([]int{6, 2, 8}); err == nil {
+		t.Fatal("TCP should fail on {v4,q3,p1}")
+	}
+	com, err := c.TCP([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.K < 4 {
+		t.Fatalf("TCP k = %d", com.K)
+	}
+}
+
+func TestDynamicFacade(t *testing.T) {
+	g := figure1()
+	dy := OpenDynamic(g)
+	if !dy.InsertEdge(11, 6) || !dy.InsertEdge(11, 7) {
+		t.Fatal("inserts failed")
+	}
+	if dy.EdgeTruss(11, 2) != 4 {
+		t.Fatalf("τ(t,q3) = %d after inserts, want 4", dy.EdgeTruss(11, 2))
+	}
+	client := FreezeDynamic(dy)
+	com, err := client.LCTC([]int{11, 2}, &Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.K != 4 {
+		t.Fatalf("post-update community k = %d, want 4", com.K)
+	}
+}
+
+func TestProbFacade(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	pg, err := NewProbGraph(g, map[EdgeKey]float64{Key(0, 1): 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	com, err := ProbSearch(pg, []int{0}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.K < 3 || len(com.Vertices) != 4 {
+		t.Fatalf("prob community: k=%d |V|=%d", com.K, len(com.Vertices))
+	}
+	if _, err := NewProbGraph(g, map[EdgeKey]float64{Key(0, 1): 2}); err == nil {
+		t.Fatal("bad probability accepted")
+	}
+}
+
+func TestDirectedFacade(t *testing.T) {
+	b := NewDiBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 0)
+	com, err := DirectedSearch(b.Build(), []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.Kc != 1 || len(com.Vertices) != 3 {
+		t.Fatalf("directed community: kc=%d |V|=%d", com.Kc, len(com.Vertices))
+	}
+}
+
+func TestWriteDOTFacade(t *testing.T) {
+	c := Open(figure1())
+	com, err := c.LCTC([]int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, com.Subgraph(), map[int]string{0: "gold"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `graph "community"`) || !strings.Contains(out, "gold") {
+		t.Fatalf("DOT output:\n%s", out)
+	}
+}

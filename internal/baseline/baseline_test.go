@@ -1,0 +1,213 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// paperGraph is Figure 1(a); q1=0 q2=1 q3=2 v1=3 v2=4 v3=5 v4=6 v5=7
+// p1=8 p2=9 p3=10 t=11.
+func paperGraph() *graph.Graph {
+	edges := [][2]int{
+		{0, 1}, {0, 3}, {0, 4}, {1, 3}, {1, 4}, {3, 4},
+		{5, 6}, {5, 7}, {6, 7}, {2, 5}, {2, 6}, {2, 7},
+		{1, 7}, {4, 7}, {1, 6}, {1, 5}, {3, 7},
+		{2, 8}, {2, 9}, {2, 10}, {8, 9}, {8, 10}, {9, 10},
+		{0, 11}, {11, 2},
+	}
+	return graph.FromEdges(12, edges)
+}
+
+func randomGraph(seed int64, n int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, 0)
+	b.EnsureVertex(n - 1)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestMDCBasic(t *testing.T) {
+	g := paperGraph()
+	r, err := MDC(g, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != "MDC" {
+		t.Fatalf("algorithm %q", r.Algorithm)
+	}
+	// Must contain the query, be connected, and have min degree >= 2
+	// (the q1,q2,v1,v2 clique guarantees at least 3 is available).
+	sub := r.Subgraph()
+	for _, v := range []int{0, 1} {
+		if !sub.Present(v) {
+			t.Fatalf("query vertex %d missing", v)
+		}
+	}
+	if !graph.IsConnected(sub) {
+		t.Fatal("MDC result disconnected")
+	}
+	if r.Score < 3 {
+		t.Fatalf("min degree %f, expected >= 3 (clique available)", r.Score)
+	}
+	minDeg := 1 << 30
+	for _, v := range r.Vertices {
+		if d := sub.Degree(v); d < minDeg {
+			minDeg = d
+		}
+	}
+	if float64(minDeg) != r.Score {
+		t.Fatalf("reported score %f != actual min degree %d", r.Score, minDeg)
+	}
+}
+
+func TestMDCDistanceConstraint(t *testing.T) {
+	g := paperGraph()
+	// With bound 1, only neighbors of both q1 and q3 qualify; q1 and q3 are
+	// at distance 2 (via t), so the ball around {q1,q3} at bound 1 contains
+	// only t... and q1,q3 themselves; the only connector is t.
+	r, err := MDC(g, []int{0, 2}, &MDCOptions{DistBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() > 3 {
+		t.Fatalf("bound-1 community has %d nodes, want <= 3", r.N())
+	}
+	for _, v := range r.Vertices {
+		if v != 0 && v != 2 && v != 11 {
+			t.Fatalf("vertex %d outside the distance-1 ball", v)
+		}
+	}
+}
+
+func TestMDCSizeBound(t *testing.T) {
+	g := paperGraph()
+	small, err := MDC(g, []int{2}, &MDCOptions{DistBound: 2, SizeBound: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.N() > 5 {
+		// The size bound is best-effort: it is honored when some snapshot
+		// satisfies it, which one must here (peeling reaches {q3}+few).
+		t.Fatalf("size bound ignored: %d nodes", small.N())
+	}
+}
+
+func TestMDCErrors(t *testing.T) {
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {2, 3}})
+	if _, err := MDC(g, []int{0, 2}, nil); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := MDC(g, nil, nil); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := MDC(g, []int{-1}, nil); err == nil {
+		t.Fatal("bad vertex accepted")
+	}
+	// Far-apart query with tight distance bound.
+	path := graph.FromEdges(8, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}})
+	if _, err := MDC(path, []int{0, 7}, &MDCOptions{DistBound: 2}); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("distance-infeasible query: err = %v", err)
+	}
+}
+
+func TestQDCBasic(t *testing.T) {
+	g := paperGraph()
+	r, err := QDC(g, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := r.Subgraph()
+	if !sub.Present(0) || !sub.Present(1) {
+		t.Fatal("query vertices missing")
+	}
+	if !graph.IsConnected(sub) {
+		t.Fatal("QDC result disconnected")
+	}
+	if r.Score <= 0 {
+		t.Fatalf("score %f", r.Score)
+	}
+	// Query bias: the far free riders p1..p3 should not all survive for a
+	// query concentrated on the left clique.
+	kept := 0
+	for _, v := range []int{8, 9, 10} {
+		if sub.Present(v) {
+			kept++
+		}
+	}
+	if kept == 3 {
+		t.Fatal("QDC kept all far free riders; query bias ineffective")
+	}
+}
+
+func TestQDCProximityConcentration(t *testing.T) {
+	g := paperGraph()
+	pi := proximity(g, []int{0}, 0.2, 30)
+	// Proximity must be highest at the query and decay with distance.
+	if pi[0] <= pi[4] {
+		t.Fatal("π(q1) must exceed π(v2)")
+	}
+	if pi[4] <= pi[8] {
+		t.Fatalf("π(v2)=%g should exceed π(p1)=%g (p1 is farther)", pi[4], pi[8])
+	}
+	total := 0.0
+	for _, p := range pi {
+		total += p
+	}
+	if total <= 0 || total > 1.5 {
+		t.Fatalf("proximity mass %f implausible", total)
+	}
+}
+
+func TestQDCErrors(t *testing.T) {
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {2, 3}})
+	if _, err := QDC(g, []int{0, 2}, nil); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := QDC(g, nil, nil); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := QDC(g, []int{77}, nil); err == nil {
+		t.Fatal("bad vertex accepted")
+	}
+}
+
+func TestBaselinesOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 40, 0.15)
+		rng := rand.New(rand.NewSource(seed))
+		q := []int{rng.Intn(40), rng.Intn(40)}
+		for _, run := range []func() (*Result, error){
+			func() (*Result, error) { return MDC(g, q, nil) },
+			func() (*Result, error) { return QDC(g, q, nil) },
+		} {
+			r, err := run()
+			if err != nil {
+				continue // infeasible query is fine
+			}
+			sub := r.Subgraph()
+			for _, v := range q {
+				if !sub.Present(v) {
+					t.Fatalf("seed %d: %s dropped query vertex %d", seed, r.Algorithm, v)
+				}
+			}
+			if !graph.IsConnected(sub) {
+				t.Fatalf("seed %d: %s disconnected", seed, r.Algorithm)
+			}
+			if r.N() != sub.N() || r.M() != sub.M() {
+				t.Fatalf("seed %d: %s bookkeeping mismatch", seed, r.Algorithm)
+			}
+			if d := r.Density(); d < 0 || d > 1 {
+				t.Fatalf("seed %d: %s density %f", seed, r.Algorithm, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// MDCOptions configures the Cocktail Party search.
+type MDCOptions struct {
+	// DistBound is the maximum allowed query distance of any community
+	// vertex (the model's fixed distance constraint; paper default 2).
+	DistBound int32
+	// SizeBound caps the community size; 0 means unbounded. The greedy
+	// prefers the best min-degree snapshot that satisfies the bound.
+	SizeBound int
+}
+
+func (o *MDCOptions) distBound() int32 {
+	if o == nil || o.DistBound <= 0 {
+		return 2
+	}
+	return o.DistBound
+}
+
+func (o *MDCOptions) sizeBound() int {
+	if o == nil {
+		return 0
+	}
+	return o.SizeBound
+}
+
+// MDC finds a connected subgraph containing q maximizing the minimum
+// degree, restricted to vertices within the distance bound of the query
+// (Sozio & Gionis 2010, "Cocktail Party").
+//
+// Implementation: bucket-queue greedy peeling of the minimum-degree
+// non-query vertex (O(m + n) for the whole peel), recording the removal
+// order; then snapshots at the peel steps where the running minimum degree
+// reached a new maximum are re-evaluated for feasibility (Q connected,
+// size bound), best first.
+func MDC(g *graph.Graph, q []int, opt *MDCOptions) (*Result, error) {
+	if len(q) == 0 {
+		return nil, fmt.Errorf("baseline: MDC: empty query")
+	}
+	for _, v := range q {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("baseline: MDC: query vertex %d out of range", v)
+		}
+	}
+	ball := ballAround(g, q, opt.distBound())
+	sub := graph.Induced(g, ball)
+	if !graph.Connected(sub, q) {
+		return nil, fmt.Errorf("%w (distance bound %d)", ErrNoCommunity, opt.distBound())
+	}
+	isQuery := make(map[int]bool, len(q))
+	for _, v := range q {
+		isQuery[v] = true
+	}
+	inBall := make([]bool, g.N())
+	for _, v := range ball {
+		inBall[v] = true
+	}
+	// Bucket-queue peel on the induced ball.
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for _, v := range ball {
+		deg[v] = sub.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]int32, maxDeg+1)
+	for _, v := range ball {
+		if !isQuery[v] {
+			buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+		}
+	}
+	removed := make([]bool, n)
+	removalStep := make(map[int]int, len(ball))
+	// minDegAt[t] = min degree of the remaining graph before step t.
+	var minDegAt []int
+	cur := 0
+	step := 0
+	nonQuery := len(ball) - len(q)
+	for peeled := 0; peeled < nonQuery; peeled++ {
+		// Pop the min-degree non-query vertex (lazy entries).
+		if cur > maxDeg {
+			break
+		}
+		var pick = -1
+		for cur <= maxDeg {
+			b := buckets[cur]
+			if len(b) == 0 {
+				cur++
+				continue
+			}
+			v := int(b[len(b)-1])
+			buckets[cur] = b[:len(b)-1]
+			if removed[v] || deg[v] != cur {
+				continue
+			}
+			pick = v
+			break
+		}
+		if pick < 0 {
+			break
+		}
+		// Global min degree before this removal: the picked vertex is the
+		// min among non-query vertices; fold in the query degrees.
+		mind := deg[pick]
+		for _, qv := range q {
+			if !removed[qv] && deg[qv] < mind {
+				mind = deg[qv]
+			}
+		}
+		minDegAt = append(minDegAt, mind)
+		removed[pick] = true
+		removalStep[pick] = step
+		for _, w := range g.Neighbors(pick) {
+			wv := int(w)
+			if inBall[wv] && !removed[wv] {
+				deg[wv]--
+				if !isQuery[wv] {
+					buckets[deg[wv]] = append(buckets[deg[wv]], w)
+				}
+				if deg[wv] < cur {
+					cur = deg[wv]
+				}
+			}
+		}
+		step++
+	}
+	// Candidate steps: those where the running min degree set a new max.
+	// With a size bound, also the latest step at each distinct min degree
+	// (later steps mean smaller snapshots).
+	type cand struct{ step, minDeg int }
+	var cands []cand
+	best := -1
+	for t, md := range minDegAt {
+		if md > best {
+			best = md
+			cands = append(cands, cand{step: t, minDeg: md})
+		}
+	}
+	if opt.sizeBound() > 0 {
+		last := map[int]int{}
+		for t, md := range minDegAt {
+			last[md] = t
+		}
+		for md, t := range last {
+			cands = append(cands, cand{step: t, minDeg: md})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].minDeg != cands[j].minDeg {
+				return cands[i].minDeg < cands[j].minDeg
+			}
+			return cands[i].step < cands[j].step
+		})
+	}
+	// Evaluate candidates from the highest min degree down; prefer ones
+	// meeting the size bound, falling back to the best feasible otherwise.
+	bound := opt.sizeBound()
+	ballMu := graph.NewMutable(sub, ball)
+	var fallback *Result
+	for i := len(cands) - 1; i >= 0; i-- {
+		c := cands[i]
+		keep := make([]int, 0, len(ball))
+		for _, v := range ball {
+			if s, ok := removalStep[v]; !ok || s >= c.step {
+				keep = append(keep, v)
+			}
+		}
+		mu := graph.InducedMutable(ballMu, keep)
+		if !graph.Connected(mu, q) {
+			continue
+		}
+		comp := graph.Component(mu, q[0])
+		mu = graph.InducedMutable(mu, comp)
+		if bound > 0 && mu.N() > bound {
+			// Over the size bound: remember the smallest feasible snapshot
+			// as the fallback — the fixed-size model truncates rather than
+			// relaxing (the rigidity the paper's Exp-3 exposes).
+			if fallback == nil || mu.N() < fallback.N() {
+				fallback = newResult("MDC", mu, float64(minDegreeOf(mu)))
+			}
+			continue
+		}
+		return newResult("MDC", mu, float64(minDegreeOf(mu))), nil
+	}
+	if fallback != nil {
+		return fallback, nil
+	}
+	return nil, ErrNoCommunity
+}
+
+func minDegreeOf(mu *graph.Mutable) int {
+	min := -1
+	for _, v := range mu.Vertices() {
+		if d := mu.Degree(v); min < 0 || d < min {
+			min = d
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}

@@ -1,0 +1,102 @@
+// Package core implements the paper's closest-truss-community search
+// algorithms: the 2-approximate greedy Basic (Algorithm 1), the faster
+// (2+ε)-approximate BulkDelete (Algorithm 4), and the local-exploration
+// heuristic LCTC (Algorithm 5), plus the Truss baseline that returns G0
+// without free-rider removal.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Community is the result of a community search: a connected k-truss
+// subgraph containing the query vertices.
+type Community struct {
+	// Algorithm names the producing algorithm ("Basic", "BD", "LCTC", ...).
+	Algorithm string
+	// K is the trussness of the community.
+	K int32
+	// Query holds the query vertices.
+	Query []int
+
+	vertices  []int
+	edgeCount int
+	queryDist int
+	sub       *graph.Mutable
+	diameter  int
+	diamDone  bool
+}
+
+func newCommunity(algo string, sub *graph.Mutable, k int32, q []int) *Community {
+	c := &Community{
+		Algorithm: algo,
+		K:         k,
+		Query:     append([]int(nil), q...),
+		vertices:  sub.Vertices(),
+		edgeCount: sub.M(),
+		sub:       sub,
+		queryDist: -1,
+	}
+	if qd, ok := graph.GraphQueryDistance(sub, q); ok {
+		c.queryDist = int(qd)
+	}
+	return c
+}
+
+// N returns the number of vertices in the community.
+func (c *Community) N() int { return len(c.vertices) }
+
+// M returns the number of edges in the community.
+func (c *Community) M() int { return c.edgeCount }
+
+// Vertices returns the sorted community vertex set (shared; do not modify).
+func (c *Community) Vertices() []int { return c.vertices }
+
+// Contains reports whether v belongs to the community.
+func (c *Community) Contains(v int) bool {
+	i := sort.SearchInts(c.vertices, v)
+	return i < len(c.vertices) && c.vertices[i] == v
+}
+
+// Subgraph exposes the community subgraph. Treat it as read-only.
+func (c *Community) Subgraph() *graph.Mutable { return c.sub }
+
+// QueryDist returns dist(H, Q), the graph query distance (Definition 3),
+// or -1 if some community vertex cannot reach every query vertex.
+func (c *Community) QueryDist() int { return c.queryDist }
+
+// Density returns the edge density 2m/(n(n-1)).
+func (c *Community) Density() float64 {
+	n := len(c.vertices)
+	if n < 2 {
+		return 0
+	}
+	return 2 * float64(c.edgeCount) / (float64(n) * float64(n-1))
+}
+
+// parallelDiameterThreshold is the community size beyond which the exact
+// all-pairs BFS sweep is fanned out over multiple goroutines.
+const parallelDiameterThreshold = 512
+
+// Diameter returns the exact diameter of the community subgraph, computed
+// lazily (all-pairs BFS, parallel for large communities) and cached.
+func (c *Community) Diameter() int {
+	if !c.diamDone {
+		if len(c.vertices) > parallelDiameterThreshold {
+			c.diameter, _ = graph.DiameterParallel(c.sub, 0)
+		} else {
+			c.diameter, _ = graph.Diameter(c.sub)
+		}
+		c.diamDone = true
+	}
+	return c.diameter
+}
+
+// String summarizes the community.
+func (c *Community) String() string {
+	return fmt.Sprintf("%s: %d-truss community, %d nodes, %d edges, query dist %d, density %.3f",
+		c.Algorithm, c.K, c.N(), c.M(), c.queryDist, c.Density())
+}

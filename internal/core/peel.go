@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/truss"
+)
+
+// ErrTimeout is returned when a search exceeds its Options.Timeout budget
+// (the experiments report such runs as "Inf", like the paper's 1-hour cap).
+var ErrTimeout = errors.New("core: search exceeded its time budget")
+
+// peelRule selects which far-from-query vertices a peeling iteration deletes.
+type peelRule int
+
+const (
+	// peelSingle deletes one furthest vertex per iteration (Algorithm 1).
+	peelSingle peelRule = iota
+	// peelBulk deletes L = {u : dist(u,Q) >= d-1} per iteration, where d is
+	// the running minimum graph query distance (Algorithm 4). Guarantees
+	// >= k deletions per iteration (Lemma 6) at the cost of the ε in the
+	// (2+ε) approximation.
+	peelBulk
+	// peelBulkExact deletes L' = {u : dist(u,Q) >= d}, i.e. only the
+	// current furthest vertices, preferring those with the largest total
+	// distance to the query set — the readjusted rule of §5.2 used inside
+	// LCTC, which restores the 2-approximation.
+	peelBulkExact
+)
+
+const infDist int32 = 1 << 30
+
+// peelState tracks per-vertex distances of one peeling iteration.
+type peelState struct {
+	maxDist []int32 // dist(v, Q) with Unreachable mapped to infDist
+	sumDist []int64 // Σ_q dist(v, q), for the §5.2 tie preference
+	graphD  int32   // dist(G_l, Q) = max over present vertices
+}
+
+// computeDistances fills the peel state by one BFS per query vertex.
+func computeDistances(mu *graph.Mutable, q []int, st *peelState, dist []int32, queue []int32) []int32 {
+	n := mu.NumIDs()
+	for v := 0; v < n; v++ {
+		st.maxDist[v] = 0
+		st.sumDist[v] = 0
+	}
+	for _, src := range q {
+		queue = graph.BFS(mu, src, dist, queue)
+		for v := 0; v < n; v++ {
+			if !mu.Present(v) || st.maxDist[v] == infDist {
+				continue
+			}
+			if dist[v] == graph.Unreachable {
+				st.maxDist[v] = infDist
+				continue
+			}
+			if dist[v] > st.maxDist[v] {
+				st.maxDist[v] = dist[v]
+			}
+			st.sumDist[v] += int64(dist[v])
+		}
+	}
+	st.graphD = 0
+	for v := 0; v < n; v++ {
+		if mu.Present(v) && st.maxDist[v] > st.graphD {
+			st.graphD = st.maxDist[v]
+		}
+	}
+	return queue
+}
+
+// greedyPeel runs the shared peeling framework on g0 (a connected k-truss
+// containing q) and returns the intermediate graph with the smallest graph
+// query distance, restricted to the component containing q. g0 is not
+// modified.
+func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, deadline time.Time) (*graph.Mutable, error) {
+	work := g0.Clone()
+	sup := graph.MutableEdgeSupports(work)
+	isQuery := make(map[int]bool, len(q))
+	for _, v := range q {
+		isQuery[v] = true
+	}
+	n := work.NumIDs()
+	st := &peelState{maxDist: make([]int32, n), sumDist: make([]int64, n)}
+	dist := make([]int32, n)
+	var queue []int32
+
+	// edgeStamp[e] = iteration during whose transition the edge was removed;
+	// edges never removed are absent. e ∈ G_l iff edgeStamp[e] missing or
+	// >= l. Edge-level stamping is essential: the truss-maintenance cascade
+	// can delete an edge while both endpoints survive, so intermediate
+	// graphs are not induced subgraphs.
+	edgeStamp := make(map[graph.EdgeKey]int)
+	var qdHist []int32
+	d := infDist // running minimum for the bulk rules
+	for iter := 0; ; iter++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		if !graph.Connected(work, q) {
+			break
+		}
+		queue = computeDistances(work, q, st, dist, queue)
+		qdHist = append(qdHist, st.graphD)
+		if st.graphD < d {
+			d = st.graphD
+		}
+		victims := selectVictims(work, st, isQuery, rule, d)
+		if len(victims) == 0 {
+			break // every vertex is a query vertex at distance < d-1
+		}
+		_, removedEdges := truss.MaintainKTruss(work, sup, k, victims)
+		if len(removedEdges) == 0 {
+			break // defensive: no progress
+		}
+		for _, e := range removedEdges {
+			edgeStamp[e] = iter
+		}
+	}
+	if len(qdHist) == 0 {
+		return nil, errors.New("core: no feasible intermediate graph")
+	}
+	best := 0
+	for l, qd := range qdHist {
+		if qd < qdHist[best] {
+			best = l
+		}
+	}
+	keep := make([]graph.EdgeKey, 0, g0.M())
+	for _, e := range g0.EdgeKeys() {
+		if s, ok := edgeStamp[e]; !ok || s >= best {
+			keep = append(keep, e)
+		}
+	}
+	sub := graph.NewMutableFromEdges(g0.NumIDs(), keep)
+	for _, v := range q {
+		sub.EnsureVertex(v)
+	}
+	comp := graph.Component(sub, q[0])
+	return graph.InducedMutable(sub, comp), nil
+}
+
+// selectVictims applies the rule to choose this iteration's deletions.
+func selectVictims(mu *graph.Mutable, st *peelState, isQuery map[int]bool, rule peelRule, d int32) []int {
+	n := mu.NumIDs()
+	switch rule {
+	case peelSingle:
+		// One argmax vertex; prefer non-query vertices on ties so the walk
+		// continues as long as possible, then the smallest ID for
+		// determinism.
+		pick := -1
+		for v := 0; v < n; v++ {
+			if !mu.Present(v) {
+				continue
+			}
+			if pick < 0 {
+				pick = v
+				continue
+			}
+			dv, dp := st.maxDist[v], st.maxDist[pick]
+			switch {
+			case dv > dp:
+				pick = v
+			case dv == dp && isQuery[pick] && !isQuery[v]:
+				pick = v
+			}
+		}
+		if pick < 0 || st.maxDist[pick] == 0 {
+			return nil // a single query vertex remains
+		}
+		return []int{pick}
+
+	case peelBulk:
+		var victims []int
+		for v := 0; v < n; v++ {
+			if mu.Present(v) && st.maxDist[v] >= d-1 {
+				victims = append(victims, v)
+			}
+		}
+		return victims
+
+	case peelBulkExact:
+		// L' = furthest vertices only; among them keep those with the
+		// largest total distance to Q.
+		var best int64 = -1
+		for v := 0; v < n; v++ {
+			if mu.Present(v) && st.maxDist[v] >= d && st.maxDist[v] != 0 {
+				if st.sumDist[v] > best && st.maxDist[v] != infDist {
+					best = st.sumDist[v]
+				}
+			}
+		}
+		var victims []int
+		for v := 0; v < n; v++ {
+			if !mu.Present(v) || st.maxDist[v] < d || st.maxDist[v] == 0 {
+				continue
+			}
+			if st.maxDist[v] == infDist || st.sumDist[v] >= best {
+				victims = append(victims, v)
+			}
+		}
+		return victims
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/steiner"
+	"repro/internal/truss"
+	"repro/internal/trussindex"
+)
+
+// Options tunes the search algorithms. The zero value requests the paper's
+// defaults (maximum trussness, η=1000, γ=3).
+type Options struct {
+	// FixedK, when > 0, searches for a community of the given trussness
+	// instead of the maximum (the Exp-5 variant). For LCTC it caps the
+	// expansion level at min(FixedK, Steiner-tree trussness).
+	FixedK int32
+	// Eta is LCTC's node-budget threshold η for the local expansion
+	// (default 1000).
+	Eta int
+	// Gamma is the truss-distance penalty γ (default 3). Gamma = -1 selects
+	// plain hop distance (γ=0); 0 means "default".
+	Gamma float64
+	// Verify re-checks the output against the CTC conditions (connected
+	// k-truss containing Q) and fails loudly on violation. Meant for tests.
+	Verify bool
+	// Timeout, when positive, bounds the peeling phase; exceeding it
+	// returns ErrTimeout (the experiments report such runs as "Inf").
+	Timeout time.Duration
+}
+
+func (o *Options) deadline() time.Time {
+	if o == nil || o.Timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(o.Timeout)
+}
+
+func (o *Options) eta() int {
+	if o == nil || o.Eta <= 0 {
+		return 1000
+	}
+	return o.Eta
+}
+
+func (o *Options) gamma() float64 {
+	if o == nil || o.Gamma == 0 {
+		return 3
+	}
+	if o.Gamma < 0 {
+		return 0
+	}
+	return o.Gamma
+}
+
+func (o *Options) fixedK() int32 {
+	if o == nil {
+		return 0
+	}
+	return o.FixedK
+}
+
+func (o *Options) verify() bool { return o != nil && o.Verify }
+
+// Searcher runs closest-truss-community searches against a truss index.
+type Searcher struct {
+	ix *trussindex.Index
+}
+
+// NewSearcher wraps a prebuilt truss index.
+func NewSearcher(ix *trussindex.Index) *Searcher { return &Searcher{ix: ix} }
+
+// Index returns the underlying truss index.
+func (s *Searcher) Index() *trussindex.Index { return s.ix }
+
+// findG0 resolves the starting graph: the maximal connected k-truss with
+// the largest k (or the fixed k requested).
+func (s *Searcher) findG0(q []int, opt *Options) (*graph.Mutable, int32, error) {
+	if k := opt.fixedK(); k > 0 {
+		mu, err := s.ix.FindKTruss(q, k)
+		return mu, k, err
+	}
+	return s.ix.FindG0(q)
+}
+
+// TrussOnly implements the "Truss" baseline: it returns G0 itself, the
+// maximal connected k-truss containing Q with the largest k, with no
+// free-rider elimination (Algorithm 2 output).
+func (s *Searcher) TrussOnly(q []int, opt *Options) (*Community, error) {
+	g0, k, err := s.findG0(q, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.finish("Truss", g0, k, q, opt)
+}
+
+// Basic implements Algorithm 1: find G0, then repeatedly delete the single
+// vertex furthest from Q, maintaining the k-truss property, and return the
+// intermediate graph with minimum query distance. 2-approximation on the
+// diameter (Theorem 3).
+func (s *Searcher) Basic(q []int, opt *Options) (*Community, error) {
+	g0, k, err := s.findG0(q, opt)
+	if err != nil {
+		return nil, err
+	}
+	best, err := greedyPeel(g0, k, q, peelSingle, opt.deadline())
+	if err != nil {
+		return nil, fmt.Errorf("core: Basic: %w", err)
+	}
+	return s.finish("Basic", best, k, q, opt)
+}
+
+// BulkDelete implements Algorithm 4: like Basic but deleting the whole set
+// L = {u : dist(u,Q) >= d-1} per iteration, terminating in O(n'/k)
+// iterations (Lemma 6) with a (2+ε)-approximation (Theorem 6).
+func (s *Searcher) BulkDelete(q []int, opt *Options) (*Community, error) {
+	g0, k, err := s.findG0(q, opt)
+	if err != nil {
+		return nil, err
+	}
+	best, err := greedyPeel(g0, k, q, peelBulk, opt.deadline())
+	if err != nil {
+		return nil, fmt.Errorf("core: BulkDelete: %w", err)
+	}
+	return s.finish("BD", best, k, q, opt)
+}
+
+// LCTC implements Algorithm 5: seed a Steiner tree over Q under truss
+// distance, locally expand it to at most η vertices through edges of
+// trussness >= kt, extract the best connected k-truss containing Q from the
+// expansion, and shrink it with the exact-distance bulk rule
+// L' = {u : dist(u,Q) >= d}.
+func (s *Searcher) LCTC(q []int, opt *Options) (*Community, error) {
+	tree, err := steiner.Build(s.ix, q, opt.gamma())
+	if err != nil {
+		return nil, fmt.Errorf("core: LCTC Steiner seed: %w", err)
+	}
+	kt := tree.MinTruss
+	if fk := opt.fixedK(); fk > 0 && fk < kt {
+		kt = fk
+	}
+	if kt < 2 {
+		kt = 2
+	}
+	gt := s.expand(tree.Vertices, kt, opt.eta())
+	// Truss-decompose the expansion and find the largest k <= kt such that
+	// a connected k-truss containing Q survives inside Gt.
+	dec := truss.DecomposeMutable(gt)
+	ht, k, err := bestKTrussWithin(gt, dec, q, kt)
+	if err != nil {
+		return nil, fmt.Errorf("core: LCTC extraction: %w", err)
+	}
+	best, err := greedyPeel(ht, k, q, peelBulkExact, opt.deadline())
+	if err != nil {
+		return nil, fmt.Errorf("core: LCTC: %w", err)
+	}
+	return s.finish("LCTC", best, k, q, opt)
+}
+
+// expand grows the vertex set from the Steiner tree through edges of
+// trussness >= kt, BFS order, stopping once the budget is reached, and
+// returns the induced subgraph on the collected vertices restricted to
+// edges of trussness >= kt.
+func (s *Searcher) expand(seed []int, kt int32, eta int) *graph.Mutable {
+	n := s.ix.Graph().N()
+	in := make([]bool, n)
+	var frontier []int32
+	count := 0
+	for _, v := range seed {
+		if !in[v] {
+			in[v] = true
+			count++
+			frontier = append(frontier, int32(v))
+		}
+	}
+	for head := 0; head < len(frontier) && count < eta; head++ {
+		v := int(frontier[head])
+		s.ix.ForEachNeighborAtLeast(v, kt, func(u int) {
+			if !in[u] && count < eta {
+				in[u] = true
+				count++
+				frontier = append(frontier, int32(u))
+			}
+		})
+	}
+	gt := graph.NewMutableFromEdges(n, nil)
+	for v := 0; v < n; v++ {
+		if !in[v] {
+			continue
+		}
+		gt.EnsureVertex(v)
+		s.ix.ForEachNeighborAtLeast(v, kt, func(u int) {
+			if u > v && in[u] {
+				gt.AddEdge(v, u)
+			}
+		})
+	}
+	return gt
+}
+
+// bestKTrussWithin finds the maximum k <= cap such that the subgraph of gt
+// restricted to edges of local trussness >= k connects q, and returns the
+// q-component of that subgraph.
+func bestKTrussWithin(gt *graph.Mutable, dec *truss.Decomposition, q []int, capK int32) (*graph.Mutable, int32, error) {
+	hi := dec.QueryUpperBound(q)
+	if hi > capK {
+		hi = capK
+	}
+	for k := hi; k >= 2; k-- {
+		mu := graph.NewMutableFromEdges(gt.NumIDs(), dec.EdgesAtLeast(k))
+		if !graph.Connected(mu, q) {
+			continue
+		}
+		comp := graph.Component(mu, q[0])
+		return graph.InducedMutable(mu, comp), k, nil
+	}
+	return nil, 0, truss.ErrNoCommunity
+}
+
+func (s *Searcher) finish(algo string, sub *graph.Mutable, k int32, q []int, opt *Options) (*Community, error) {
+	c := newCommunity(algo, sub, k, q)
+	if opt.verify() {
+		if err := truss.VerifyCommunity(sub, k, q); err != nil {
+			return nil, fmt.Errorf("core: %s produced an invalid community: %w", algo, err)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,375 @@
+// Package directed extends truss-based community search to directed
+// graphs, the second §8 future-work direction of the paper. It follows the
+// D-truss model from the follow-up literature (Liu et al., VLDB 2020):
+// a directed triangle is either a cycle (u→v→w→u) or a flow (acyclic
+// orientation), and a (kc, kf)-D-truss is a subgraph in which every edge
+// participates in at least kc cycle triangles and kf flow triangles. The
+// community search mirrors the paper's CTC recipe: maximize the D-truss
+// levels containing Q, then greedily shrink the query distance.
+package directed
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DiGraph is an immutable simple directed graph (no self-loops, at most
+// one edge per ordered pair).
+type DiGraph struct {
+	out [][]int32
+	in  [][]int32
+	m   int
+}
+
+// DiBuilder accumulates arcs into a DiGraph.
+type DiBuilder struct {
+	arcs [][2]int32
+	n    int
+}
+
+// NewDiBuilder returns a builder with a vertex-count hint.
+func NewDiBuilder(n int) *DiBuilder { return &DiBuilder{n: n} }
+
+// AddArc records the directed edge u→v (self-loops ignored).
+func (b *DiBuilder) AddArc(u, v int) {
+	if u == v || u < 0 || v < 0 {
+		return
+	}
+	if u+1 > b.n {
+		b.n = u + 1
+	}
+	if v+1 > b.n {
+		b.n = v + 1
+	}
+	b.arcs = append(b.arcs, [2]int32{int32(u), int32(v)})
+}
+
+// Build produces the immutable DiGraph, deduplicating arcs.
+func (b *DiBuilder) Build() *DiGraph {
+	sort.Slice(b.arcs, func(i, j int) bool {
+		if b.arcs[i][0] != b.arcs[j][0] {
+			return b.arcs[i][0] < b.arcs[j][0]
+		}
+		return b.arcs[i][1] < b.arcs[j][1]
+	})
+	g := &DiGraph{out: make([][]int32, b.n), in: make([][]int32, b.n)}
+	var prev [2]int32 = [2]int32{-1, -1}
+	for _, a := range b.arcs {
+		if a == prev {
+			continue
+		}
+		prev = a
+		g.out[a[0]] = append(g.out[a[0]], a[1])
+		g.in[a[1]] = append(g.in[a[1]], a[0])
+		g.m++
+	}
+	for v := range g.in {
+		sort.Slice(g.in[v], func(i, j int) bool { return g.in[v][i] < g.in[v][j] })
+	}
+	return g
+}
+
+// N returns the vertex count; M the arc count.
+func (g *DiGraph) N() int { return len(g.out) }
+
+// M returns the number of arcs.
+func (g *DiGraph) M() int { return g.m }
+
+// HasArc reports whether u→v exists.
+func (g *DiGraph) HasArc(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.out) {
+		return false
+	}
+	nb := g.out[u]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// Out and In return the sorted successor/predecessor lists.
+func (g *DiGraph) Out(v int) []int32 { return g.out[v] }
+
+// In returns the sorted predecessor list of v.
+func (g *DiGraph) In(v int) []int32 { return g.in[v] }
+
+// Arc identifies a directed edge.
+type Arc struct{ From, To int32 }
+
+// arcSet is a mutable directed edge set built from a DiGraph for peeling.
+type arcSet struct {
+	out []map[int32]struct{}
+	in  []map[int32]struct{}
+	m   int
+}
+
+func newArcSet(g *DiGraph) *arcSet {
+	s := &arcSet{out: make([]map[int32]struct{}, g.N()), in: make([]map[int32]struct{}, g.N())}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.out[u] {
+			if s.out[u] == nil {
+				s.out[u] = map[int32]struct{}{}
+			}
+			if s.in[v] == nil {
+				s.in[int(v)] = map[int32]struct{}{}
+			}
+			s.out[u][v] = struct{}{}
+			s.in[v][int32(u)] = struct{}{}
+			s.m++
+		}
+	}
+	return s
+}
+
+func (s *arcSet) has(u, v int32) bool {
+	if s.out[u] == nil {
+		return false
+	}
+	_, ok := s.out[u][v]
+	return ok
+}
+
+func (s *arcSet) delete(u, v int32) bool {
+	if !s.has(u, v) {
+		return false
+	}
+	delete(s.out[u], v)
+	delete(s.in[v], u)
+	s.m--
+	return true
+}
+
+// cycleSupport counts w with v→w and w→u (cycle triangles of u→v).
+func (s *arcSet) cycleSupport(u, v int32) int {
+	c := 0
+	for w := range s.out[v] {
+		if s.has(w, u) {
+			c++
+		}
+	}
+	return c
+}
+
+// flowSupportExact counts third vertices w where arcs connect w to both u
+// and v (in any direction) and the triangle formed with u→v is not the
+// cycle u→v, v→w, w→u considered alone. Each triangle counts once.
+func (s *arcSet) flowSupportExact(u, v int32) int {
+	c := 0
+	cands := map[int32]bool{}
+	for w := range s.out[u] {
+		cands[w] = true
+	}
+	for w := range s.in[u] {
+		cands[w] = true
+	}
+	for w := range cands {
+		if w == v {
+			continue
+		}
+		uw := s.has(u, w) || s.has(w, u)
+		vw := s.has(v, w) || s.has(w, v)
+		if !uw || !vw {
+			continue
+		}
+		// Triangle exists; it is a *flow* wing unless the only arcs are
+		// exactly the cycle v→w, w→u (no u→w, no w→v reversals).
+		pureCycle := s.has(v, w) && s.has(w, u) && !s.has(w, v) && !s.has(u, w)
+		if !pureCycle {
+			c++
+		}
+	}
+	return c
+}
+
+// MaxDTruss peels g down to its maximal (kc, kf)-D-truss: the largest
+// subgraph in which every arc has cycle support >= kc and flow support
+// >= kf. Returns the surviving arcs.
+func MaxDTruss(g *DiGraph, kc, kf int) []Arc {
+	s := newArcSet(g)
+	for {
+		var victims []Arc
+		for u := 0; u < g.N(); u++ {
+			for w := range s.out[u] {
+				if s.cycleSupport(int32(u), w) < kc || s.flowSupportExact(int32(u), w) < kf {
+					victims = append(victims, Arc{int32(u), w})
+				}
+			}
+		}
+		if len(victims) == 0 {
+			break
+		}
+		for _, a := range victims {
+			s.delete(a.From, a.To)
+		}
+	}
+	var out []Arc
+	for u := 0; u < g.N(); u++ {
+		for w := range s.out[u] {
+			out = append(out, Arc{int32(u), w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// ErrNoCommunity is returned when no D-truss community covers Q.
+var ErrNoCommunity = errors.New("directed: no D-truss community contains the query vertices")
+
+// Community is a directed closest-truss community.
+type Community struct {
+	// Kc and Kf are the cycle/flow support levels.
+	Kc, Kf int
+	// Vertices is the sorted member set; Arcs the community arcs.
+	Vertices []int
+	Arcs     []Arc
+	// QueryDist is the query distance in the underlying undirected graph.
+	QueryDist int
+}
+
+// underlying builds the undirected footprint of an arc set.
+func underlying(n int, arcs []Arc) *graph.Mutable {
+	mu := graph.NewMutableFromEdges(n, nil)
+	for _, a := range arcs {
+		mu.AddEdge(int(a.From), int(a.To))
+	}
+	return mu
+}
+
+// Search finds a closest D-truss community: the maximal (kc, kf)-D-truss
+// is computed for the largest kc (with the given kf) whose underlying
+// undirected footprint connects Q; then vertices far from Q are greedily
+// removed while the D-truss property is maintained, and the intermediate
+// state with the smallest query distance is returned.
+func Search(g *DiGraph, q []int, kf int) (*Community, error) {
+	if len(q) == 0 {
+		return nil, errors.New("directed: empty query")
+	}
+	for _, v := range q {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("directed: query vertex %d out of range", v)
+		}
+	}
+	// Find the largest kc admitting a connected community.
+	var arcs []Arc
+	kc := -1
+	for try := maxPossibleKc(g); try >= 0; try-- {
+		cand := MaxDTruss(g, try, kf)
+		mu := underlying(g.N(), cand)
+		if graph.Connected(mu, q) {
+			arcs, kc = cand, try
+			break
+		}
+	}
+	if kc < 0 {
+		return nil, ErrNoCommunity
+	}
+	// Restrict to the Q-component.
+	mu := underlying(g.N(), arcs)
+	comp := graph.Component(mu, q[0])
+	inComp := map[int]bool{}
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	arcs = filterArcs(arcs, inComp)
+	// Greedy diameter reduction on the underlying graph, re-peeling the
+	// D-truss property after each removal.
+	best := arcs
+	bestQD := queryDistOf(g.N(), arcs, q)
+	cur := arcs
+	for iter := 0; iter < g.N(); iter++ {
+		mu := underlying(g.N(), cur)
+		qd := graph.QueryDistances(mu, q)
+		pick, pickD := -1, int32(0)
+		isQ := map[int]bool{}
+		for _, v := range q {
+			isQ[v] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			if !mu.Present(v) || isQ[v] {
+				continue
+			}
+			d := qd[v]
+			if d == graph.Unreachable {
+				d = 1 << 30
+			}
+			if d > pickD {
+				pick, pickD = v, d
+			}
+		}
+		if pick < 0 || pickD == 0 {
+			break
+		}
+		next := repeelWithout(g, cur, pick, kc, kf)
+		muNext := underlying(g.N(), next)
+		if !graph.Connected(muNext, q) {
+			break
+		}
+		cur = next
+		if d := queryDistOf(g.N(), cur, q); d >= 0 && d < bestQD {
+			best, bestQD = cur, d
+		}
+	}
+	muBest := underlying(g.N(), best)
+	comp = graph.Component(muBest, q[0])
+	inComp = map[int]bool{}
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	best = filterArcs(best, inComp)
+	return &Community{
+		Kc: kc, Kf: kf,
+		Vertices:  comp,
+		Arcs:      best,
+		QueryDist: bestQD,
+	}, nil
+}
+
+func maxPossibleKc(g *DiGraph) int {
+	max := 0
+	s := newArcSet(g)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.out[u] {
+			if c := s.cycleSupport(int32(u), v); c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+func filterArcs(arcs []Arc, keep map[int]bool) []Arc {
+	out := arcs[:0:0]
+	for _, a := range arcs {
+		if keep[int(a.From)] && keep[int(a.To)] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func queryDistOf(n int, arcs []Arc, q []int) int {
+	mu := underlying(n, arcs)
+	d, ok := graph.GraphQueryDistance(mu, q)
+	if !ok {
+		return -1
+	}
+	return int(d)
+}
+
+// repeelWithout removes all arcs touching the vertex and re-peels the
+// (kc,kf) property within the remaining arc set.
+func repeelWithout(g *DiGraph, arcs []Arc, vertex, kc, kf int) []Arc {
+	b := NewDiBuilder(g.N())
+	for _, a := range arcs {
+		if int(a.From) != vertex && int(a.To) != vertex {
+			b.AddArc(int(a.From), int(a.To))
+		}
+	}
+	return MaxDTruss(b.Build(), kc, kf)
+}

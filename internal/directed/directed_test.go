@@ -1,0 +1,216 @@
+package directed
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// cycleTriangle builds u→v→w→u.
+func cycleGraph() *DiGraph {
+	b := NewDiBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 0)
+	return b.Build()
+}
+
+func TestDiBuilderDedup(t *testing.T) {
+	b := NewDiBuilder(0)
+	b.AddArc(0, 1)
+	b.AddArc(0, 1)
+	b.AddArc(1, 0) // opposite direction is a distinct arc
+	b.AddArc(2, 2) // self-loop dropped
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasArc(0, 1) || !g.HasArc(1, 0) || g.HasArc(2, 2) {
+		t.Fatal("arc presence wrong")
+	}
+	if g.HasArc(-1, 0) || g.HasArc(0, 99) {
+		t.Fatal("out-of-range arcs reported")
+	}
+}
+
+func TestCycleAndFlowSupport(t *testing.T) {
+	// Pure cycle triangle: each arc has cycle support 1, flow support 0.
+	s := newArcSet(cycleGraph())
+	if c := s.cycleSupport(0, 1); c != 1 {
+		t.Fatalf("cycle support = %d, want 1", c)
+	}
+	if f := s.flowSupportExact(0, 1); f != 0 {
+		t.Fatalf("flow support = %d, want 0", f)
+	}
+	// Flow triangle u→v, u→w, w→v: arc u→v has flow support 1, cycle 0.
+	b := NewDiBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(0, 2)
+	b.AddArc(2, 1)
+	s2 := newArcSet(b.Build())
+	if c := s2.cycleSupport(0, 1); c != 0 {
+		t.Fatalf("flow triangle: cycle support = %d", c)
+	}
+	if f := s2.flowSupportExact(0, 1); f != 1 {
+		t.Fatalf("flow triangle: flow support = %d, want 1", f)
+	}
+}
+
+// bidirClique builds a k-vertex graph with arcs in both directions.
+func bidirClique(k int) *DiGraph {
+	b := NewDiBuilder(k)
+	for u := 0; u < k; u++ {
+		for v := 0; v < k; v++ {
+			if u != v {
+				b.AddArc(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestMaxDTrussBidirClique(t *testing.T) {
+	// In a bidirectional K4, every arc u→v has cycle support 2 (each third
+	// vertex gives v→w→u... w: v→w ∧ w→u both exist) and flow support 2.
+	g := bidirClique(4)
+	if arcs := MaxDTruss(g, 2, 2); len(arcs) != 12 {
+		t.Fatalf("(2,2)-D-truss of bidir K4 kept %d arcs, want all 12", len(arcs))
+	}
+	if arcs := MaxDTruss(g, 3, 0); len(arcs) != 0 {
+		t.Fatalf("(3,0)-D-truss should be empty, got %d arcs", len(arcs))
+	}
+}
+
+func TestMaxDTrussPropertyHolds(t *testing.T) {
+	// Whatever survives must satisfy the thresholds (checked on random
+	// digraphs), and peeling must be idempotent.
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewDiBuilder(15)
+		for i := 0; i < 90; i++ {
+			b.AddArc(rng.Intn(15), rng.Intn(15))
+		}
+		g := b.Build()
+		for _, th := range [][2]int{{1, 0}, {0, 2}, {1, 1}, {2, 1}} {
+			arcs := MaxDTruss(g, th[0], th[1])
+			// Rebuild and verify every arc meets the thresholds.
+			b2 := NewDiBuilder(15)
+			for _, a := range arcs {
+				b2.AddArc(int(a.From), int(a.To))
+			}
+			sub := b2.Build()
+			s := newArcSet(sub)
+			for u := 0; u < sub.N(); u++ {
+				for _, v := range sub.Out(u) {
+					if s.cycleSupport(int32(u), v) < th[0] {
+						t.Fatalf("seed %d th=%v: arc %d→%d cycle support too low", seed, th, u, v)
+					}
+					if s.flowSupportExact(int32(u), v) < th[1] {
+						t.Fatalf("seed %d th=%v: arc %d→%d flow support too low", seed, th, u, v)
+					}
+				}
+			}
+			// Idempotence.
+			again := MaxDTruss(sub, th[0], th[1])
+			if len(again) != len(arcs) {
+				t.Fatalf("seed %d th=%v: peel not idempotent (%d vs %d)", seed, th, len(again), len(arcs))
+			}
+		}
+	}
+}
+
+func TestSearchDirectedCommunity(t *testing.T) {
+	// Two bidirectional K4s sharing no vertices, joined by a weak one-way
+	// path; query inside one clique must return that clique only.
+	b := NewDiBuilder(9)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v {
+				b.AddArc(u, v)
+				b.AddArc(u+4, v+4)
+			}
+		}
+	}
+	b.AddArc(3, 8)
+	b.AddArc(8, 4)
+	g := b.Build()
+	c, err := Search(g, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kc < 2 {
+		t.Fatalf("kc = %d, want >= 2", c.Kc)
+	}
+	if len(c.Vertices) != 4 {
+		t.Fatalf("community has %d vertices, want the 4-clique: %v", len(c.Vertices), c.Vertices)
+	}
+	for _, v := range c.Vertices {
+		if v >= 4 {
+			t.Fatalf("community leaked into the other clique: %v", c.Vertices)
+		}
+	}
+	if c.QueryDist != 1 {
+		t.Fatalf("query distance = %d, want 1", c.QueryDist)
+	}
+}
+
+func TestSearchRemovesFarVertices(t *testing.T) {
+	// One bidirectional K5 with a bidirectional "tail" pair attached via
+	// two vertices: the tail survives the D-truss at kc=1 if it forms
+	// cycles, but is farther from the query; Search should drop it when
+	// that lowers the query distance. Construct: K5 (0..4) + vertices 5,6
+	// where {4,5,6} is a bidirectional triangle.
+	b := NewDiBuilder(7)
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if u != v {
+				b.AddArc(u, v)
+			}
+		}
+	}
+	for _, pair := range [][2]int{{4, 5}, {5, 4}, {4, 6}, {6, 4}, {5, 6}, {6, 5}} {
+		b.AddArc(pair[0], pair[1])
+	}
+	g := b.Build()
+	c, err := Search(g, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range c.Vertices {
+		if v >= 5 {
+			t.Fatalf("far tail vertex %d kept: %v", v, c.Vertices)
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	g := cycleGraph()
+	if _, err := Search(g, nil, 0); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := Search(g, []int{-1}, 0); err == nil {
+		t.Fatal("bad vertex accepted")
+	}
+	// Disconnected query across two isolated cycles.
+	b := NewDiBuilder(6)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 0)
+	b.AddArc(3, 4)
+	b.AddArc(4, 5)
+	b.AddArc(5, 3)
+	if _, err := Search(b.Build(), []int{0, 3}, 0); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSearchPureCycle(t *testing.T) {
+	// A single 3-cycle is its own (1,0)-D-truss community.
+	c, err := Search(cycleGraph(), []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kc != 1 || len(c.Vertices) != 3 {
+		t.Fatalf("kc=%d |V|=%d, want 1 and 3", c.Kc, len(c.Vertices))
+	}
+}

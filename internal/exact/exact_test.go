@@ -1,0 +1,124 @@
+package exact
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/truss"
+)
+
+// paperGraph is Figure 1(a); q1=0 q2=1 q3=2 v1=3 v2=4 v3=5 v4=6 v5=7
+// p1=8 p2=9 p3=10 t=11.
+func paperGraph() *graph.Graph {
+	edges := [][2]int{
+		{0, 1}, {0, 3}, {0, 4}, {1, 3}, {1, 4}, {3, 4},
+		{5, 6}, {5, 7}, {6, 7}, {2, 5}, {2, 6}, {2, 7},
+		{1, 7}, {4, 7}, {1, 6}, {1, 5}, {3, 7},
+		{2, 8}, {2, 9}, {2, 10}, {8, 9}, {8, 10}, {9, 10},
+		{0, 11}, {11, 2},
+	}
+	return graph.FromEdges(12, edges)
+}
+
+func TestSolvePaperExample(t *testing.T) {
+	// Example 1: the CTC for Q={q1,q2,q3} is the 4-truss of Figure 1(b)
+	// with diameter 3 (and the paper notes it is optimal).
+	g := paperGraph()
+	res, err := Solve(g, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 {
+		t.Fatalf("k = %d, want 4", res.K)
+	}
+	if res.Diameter != 3 {
+		t.Fatalf("optimal diameter = %d, want 3", res.Diameter)
+	}
+	for _, v := range res.Vertices {
+		if v >= 8 && v <= 10 {
+			t.Fatalf("optimal community contains free rider %d", v)
+		}
+	}
+}
+
+func TestSolveSingleQueryClique(t *testing.T) {
+	// Q={q3}: the optimal 4-truss containing q3 alone is one of the two
+	// diameter-1 4-cliques the paper mentions under Proposition 1.
+	g := paperGraph()
+	res, err := Solve(g, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 || res.Diameter != 1 {
+		t.Fatalf("k=%d diam=%d, want 4 and 1", res.K, res.Diameter)
+	}
+	if len(res.Vertices) != 4 {
+		t.Fatalf("|V| = %d, want 4 (a 4-clique)", len(res.Vertices))
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if _, err := Solve(g, []int{0, 2}); err == nil {
+		t.Fatal("disconnected query should fail")
+	}
+}
+
+func TestSolveTooLarge(t *testing.T) {
+	// A 25-clique makes G0 exceed MaxVertices.
+	b := graph.NewBuilder(25, 0)
+	for u := 0; u < 25; u++ {
+		for v := u + 1; v < 25; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	_, err := Solve(b.Build(), []int{0, 1})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSolveMatchesNaiveOnRandom(t *testing.T) {
+	// Cross-check the bitmask machinery against the graph package on a few
+	// random instances: the result must be a connected k-truss containing Q
+	// whose diameter the graph package agrees with.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(12, 0)
+		b.EnsureVertex(11)
+		for u := 0; u < 12; u++ {
+			for v := u + 1; v < 12; v++ {
+				if rng.Float64() < 0.4 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.Build()
+		q := []int{rng.Intn(12), rng.Intn(12)}
+		res, err := Solve(g, q)
+		if err != nil {
+			continue
+		}
+		// Rebuild the community the way the solver defines it: induce on the
+		// winning vertex set inside the maximal k-truss, then peel back to a
+		// k-truss, and verify the claimed properties with the independent
+		// graph/truss machinery.
+		d := truss.Decompose(g)
+		level := truss.MaximalKTruss(g, d, res.K)
+		sub := graph.InducedMutable(level, res.Vertices)
+		sup := graph.MutableEdgeSupports(sub)
+		truss.DropBelowSupport(sub, sup, res.K)
+		if err := truss.VerifyCommunity(sub, res.K, q); err != nil {
+			t.Fatalf("seed %d: exact result invalid: %v", seed, err)
+		}
+		if sub.N() != len(res.Vertices) {
+			t.Fatalf("seed %d: peeling lost vertices (%d of %d)", seed, sub.N(), len(res.Vertices))
+		}
+		dm, ok := graph.Diameter(sub)
+		if !ok || dm != res.Diameter {
+			t.Fatalf("seed %d: diameter %d reported, graph says %d (ok=%v)", seed, res.Diameter, dm, ok)
+		}
+	}
+}

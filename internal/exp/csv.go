@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// WriteCSV emits the figure as a CSV file: one row per x tick, one column
+// per series (Inf rendered as "Inf", NaN as empty).
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, x := range f.X {
+		row := []string{x}
+		for _, s := range f.Series {
+			row = append(row, csvCell(s.Y[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the table verbatim.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func csvCell(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "Inf"
+	case math.IsNaN(v):
+		return ""
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// SaveFiguresCSV writes each figure to dir/<ID>.csv.
+func SaveFiguresCSV(dir string, figs []*Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range figs {
+		file, err := os.Create(filepath.Join(dir, f.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := f.WriteCSV(file); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveTableCSV writes the table to dir/<ID>.csv.
+func SaveTableCSV(dir string, t *Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	file, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return t.WriteCSV(file)
+}

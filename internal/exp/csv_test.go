@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := &Figure{
+		ID: "FigX", XLabel: "|Q|", X: []string{"1", "2"},
+		Series: []Series{
+			{Name: "A", Y: []float64{1.5, math.Inf(1)}},
+			{Name: "B", Y: []float64{0.25, math.NaN()}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "|Q|,A,B" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,1.5,0.25" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if lines[2] != "2,Inf," {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{ID: "T", Header: []string{"a", "b"}, Rows: [][]string{{"1", "x,y"}}}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"x,y"`) {
+		t.Fatalf("comma not quoted: %q", buf.String())
+	}
+}
+
+func TestSaveCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	figs := []*Figure{
+		{ID: "F1", XLabel: "x", X: []string{"1"}, Series: []Series{{Name: "s", Y: []float64{2}}}},
+		{ID: "F2", XLabel: "x", X: []string{"1"}, Series: []Series{{Name: "s", Y: []float64{3}}}},
+	}
+	if err := SaveFiguresCSV(dir, figs); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"F1", "F2"} {
+		if _, err := os.Stat(filepath.Join(dir, id+".csv")); err != nil {
+			t.Fatalf("missing %s.csv: %v", id, err)
+		}
+	}
+	tab := &Table{ID: "T9", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+	if err := SaveTableCSV(dir, tab); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "T9.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "a\n") {
+		t.Fatalf("table csv = %q", data)
+	}
+}

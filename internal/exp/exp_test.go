@@ -1,0 +1,253 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// testNetwork builds a small planted-community network so the experiment
+// smoke tests run in milliseconds instead of regenerating the full
+// analogues.
+func testNetwork(t *testing.T) *gen.Network {
+	t.Helper()
+	g, comms := gen.CommunityGraph(gen.CommunityParams{
+		N: 400, NumCommunities: 25, MinSize: 8, MaxSize: 22,
+		Overlap: 0.3, PIntra: 0.45, BackgroundEdges: 300,
+		PlantedClique: 9, Seed: 0x7E57,
+	})
+	return gen.Custom("testnet", g, comms)
+}
+
+var smokeCfg = Config{QueriesPerPoint: 2, Seed: 9, BasicTimeout: 3 * time.Second, Quiet: true}
+
+func checkFigure(t *testing.T, f *Figure) {
+	t.Helper()
+	if f.ID == "" || len(f.X) == 0 || len(f.Series) == 0 {
+		t.Fatalf("malformed figure %+v", f)
+	}
+	for _, s := range f.Series {
+		if len(s.Y) != len(f.X) {
+			t.Fatalf("figure %s series %s: %d values for %d x ticks", f.ID, s.Name, len(s.Y), len(f.X))
+		}
+	}
+	var buf bytes.Buffer
+	f.Render(&buf)
+	if !strings.Contains(buf.String(), f.ID) {
+		t.Fatalf("render missing figure ID:\n%s", buf.String())
+	}
+}
+
+func TestRunQuerySizeSmoke(t *testing.T) {
+	figs := RunQuerySize(testNetwork(t), "Fig5", smokeCfg)
+	if len(figs) != 3 {
+		t.Fatalf("%d figures, want 3 (time/percent/density)", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+	}
+	// The kept-percentage figure must stay within [0, 100] for finite
+	// entries, and LCTC must prune at least as well as Truss keeps.
+	for _, s := range figs[1].Series {
+		for _, y := range s.Y {
+			if !math.IsInf(y, 1) && (y < 0 || y > 100.000001) {
+				t.Fatalf("kept %% out of range: %f", y)
+			}
+		}
+	}
+}
+
+func TestRunDegreeRankSmoke(t *testing.T) {
+	figs := RunDegreeRank(testNetwork(t), "Fig7", smokeCfg)
+	if len(figs) != 3 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+		if len(f.X) != 5 {
+			t.Fatalf("degree rank needs 5 buckets, got %d", len(f.X))
+		}
+	}
+}
+
+func TestRunInterDistanceSmoke(t *testing.T) {
+	figs := RunInterDistance(testNetwork(t), "Fig9", smokeCfg)
+	for _, f := range figs {
+		checkFigure(t, f)
+	}
+}
+
+func TestRunGroundTruthSmoke(t *testing.T) {
+	nw := testNetwork(t)
+	figs := RunGroundTruth(smokeCfg, []*gen.Network{nw})
+	if len(figs) != 3 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+	}
+	// F1 in [0,1].
+	for _, s := range figs[0].Series {
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("F1 %f out of range", y)
+			}
+		}
+	}
+}
+
+func TestRunDiamApproxSmoke(t *testing.T) {
+	figs := RunDiamApprox(testNetwork(t), smokeCfg)
+	if len(figs) != 2 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+	}
+	// Lemma 2 shape: LB <= each algorithm diameter <= UB where defined.
+	var lb, ub, basic []float64
+	for _, s := range figs[0].Series {
+		switch s.Name {
+		case "LB-OPT":
+			lb = s.Y
+		case "UB-OPT":
+			ub = s.Y
+		case "Basic":
+			basic = s.Y
+		}
+	}
+	for i := range lb {
+		if math.IsNaN(lb[i]) || math.IsNaN(basic[i]) {
+			continue
+		}
+		if basic[i] < lb[i]-1e-9 || basic[i] > ub[i]+1e-9 {
+			t.Fatalf("point %d: Basic diameter %f outside [%f, %f]", i, basic[i], lb[i], ub[i])
+		}
+	}
+}
+
+func TestRunVaryKSmoke(t *testing.T) {
+	f := RunVaryK(testNetwork(t), smokeCfg)
+	checkFigure(t, f)
+	if f.X[len(f.X)-1] != "max" {
+		t.Fatalf("last tick %q, want max", f.X[len(f.X)-1])
+	}
+}
+
+func TestRunVaryEtaGammaSmoke(t *testing.T) {
+	nw := testNetwork(t)
+	for _, figs := range [][]*Figure{RunVaryEta(nw, smokeCfg), RunVaryGamma(nw, smokeCfg)} {
+		if len(figs) != 3 {
+			t.Fatalf("%d figures", len(figs))
+		}
+		for _, f := range figs {
+			checkFigure(t, f)
+		}
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	nw := testNetwork(t)
+	checkFigure(t, RunAblationSteiner(nw, smokeCfg))
+	checkFigure(t, RunAblationBulkRule(nw, smokeCfg))
+}
+
+func TestCaseStudySmoke(t *testing.T) {
+	res, err := CaseStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's shape: LCTC is much smaller and denser than G0, with
+	// smaller diameter, same trussness.
+	if res.LCTC.N() >= res.G0.N() {
+		t.Fatalf("LCTC %d nodes >= G0 %d nodes", res.LCTC.N(), res.G0.N())
+	}
+	if res.LCTC.Density() <= res.G0.Density() {
+		t.Fatalf("LCTC density %.3f <= G0 density %.3f", res.LCTC.Density(), res.G0.Density())
+	}
+	if res.LCTCDiameter > res.G0Diameter {
+		t.Fatalf("LCTC diameter %d > G0 diameter %d", res.LCTCDiameter, res.G0Diameter)
+	}
+	// All four query authors present.
+	for _, name := range res.QueryNames {
+		found := false
+		for _, m := range res.MemberNames {
+			if m == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("query author %s missing from community", name)
+		}
+	}
+	var buf bytes.Buffer
+	res.Table().Render(&buf)
+	if !strings.Contains(buf.String(), "LCTC") {
+		t.Fatal("case study table missing LCTC row")
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1): "Inf",
+		0.0001:      "1.00e-04",
+		12345:       "12345",
+		0:           "0",
+	}
+	for v, want := range cases {
+		if got := formatCell(v); got != want {
+			t.Fatalf("formatCell(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if formatCell(math.NaN()) != "-" {
+		t.Fatal("NaN cell")
+	}
+}
+
+func TestMeanWithInf(t *testing.T) {
+	if meanWithInf(nil) != Inf {
+		t.Fatal("empty mean should be Inf")
+	}
+	if meanWithInf([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if meanWithInf([]float64{1, Inf}) != Inf {
+		t.Fatal("Inf must propagate")
+	}
+}
+
+func TestIndexForCaches(t *testing.T) {
+	nw := testNetwork(t)
+	if IndexFor(nw) != IndexFor(nw) {
+		t.Fatal("index not cached")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bb") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+}
+
+func TestExtensionTableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full decompositions on the facebook analogue")
+	}
+	tb := ExtensionTable(smokeCfg)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if !strings.Contains(buf.String(), "incremental") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/trussindex"
+)
+
+// Table2 reproduces the paper's Table 2: per-network |V|, |E|, dmax and
+// τ̄(∅) for the six analogues.
+func Table2(cfg Config) *Table {
+	t := &Table{
+		ID:     "Table2",
+		Title:  "Network statistics (synthetic analogues; see DESIGN.md §3)",
+		Header: []string{"Network", "|V|", "|E|", "dmax", "tau(∅)", "ground truth"},
+	}
+	for _, nw := range gen.SharedNetworks() {
+		cfg.progressf("Table2: %s\n", nw.Name)
+		g := nw.Graph()
+		ix := IndexFor(nw)
+		gt := "no"
+		if nw.HasGroundTruth {
+			gt = fmt.Sprintf("%d comms", len(nw.GroundTruth()))
+		}
+		t.Rows = append(t.Rows, []string{
+			nw.Name,
+			fmt.Sprintf("%d", g.N()),
+			fmt.Sprintf("%d", g.M()),
+			fmt.Sprintf("%d", g.MaxDegree()),
+			fmt.Sprintf("%d", ix.MaxTruss()),
+			gt,
+		})
+	}
+	return t
+}
+
+// Table3 reproduces the paper's Table 3: graph size, truss-index size and
+// index construction time per network. Sizes are serialized bytes (the
+// paper reports the index at ~1.6x the graph).
+func Table3(cfg Config) *Table {
+	t := &Table{
+		ID:     "Table3",
+		Title:  "Index size and index construction time",
+		Header: []string{"Network", "Graph Size (MB)", "Index Size (MB)", "Index Time (s)"},
+	}
+	for _, nw := range gen.SharedNetworks() {
+		cfg.progressf("Table3: %s\n", nw.Name)
+		g := nw.Graph()
+		start := time.Now()
+		ix := trussindex.Build(g) // rebuild so the time is honest
+		buildSecs := time.Since(start).Seconds()
+		idxBytes := serializedSize(ix)
+		t.Rows = append(t.Rows, []string{
+			nw.Name,
+			fmt.Sprintf("%.2f", float64(g.ApproxBytes())/1e6),
+			fmt.Sprintf("%.2f", float64(idxBytes)/1e6),
+			fmt.Sprintf("%.2f", buildSecs),
+		})
+	}
+	return t
+}
+
+func serializedSize(ix *trussindex.Index) int64 {
+	n, err := ix.WriteTo(io.Discard)
+	if err != nil {
+		return ix.ApproxBytes()
+	}
+	return n
+}

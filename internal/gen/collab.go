@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CollabNetwork is the Figure-11 case-study stand-in: a named collaboration
+// network with four well-known "query authors" embedded in a dense core
+// (the database community) that shares a deep truss with looser satellite
+// groups, mimicking the DBLP graph where the maximal truss G0 for the four
+// query authors carries 73 nodes but the closest community has only 14.
+type CollabNetwork struct {
+	G *graph.Graph
+	// Names maps vertex IDs to author names (synthetic beyond the core).
+	Names []string
+	// QueryAuthors are the IDs of the four paper query authors.
+	QueryAuthors []int
+}
+
+// coreAuthors are the members of the paper's Figure 11(b) community.
+var coreAuthors = []string{
+	"Alon Y. Halevy", "Michael J. Franklin", "Jeffrey D. Ullman", "Jennifer Widom",
+	"Michael J. Carey", "Michael Stonebraker", "Philip A. Bernstein",
+	"H. Garcia-Molina", "Joseph M. Hellerstein", "Gerhard Weikum",
+	"David Maier", "David J. DeWitt", "Laura M. Haas", "Rakesh Agrawal",
+}
+
+// Collaboration builds the case-study network deterministically (seed only
+// affects the background noise):
+//
+//   - a 13-author clique (the core community) plus "Jeffrey D. Ullman"
+//     joined to exactly 6 of them, which pins the query trussness at 7
+//     (his edges live in a K7, so τ(Ullman) = 7 < the clique's 13);
+//   - ten 8-author satellite cliques, each bridged through 6 members to two
+//     adjacent core authors outside Ullman's neighborhood — the bridge
+//     union forms a K8, so every satellite joins the same connected
+//     7-truss, at query distance 3 from Ullman;
+//   - random low-degree background authors that never reach trussness 7.
+//
+// Hence G0 for the four query authors is the whole 94-node 7-truss, while
+// the closest community is the 14-author core — the paper's Figure 11 shape.
+func Collaboration(seed uint64) *CollabNetwork {
+	rng := NewRNG(seed)
+	const (
+		coreN    = 14 // core authors; index 2 is Ullman
+		ullman   = 2
+		nSat     = 10
+		satSize  = 8
+		nBridged = 6
+		extraN   = 120
+	)
+	n := coreN + nSat*satSize + extraN
+	b := graph.NewBuilder(n, 0)
+	b.EnsureVertex(n - 1)
+	names := make([]string, n)
+	copy(names, coreAuthors)
+	for v := coreN; v < n; v++ {
+		names[v] = fmt.Sprintf("Author %03d", v)
+	}
+	// Core: K13 on everyone but Ullman.
+	for i := 0; i < coreN; i++ {
+		for j := i + 1; j < coreN; j++ {
+			if i != ullman && j != ullman {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	// Ullman collaborates with exactly six core authors.
+	for _, c := range []int{0, 1, 3, 4, 5, 6} {
+		b.AddEdge(ullman, c)
+	}
+	// Satellites: K8 groups bridged through two core authors from
+	// {7..13} (outside Ullman's neighborhood, so satellite members sit at
+	// distance 3 from him).
+	bridgeTargets := []int{7, 8, 9, 10, 11, 12, 13}
+	for s := 0; s < nSat; s++ {
+		base := coreN + s*satSize
+		for i := 0; i < satSize; i++ {
+			for j := i + 1; j < satSize; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+		c1 := bridgeTargets[s%len(bridgeTargets)]
+		c2 := bridgeTargets[(s+1)%len(bridgeTargets)]
+		for i := 0; i < nBridged; i++ {
+			b.AddEdge(base+i, c1)
+			b.AddEdge(base+i, c2)
+		}
+	}
+	// Background authors with sparse random collaborations.
+	for v := coreN + nSat*satSize; v < n; v++ {
+		deg := 1 + rng.Intn(3)
+		for i := 0; i < deg; i++ {
+			b.AddEdge(v, rng.Intn(v))
+		}
+	}
+	g := Connect(b.Build(), seed^0xBEEF)
+	return &CollabNetwork{
+		G:            g,
+		Names:        names,
+		QueryAuthors: []int{0, 1, 2, 3},
+	}
+}
+
+// NameOf returns the author name of vertex v.
+func (cn *CollabNetwork) NameOf(v int) string {
+	if v < 0 || v >= len(cn.Names) {
+		return fmt.Sprintf("Unknown %d", v)
+	}
+	return cn.Names[v]
+}

@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// CommunityParams configures the planted overlapping-community generator,
+// the stand-in for the SNAP networks with ground-truth communities (see
+// DESIGN.md §3 for the substitution rationale).
+type CommunityParams struct {
+	// N is the number of vertices.
+	N int
+	// NumCommunities is how many ground-truth communities to plant.
+	NumCommunities int
+	// MinSize and MaxSize bound community sizes (sizes are drawn with a
+	// quadratic skew toward MinSize, giving a heavy-ish tail).
+	MinSize, MaxSize int
+	// Overlap is the expected number of communities a member vertex joins
+	// beyond its first (0 = disjoint-ish, 2+ = heavily overlapping like
+	// Orkut).
+	Overlap float64
+	// PIntra is the probability of an edge between two members of the same
+	// community. High values produce triangle-rich, high-trussness cores.
+	PIntra float64
+	// BackgroundEdges is the number of uniformly random extra edges (noise
+	// between communities).
+	BackgroundEdges int
+	// Hubs plants this many high-degree vertices, each wired to HubDegree
+	// random vertices (models dmax outliers like Youtube's 28,754).
+	Hubs, HubDegree int
+	// PlantedClique, when > 0, plants one clique of this size to pin the
+	// graph's maximum trussness τ̄(∅) near PlantedClique.
+	PlantedClique int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// CommunityGraph generates the graph and its ground-truth communities
+// (each a sorted vertex list). The graph is connected.
+func CommunityGraph(p CommunityParams) (*graph.Graph, [][]int) {
+	rng := NewRNG(p.Seed)
+	if p.MinSize < 3 {
+		p.MinSize = 3
+	}
+	if p.MaxSize < p.MinSize {
+		p.MaxSize = p.MinSize
+	}
+	b := graph.NewBuilder(p.N, p.N*8)
+	if p.N > 0 {
+		b.EnsureVertex(p.N - 1)
+	}
+	// Membership assignment: walk the vertex pool in random order, handing
+	// out contiguous runs so most vertices get one home community; then add
+	// overlap memberships uniformly.
+	perm := rng.Perm(p.N)
+	cursor := 0
+	comms := make([][]int, 0, p.NumCommunities)
+	for c := 0; c < p.NumCommunities; c++ {
+		u := rng.Float64()
+		size := p.MinSize + int(float64(p.MaxSize-p.MinSize)*u*u)
+		members := make([]int, 0, size)
+		for len(members) < size {
+			members = append(members, perm[cursor%p.N])
+			cursor++
+		}
+		comms = append(comms, members)
+	}
+	// Overlap: extra memberships.
+	if p.Overlap > 0 {
+		extra := int(p.Overlap * float64(p.N))
+		for i := 0; i < extra; i++ {
+			c := rng.Intn(len(comms))
+			comms[c] = append(comms[c], rng.Intn(p.N))
+		}
+	}
+	// Intra-community edges.
+	for _, members := range comms {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if members[i] != members[j] && rng.Float64() < p.PIntra {
+					b.AddEdge(members[i], members[j])
+				}
+			}
+		}
+	}
+	// Background noise.
+	for i := 0; i < p.BackgroundEdges; i++ {
+		u, v := rng.Intn(p.N), rng.Intn(p.N)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	// Hubs.
+	for h := 0; h < p.Hubs; h++ {
+		hub := rng.Intn(p.N)
+		for i := 0; i < p.HubDegree; i++ {
+			v := rng.Intn(p.N)
+			if v != hub {
+				b.AddEdge(hub, v)
+			}
+		}
+	}
+	// Planted clique pinning τ̄(∅).
+	if p.PlantedClique > 2 {
+		addClique(b, rng.Sample(p.N, p.PlantedClique))
+	}
+	g := Connect(b.Build(), p.Seed^0xC0FFEE)
+	// Canonicalize ground truth: dedupe and sort each community.
+	for i, members := range comms {
+		seen := make(map[int]bool, len(members))
+		uniq := members[:0]
+		for _, v := range members {
+			if !seen[v] {
+				seen[v] = true
+				uniq = append(uniq, v)
+			}
+		}
+		sort.Ints(uniq)
+		comms[i] = uniq
+	}
+	return g, comms
+}

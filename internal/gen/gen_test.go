@@ -1,0 +1,328 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/truss"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed, different stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	rng := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := rng.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	rng.Intn(0)
+}
+
+func TestRNGPermAndSample(t *testing.T) {
+	rng := NewRNG(9)
+	p := rng.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("duplicate in permutation")
+		}
+		seen[v] = true
+	}
+	s := rng.Sample(100, 10)
+	if len(s) != 10 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	uniq := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 100 || uniq[v] {
+			t.Fatalf("bad sample %v", s)
+		}
+		uniq[v] = true
+	}
+	if got := rng.Sample(5, 10); len(got) != 5 {
+		t.Fatalf("oversized sample should clamp, got %d", len(got))
+	}
+	if rng.Sample(5, 0) != nil {
+		t.Fatal("zero sample should be nil")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 0.1, 1)
+	if g.N() != 100 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Expectation ~495; allow wide tolerance.
+	if g.M() < 300 || g.M() > 700 {
+		t.Fatalf("M = %d, outside plausible band for p=0.1", g.M())
+	}
+	// Determinism.
+	g2 := ErdosRenyi(100, 0.1, 1)
+	if g2.M() != g.M() {
+		t.Fatal("same seed must reproduce the same graph")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 2)
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("BA graph must be connected")
+	}
+	// Preferential attachment must produce a hub noticeably above average.
+	if g.MaxDegree() < 3*int(2*float64(g.M())/float64(g.N())) {
+		t.Fatalf("max degree %d lacks a hub", g.MaxDegree())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(200, 3, 0.1, 3)
+	if g.N() != 200 {
+		t.Fatalf("N = %d", g.N())
+	}
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 5 || avg > 7 {
+		t.Fatalf("avg degree %f, want ~6", avg)
+	}
+}
+
+func TestConnectLinksComponents(t *testing.T) {
+	b := graph.NewBuilder(6, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(4, 5)
+	g := Connect(b.Build(), 1)
+	if !graph.IsConnected(g) {
+		t.Fatal("Connect left the graph disconnected")
+	}
+	if g.M() != 5 {
+		t.Fatalf("M = %d, want 5 (3 original + 2 links)", g.M())
+	}
+}
+
+func TestCommunityGraph(t *testing.T) {
+	g, comms := CommunityGraph(CommunityParams{
+		N: 1000, NumCommunities: 50, MinSize: 8, MaxSize: 30,
+		Overlap: 0.3, PIntra: 0.4, BackgroundEdges: 500,
+		PlantedClique: 12, Seed: 77,
+	})
+	if g.N() != 1000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("community graph must be connected")
+	}
+	if len(comms) != 50 {
+		t.Fatalf("%d communities", len(comms))
+	}
+	for i, c := range comms {
+		if len(c) < 3 {
+			t.Fatalf("community %d too small: %d", i, len(c))
+		}
+		seen := map[int]bool{}
+		for _, v := range c {
+			if v < 0 || v >= 1000 || seen[v] {
+				t.Fatalf("community %d has bad/duplicate member %d", i, v)
+			}
+			seen[v] = true
+		}
+	}
+	// The planted clique should pin τ̄(∅) near 12.
+	d := truss.Decompose(g)
+	if d.MaxTruss < 10 {
+		t.Fatalf("τ̄(∅) = %d, want >= 10 with a planted 12-clique", d.MaxTruss)
+	}
+	// Communities should be denser than the graph at large.
+	c := comms[0]
+	if graph.Density(g, c) < 0.2 {
+		t.Fatalf("community density %.3f suspiciously low", graph.Density(g, c))
+	}
+}
+
+func TestNetworksRegistry(t *testing.T) {
+	nws := SharedNetworks()
+	if len(nws) != 6 {
+		t.Fatalf("%d networks, want 6", len(nws))
+	}
+	names := map[string]bool{}
+	for _, nw := range nws {
+		names[nw.Name] = true
+	}
+	for _, want := range []string{"facebook", "amazon", "dblp", "youtube", "livejournal", "orkut"} {
+		if !names[want] {
+			t.Fatalf("missing network %q", want)
+		}
+	}
+	fb, err := NetworkByName("facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.GroundTruth() != nil {
+		t.Fatal("facebook must not have ground truth (per Table 2)")
+	}
+	am, _ := NetworkByName("amazon")
+	if am.GroundTruth() == nil {
+		t.Fatal("amazon must have ground truth")
+	}
+	if _, err := NetworkByName("nope"); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	// Caching: same pointer twice.
+	if fb.Graph() != fb.Graph() {
+		t.Fatal("network graph not cached")
+	}
+}
+
+func TestSmallNetworksAreConnectedAndTriangleRich(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generation is seconds-long")
+	}
+	for _, name := range []string{"facebook", "amazon"} {
+		nw, _ := NetworkByName(name)
+		g := nw.Graph()
+		if !graph.IsConnected(g) {
+			t.Fatalf("%s disconnected", name)
+		}
+		if graph.GlobalClusteringCoefficient(g) < 0.05 {
+			t.Fatalf("%s not triangle-rich (GCC=%.3f)", name, graph.GlobalClusteringCoefficient(g))
+		}
+	}
+}
+
+func TestQueriesFromGroundTruth(t *testing.T) {
+	rng := NewRNG(5)
+	comms := [][]int{{1, 2, 3, 4, 5, 6, 7, 8}, {10, 11, 12, 13, 14}, {20, 21}}
+	qs := QueriesFromGroundTruth(rng, comms, 50, 2, 4)
+	if len(qs) != 50 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, gq := range qs {
+		if len(gq.Q) < 2 || len(gq.Q) > 4 {
+			t.Fatalf("query size %d", len(gq.Q))
+		}
+		inComm := map[int]bool{}
+		for _, v := range gq.Community {
+			inComm[v] = true
+		}
+		for _, v := range gq.Q {
+			if !inComm[v] {
+				t.Fatalf("query vertex %d outside its community", v)
+			}
+		}
+		if len(gq.Community) < 2 {
+			t.Fatal("undersized community used")
+		}
+	}
+	if QueriesFromGroundTruth(rng, [][]int{{1}}, 5, 2, 4) != nil {
+		t.Fatal("no eligible communities should give nil")
+	}
+}
+
+func TestQueryByDegreeRank(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 4)
+	rng := NewRNG(6)
+	order := graph.SortedVertexByDegree(g)
+	topSet := map[int]bool{}
+	for _, v := range order[:100] {
+		topSet[v] = true
+	}
+	q, err := QueryByDegreeRank(g, rng, 0, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range q {
+		if !topSet[v] {
+			t.Fatalf("vertex %d not in the top-degree bucket", v)
+		}
+	}
+	if _, err := QueryByDegreeRank(g, rng, 7, 5, 3); err == nil {
+		t.Fatal("bad bucket accepted")
+	}
+}
+
+func TestQueryByInterDistance(t *testing.T) {
+	g := BarabasiAlbert(300, 2, 8)
+	rng := NewRNG(11)
+	for _, l := range []int{1, 2, 3} {
+		q, err := QueryByInterDistance(g, rng, l, 3, 200)
+		if err != nil {
+			t.Fatalf("l=%d: %v", l, err)
+		}
+		if len(q) != 3 {
+			t.Fatalf("l=%d: size %d", l, len(q))
+		}
+		maxPair := 0
+		for i := range q {
+			dist := graph.Distances(g, q[i])
+			for j := range q {
+				if i != j {
+					if dist[q[j]] == graph.Unreachable {
+						t.Fatalf("l=%d: unreachable pair", l)
+					}
+					if int(dist[q[j]]) > maxPair {
+						maxPair = int(dist[q[j]])
+					}
+				}
+			}
+		}
+		if maxPair > l {
+			t.Fatalf("l=%d: pairwise distance %d exceeds bound", l, maxPair)
+		}
+		if maxPair != l {
+			t.Fatalf("l=%d: max pairwise distance %d, want exactly l", l, maxPair)
+		}
+	}
+	if q, _ := QueryByInterDistance(g, rng, 2, 1, 10); len(q) != 1 {
+		t.Fatal("size-1 query")
+	}
+}
+
+func TestCollaboration(t *testing.T) {
+	cn := Collaboration(1)
+	if !graph.IsConnected(cn.G) {
+		t.Fatal("collaboration network disconnected")
+	}
+	if len(cn.QueryAuthors) != 4 {
+		t.Fatalf("%d query authors", len(cn.QueryAuthors))
+	}
+	if cn.NameOf(0) != "Alon Y. Halevy" || cn.NameOf(2) != "Jeffrey D. Ullman" {
+		t.Fatalf("core names wrong: %q, %q", cn.NameOf(0), cn.NameOf(2))
+	}
+	if cn.NameOf(-1) == "" || cn.NameOf(10_000) == "" {
+		t.Fatal("NameOf must not return empty for out-of-range")
+	}
+	// The core must live in a deep truss.
+	d := truss.Decompose(cn.G)
+	for _, qa := range cn.QueryAuthors {
+		if d.VertexTruss[qa] < 6 {
+			t.Fatalf("query author %d trussness %d, want >= 6", qa, d.VertexTruss[qa])
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"repro/internal/graph"
+)
+
+// ErdosRenyi generates G(n, p) with the given seed.
+func ErdosRenyi(n int, p float64, seed uint64) *graph.Graph {
+	rng := NewRNG(seed)
+	b := graph.NewBuilder(n, int(p*float64(n)*float64(n-1)/2))
+	if n > 0 {
+		b.EnsureVertex(n - 1)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new vertex
+// attaches to m existing vertices chosen proportionally to degree. Produces
+// the heavy-tailed degree distributions typical of the paper's networks.
+func BarabasiAlbert(n, m int, seed uint64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := NewRNG(seed)
+	b := graph.NewBuilder(n, n*m)
+	// Repeated-endpoint list: sampling uniformly from it is degree-biased.
+	targets := make([]int32, 0, 2*n*m)
+	start := m + 1
+	if start > n {
+		start = n
+	}
+	for u := 0; u < start; u++ {
+		for v := u + 1; v < start; v++ {
+			b.AddEdge(u, v)
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	for v := start; v < n; v++ {
+		chosen := make(map[int32]bool, m)
+		for len(chosen) < m && len(chosen) < v {
+			t := targets[rng.Intn(len(targets))]
+			chosen[t] = true
+		}
+		for t := range chosen {
+			b.AddEdge(v, int(t))
+			targets = append(targets, int32(v), t)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz generates a small-world ring lattice with k neighbors per
+// side and rewiring probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
+	rng := NewRNG(seed)
+	b := graph.NewBuilder(n, n*k)
+	if n > 0 {
+		b.EnsureVertex(n - 1)
+	}
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			u := (v + j) % n
+			if rng.Float64() < beta {
+				u = rng.Intn(n)
+				for u == v {
+					u = rng.Intn(n)
+				}
+			}
+			b.AddEdge(v, u)
+		}
+	}
+	return b.Build()
+}
+
+// Clique adds a complete subgraph on the given vertices to the builder.
+func addClique(b *graph.Builder, vs []int) {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			b.AddEdge(vs[i], vs[j])
+		}
+	}
+}
+
+// Connect links the connected components of an edge set by chaining one
+// representative of each component, returning the extra edges appended. It
+// operates on an already-built graph and returns a rebuilt connected one.
+func Connect(g *graph.Graph, seed uint64) *graph.Graph {
+	if g.N() == 0 || graph.IsConnected(g) {
+		return g
+	}
+	rng := NewRNG(seed)
+	b := graph.NewBuilder(g.N(), g.M()+8)
+	b.EnsureVertex(g.N() - 1)
+	g.ForEachEdge(func(u, v int) { b.AddEdge(u, v) })
+	seen := make([]bool, g.N())
+	var reps []int
+	for v := 0; v < g.N(); v++ {
+		if seen[v] {
+			continue
+		}
+		comp := graph.Component(g, v)
+		for _, c := range comp {
+			seen[c] = true
+		}
+		reps = append(reps, comp[rng.Intn(len(comp))])
+	}
+	for i := 1; i < len(reps); i++ {
+		b.AddEdge(reps[i-1], reps[i])
+	}
+	return b.Build()
+}

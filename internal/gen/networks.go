@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Network is one of the six scaled-down analogues of the paper's Table 2
+// datasets, built lazily and cached (generation plus truss decomposition of
+// the larger ones costs seconds).
+type Network struct {
+	// Name matches the paper's dataset name.
+	Name string
+	// HasGroundTruth mirrors the paper: all networks except Facebook carry
+	// ground-truth communities.
+	HasGroundTruth bool
+
+	params CommunityParams
+
+	once   sync.Once
+	g      *graph.Graph
+	truth  [][]int
+	genErr error
+}
+
+// Graph returns the generated network graph.
+func (nw *Network) Graph() *graph.Graph {
+	nw.build()
+	return nw.g
+}
+
+// GroundTruth returns the planted communities, or nil for Facebook.
+func (nw *Network) GroundTruth() [][]int {
+	nw.build()
+	if !nw.HasGroundTruth {
+		return nil
+	}
+	return nw.truth
+}
+
+func (nw *Network) build() {
+	nw.once.Do(func() {
+		nw.g, nw.truth = CommunityGraph(nw.params)
+	})
+}
+
+// Networks returns the six analogues in the paper's Table 2 order:
+// Facebook, Amazon, DBLP, Youtube, LiveJournal, Orkut. Scales are reduced
+// ~100-1000x (see DESIGN.md §3) while preserving the relative ordering of
+// density, dmax character and τ̄(∅) across datasets.
+func Networks() []*Network {
+	return []*Network{
+		{
+			// Facebook: tiny, very dense, huge clustering, τ̄(∅) high.
+			Name: "facebook",
+			params: CommunityParams{
+				N: 2000, NumCommunities: 60, MinSize: 15, MaxSize: 70,
+				Overlap: 0.4, PIntra: 0.45, BackgroundEdges: 1500,
+				Hubs: 4, HubDegree: 300, PlantedClique: 24, Seed: 0xFB01,
+			},
+		},
+		{
+			// Amazon: sparse co-purchase graph, small communities, τ̄(∅)=7.
+			Name: "amazon", HasGroundTruth: true,
+			params: CommunityParams{
+				N: 12000, NumCommunities: 1400, MinSize: 4, MaxSize: 14,
+				Overlap: 0.15, PIntra: 0.55, BackgroundEdges: 4000,
+				PlantedClique: 7, Seed: 0xA201,
+			},
+		},
+		{
+			// DBLP: co-authorship, mid-size communities, very high τ̄(∅)
+			// (large author cliques from many-author papers).
+			Name: "dblp", HasGroundTruth: true,
+			params: CommunityParams{
+				N: 10000, NumCommunities: 700, MinSize: 5, MaxSize: 40,
+				Overlap: 0.3, PIntra: 0.5, BackgroundEdges: 5000,
+				Hubs: 6, HubDegree: 120, PlantedClique: 28, Seed: 0xDB01,
+			},
+		},
+		{
+			// Youtube: sparse, weak communities, extreme hub degrees,
+			// low τ̄(∅).
+			Name: "youtube", HasGroundTruth: true,
+			params: CommunityParams{
+				N: 15000, NumCommunities: 900, MinSize: 4, MaxSize: 24,
+				Overlap: 0.2, PIntra: 0.22, BackgroundEdges: 12000,
+				Hubs: 10, HubDegree: 600, PlantedClique: 11, Seed: 0x0401,
+			},
+		},
+		{
+			// LiveJournal: large, denser communities, highest τ̄(∅).
+			Name: "livejournal", HasGroundTruth: true,
+			params: CommunityParams{
+				N: 18000, NumCommunities: 900, MinSize: 8, MaxSize: 50,
+				Overlap: 0.5, PIntra: 0.45, BackgroundEdges: 15000,
+				Hubs: 8, HubDegree: 400, PlantedClique: 34, Seed: 0x1201,
+			},
+		},
+		{
+			// Orkut: densest, heavy membership overlap (the paper notes
+			// its ground-truth communities overlap so much that F1 drops
+			// for every method).
+			Name: "orkut", HasGroundTruth: true,
+			params: CommunityParams{
+				N: 16000, NumCommunities: 700, MinSize: 10, MaxSize: 60,
+				Overlap: 1.6, PIntra: 0.32, BackgroundEdges: 30000,
+				Hubs: 10, HubDegree: 500, PlantedClique: 19, Seed: 0x0601,
+			},
+		},
+	}
+}
+
+// Custom wraps a prebuilt graph as a Network, for tests and user-supplied
+// edge lists. truth may be nil.
+func Custom(name string, g *graph.Graph, truth [][]int) *Network {
+	nw := &Network{Name: name, HasGroundTruth: truth != nil}
+	nw.g = g
+	nw.truth = truth
+	nw.once.Do(func() {}) // mark as built
+	return nw
+}
+
+var (
+	networksOnce sync.Once
+	networksAll  []*Network
+)
+
+// SharedNetworks returns a process-wide cached instance of the six networks
+// so repeated experiments do not regenerate them.
+func SharedNetworks() []*Network {
+	networksOnce.Do(func() { networksAll = Networks() })
+	return networksAll
+}
+
+// NetworkByName finds a shared network by its lowercase name.
+func NetworkByName(name string) (*Network, error) {
+	for _, nw := range SharedNetworks() {
+		if nw.Name == name {
+			return nw, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: unknown network %q", name)
+}

@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+)
+
+// GroundTruthQuery is a query sampled from one ground-truth community,
+// paired with that community for F1 scoring.
+type GroundTruthQuery struct {
+	Q         []int
+	Community []int
+}
+
+// QueriesFromGroundTruth samples count queries, each of a size drawn
+// uniformly from [minSize, maxSize], from random ground-truth communities
+// that are large enough. Mirrors Exp-3's "query nodes that appear in a
+// unique ground-truth community".
+func QueriesFromGroundTruth(rng *RNG, comms [][]int, count, minSize, maxSize int) []GroundTruthQuery {
+	eligible := make([][]int, 0, len(comms))
+	for _, c := range comms {
+		if len(c) >= minSize {
+			eligible = append(eligible, c)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	out := make([]GroundTruthQuery, 0, count)
+	for i := 0; i < count; i++ {
+		c := eligible[rng.Intn(len(eligible))]
+		size := minSize
+		if maxSize > minSize {
+			size += rng.Intn(maxSize - minSize + 1)
+		}
+		if size > len(c) {
+			size = len(c)
+		}
+		idx := rng.Sample(len(c), size)
+		q := make([]int, size)
+		for j, t := range idx {
+			q[j] = c[t]
+		}
+		out = append(out, GroundTruthQuery{Q: q, Community: c})
+	}
+	return out
+}
+
+// QueryByDegreeRank samples a query of the given size from degree-rank
+// bucket b of nbuckets (b=0 is the top-degree bucket), per Exp-1's degree
+// rank parameter Qd.
+func QueryByDegreeRank(g *graph.Graph, rng *RNG, b, nbuckets, size int) ([]int, error) {
+	if b < 0 || b >= nbuckets {
+		return nil, errors.New("gen: bucket out of range")
+	}
+	order := graph.SortedVertexByDegree(g)
+	per := len(order) / nbuckets
+	if per == 0 {
+		return nil, errors.New("gen: graph too small for bucketing")
+	}
+	lo := b * per
+	hi := lo + per
+	if b == nbuckets-1 {
+		hi = len(order)
+	}
+	if hi-lo < size {
+		return nil, errors.New("gen: bucket smaller than query size")
+	}
+	idx := rng.Sample(hi-lo, size)
+	q := make([]int, size)
+	for i, t := range idx {
+		q[i] = order[lo+t]
+	}
+	return q, nil
+}
+
+// QueryByInterDistance samples a query of the given size whose vertices are
+// pairwise within distance l, with at least one pair at exactly distance l
+// when size > 1 (Exp-1's inter-distance parameter). It retries up to
+// maxTries starting vertices before giving up.
+func QueryByInterDistance(g *graph.Graph, rng *RNG, l, size, maxTries int) ([]int, error) {
+	if size <= 0 {
+		return nil, errors.New("gen: non-positive query size")
+	}
+	if size == 1 {
+		return []int{rng.Intn(g.N())}, nil
+	}
+	for try := 0; try < maxTries; try++ {
+		v0 := rng.Intn(g.N())
+		dist0 := graph.Distances(g, v0)
+		// Candidates at exactly distance l from v0 (anchoring the max).
+		var exact []int
+		for v, d := range dist0 {
+			if int(d) == l {
+				exact = append(exact, v)
+			}
+		}
+		if len(exact) == 0 {
+			continue
+		}
+		v1 := exact[rng.Intn(len(exact))]
+		q := []int{v0, v1}
+		dists := [][]int32{dist0, graph.Distances(g, v1)}
+		// Grow with vertices within l of everything chosen so far.
+		for len(q) < size {
+			var cands []int
+			for v := 0; v < g.N(); v++ {
+				ok := v != q[0]
+				for i := range q {
+					if v == q[i] {
+						ok = false
+						break
+					}
+					d := dists[i][v]
+					if d == graph.Unreachable || int(d) > l {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					cands = append(cands, v)
+				}
+			}
+			if len(cands) == 0 {
+				break
+			}
+			next := cands[rng.Intn(len(cands))]
+			q = append(q, next)
+			dists = append(dists, graph.Distances(g, next))
+		}
+		if len(q) == size {
+			return q, nil
+		}
+	}
+	return nil, errors.New("gen: could not satisfy inter-distance constraint")
+}
+
+// RandomQuery samples size distinct vertices uniformly.
+func RandomQuery(g *graph.Graph, rng *RNG, size int) []int {
+	return rng.Sample(g.N(), size)
+}

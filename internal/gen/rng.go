@@ -1,0 +1,83 @@
+// Package gen synthesizes the network workloads of the paper's evaluation:
+// standard random-graph models, planted overlapping-community graphs with
+// ground truth, scaled-down analogues of the six SNAP networks in Table 2,
+// a named collaboration network for the Figure 11 case study, and the three
+// query generators (query size, degree rank, inter-distance).
+//
+// Everything is driven by an explicit splitmix64 seed so that experiments
+// and benchmarks are reproducible bit-for-bit across platforms and Go
+// versions (math/rand's stream is not guaranteed stable).
+package gen
+
+// RNG is a small, fast, deterministic random number generator (splitmix64).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("gen: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle over n elements.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Sample returns k distinct values from [0, n) (k <= n), in random order.
+func (r *RNG) Sample(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Floyd's algorithm for small k, permutation for large k.
+	if k*4 < n {
+		chosen := make(map[int]bool, k)
+		out := make([]int, 0, k)
+		for j := n - k; j < n; j++ {
+			t := r.Intn(j + 1)
+			if chosen[t] {
+				t = j
+			}
+			chosen[t] = true
+			out = append(out, t)
+		}
+		r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	return r.Perm(n)[:k]
+}

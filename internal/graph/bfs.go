@@ -1,0 +1,164 @@
+package graph
+
+// Unreachable is the distance value reported for vertices that cannot be
+// reached from the BFS source(s).
+const Unreachable int32 = -1
+
+// BFS computes hop distances from src into dist, which must have length
+// g.NumIDs(). Entries for unreachable or absent vertices are set to
+// Unreachable. The scratch queue is reused if non-nil and returned.
+func BFS(g Adjacency, src int, dist []int32, queue []int32) []int32 {
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if !g.Present(src) {
+		return queue
+	}
+	queue = queue[:0]
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		v := int(queue[head])
+		dv := dist[v]
+		g.ForEachNeighbor(v, func(u int) {
+			if dist[u] == Unreachable {
+				dist[u] = dv + 1
+				queue = append(queue, int32(u))
+			}
+		})
+	}
+	return queue
+}
+
+// Distances returns the hop distances from src to every vertex.
+func Distances(g Adjacency, src int) []int32 {
+	dist := make([]int32, g.NumIDs())
+	BFS(g, src, dist, nil)
+	return dist
+}
+
+// QueryDistances returns, for each vertex v, the query distance
+// dist(v, Q) = max over q in Q of dist(v, q), per Definition 3 of the paper.
+// Vertices unreachable from any query node get Unreachable.
+func QueryDistances(g Adjacency, q []int) []int32 {
+	n := g.NumIDs()
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = 0
+	}
+	dist := make([]int32, n)
+	var queue []int32
+	for _, src := range q {
+		queue = BFS(g, src, dist, queue)
+		for v := 0; v < n; v++ {
+			if out[v] == Unreachable {
+				continue
+			}
+			if dist[v] == Unreachable {
+				out[v] = Unreachable
+			} else if dist[v] > out[v] {
+				out[v] = dist[v]
+			}
+		}
+	}
+	if len(q) == 0 {
+		for v := 0; v < n; v++ {
+			if !g.Present(v) {
+				out[v] = Unreachable
+			}
+		}
+	}
+	return out
+}
+
+// GraphQueryDistance returns dist(G, Q) = max over present v of dist(v, Q),
+// and whether every present vertex can reach all of Q. With disconnected
+// vertices present the bool is false and the max ranges over reachable ones.
+func GraphQueryDistance(g Adjacency, q []int) (int32, bool) {
+	qd := QueryDistances(g, q)
+	max := int32(0)
+	all := true
+	for v := 0; v < g.NumIDs(); v++ {
+		if !g.Present(v) {
+			continue
+		}
+		switch {
+		case qd[v] == Unreachable:
+			all = false
+		case qd[v] > max:
+			max = qd[v]
+		}
+	}
+	return max, all
+}
+
+// Connected reports whether all vertices of q are present and mutually
+// reachable. An empty q is trivially connected.
+func Connected(g Adjacency, q []int) bool {
+	if len(q) == 0 {
+		return true
+	}
+	for _, v := range q {
+		if !g.Present(v) {
+			return false
+		}
+	}
+	if len(q) == 1 {
+		return true
+	}
+	dist := Distances(g, q[0])
+	for _, v := range q[1:] {
+		if dist[v] == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// Component returns the sorted vertices of the connected component
+// containing src, or nil if src is absent.
+func Component(g Adjacency, src int) []int {
+	if !g.Present(src) {
+		return nil
+	}
+	dist := Distances(g, src)
+	comp := make([]int, 0)
+	for v, d := range dist {
+		if d != Unreachable {
+			comp = append(comp, v)
+		}
+	}
+	return comp
+}
+
+// ComponentCount returns the number of connected components among present
+// vertices.
+func ComponentCount(g Adjacency) int {
+	n := g.NumIDs()
+	seen := make([]bool, n)
+	var queue []int32
+	count := 0
+	for s := 0; s < n; s++ {
+		if !g.Present(s) || seen[s] {
+			continue
+		}
+		count++
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		seen[s] = true
+		for head := 0; head < len(queue); head++ {
+			v := int(queue[head])
+			g.ForEachNeighbor(v, func(u int) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, int32(u))
+				}
+			})
+		}
+	}
+	return count
+}
+
+// IsConnected reports whether the present vertices form a single connected
+// component. The empty graph counts as connected.
+func IsConnected(g Adjacency) bool { return ComponentCount(g) <= 1 }

@@ -1,0 +1,92 @@
+package graph
+
+// Diameter returns the exact diameter of the present vertices: the maximum
+// finite shortest-path length. If the graph is disconnected the diameter of
+// the largest eccentricity over reachable pairs is still returned along with
+// ok=false. An empty or single-vertex graph has diameter 0.
+func Diameter(g Adjacency) (diam int, ok bool) {
+	n := g.NumIDs()
+	dist := make([]int32, n)
+	var queue []int32
+	present := 0
+	ok = true
+	for v := 0; v < n; v++ {
+		if !g.Present(v) {
+			continue
+		}
+		present++
+		queue = BFS(g, v, dist, queue)
+		reached := 0
+		for u := 0; u < n; u++ {
+			if !g.Present(u) {
+				continue
+			}
+			if dist[u] == Unreachable {
+				ok = false
+				continue
+			}
+			reached++
+			if int(dist[u]) > diam {
+				diam = int(dist[u])
+			}
+		}
+		_ = reached
+	}
+	if present == 0 {
+		return 0, true
+	}
+	return diam, ok
+}
+
+// Eccentricity returns the eccentricity of v among present vertices reachable
+// from it, and whether all present vertices were reachable.
+func Eccentricity(g Adjacency, v int) (int, bool) {
+	dist := Distances(g, v)
+	ecc := 0
+	all := true
+	for u := 0; u < g.NumIDs(); u++ {
+		if !g.Present(u) {
+			continue
+		}
+		if dist[u] == Unreachable {
+			all = false
+			continue
+		}
+		if int(dist[u]) > ecc {
+			ecc = int(dist[u])
+		}
+	}
+	return ecc, all
+}
+
+// DiameterLowerBound returns a fast double-sweep lower bound on the diameter:
+// run BFS from an arbitrary vertex, then BFS from the farthest vertex found.
+// Exact on trees, a lower bound in general.
+func DiameterLowerBound(g Adjacency) int {
+	n := g.NumIDs()
+	src := -1
+	for v := 0; v < n; v++ {
+		if g.Present(v) {
+			src = v
+			break
+		}
+	}
+	if src < 0 {
+		return 0
+	}
+	dist := Distances(g, src)
+	far, fd := src, int32(0)
+	for v, d := range dist {
+		if d != Unreachable && d > fd {
+			far, fd = v, d
+		}
+	}
+	dist = Distances(g, far)
+	best := int32(0)
+	for _, d := range dist {
+		if d != Unreachable && d > best {
+			best = d
+		}
+	}
+	return int(best)
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// DOTOptions controls Graphviz export.
+type DOTOptions struct {
+	// Name is the graph name (default "G").
+	Name string
+	// Highlight maps vertices to a fill color, e.g. query vertices to
+	// "gold" and community members to "lightblue".
+	Highlight map[int]string
+	// Label maps vertices to display labels (default: the vertex ID).
+	Label map[int]string
+}
+
+// WriteDOT renders the present vertices and edges of g in Graphviz DOT
+// format, so discovered communities can be inspected visually
+// (dot -Tpng out.dot > out.png).
+func WriteDOT(w io.Writer, g Adjacency, opt *DOTOptions) error {
+	name := "G"
+	var highlight map[int]string
+	var label map[int]string
+	if opt != nil {
+		if opt.Name != "" {
+			name = opt.Name
+		}
+		highlight = opt.Highlight
+		label = opt.Label
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n  node [shape=circle fontsize=10];\n", name)
+	for v := 0; v < g.NumIDs(); v++ {
+		if !g.Present(v) {
+			continue
+		}
+		attrs := ""
+		if l, ok := label[v]; ok {
+			attrs = fmt.Sprintf(" label=%q", l)
+		}
+		if c, ok := highlight[v]; ok {
+			attrs += fmt.Sprintf(" style=filled fillcolor=%q", c)
+		}
+		fmt.Fprintf(bw, "  %d [%s];\n", v, attrs)
+	}
+	for v := 0; v < g.NumIDs(); v++ {
+		if !g.Present(v) {
+			continue
+		}
+		var err error
+		g.ForEachNeighbor(v, func(u int) {
+			if u > v && err == nil {
+				_, err = fmt.Fprintf(bw, "  %d -- %d;\n", v, u)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, &DOTOptions{
+		Name:      "demo",
+		Highlight: map[int]string{0: "gold"},
+		Label:     map[int]string{0: "query"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "demo" {`,
+		`0 [ label="query" style=filled fillcolor="gold"];`,
+		"0 -- 1;",
+		"2 -- 3;",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Each edge appears once.
+	if strings.Count(out, "--") != 4 {
+		t.Fatalf("expected 4 edges, output:\n%s", out)
+	}
+}
+
+func TestWriteDOTMutableSkipsAbsent(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	mu := NewMutable(g, nil)
+	mu.DeleteVertex(3)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, mu, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "3") {
+		t.Fatalf("deleted vertex leaked into DOT:\n%s", buf.String())
+	}
+}
+
+func TestWriteDOTDefaults(t *testing.T) {
+	g := FromEdges(2, [][2]int{{0, 1}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `graph "G" {`) {
+		t.Fatal("default name missing")
+	}
+}

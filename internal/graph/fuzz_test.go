@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the parser never panics and that anything it
+// accepts round-trips through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n\n3 4\n4 3\n")
+	f.Add("0 0\n")
+	f.Add("a b\n")
+	f.Add("-1 5\n")
+	f.Add("1 2 3 4\n")
+	f.Add("99999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if back.M() != g.M() {
+			t.Fatalf("round trip lost edges: %d vs %d", back.M(), g.M())
+		}
+		// Structural invariants.
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		if sum != 2*g.M() {
+			t.Fatalf("handshake violated: %d vs 2*%d", sum, g.M())
+		}
+	})
+}
+
+// FuzzBuilder checks that arbitrary edge insertions produce a consistent
+// simple graph.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0})
+	f.Add([]byte{5, 5, 0, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewBuilder(0, len(data)/2)
+		for i := 0; i+1 < len(data); i += 2 {
+			b.AddEdge(int(data[i]), int(data[i+1]))
+		}
+		g := b.Build()
+		for v := 0; v < g.N(); v++ {
+			prev := int32(-1)
+			for _, w := range g.Neighbors(v) {
+				if w == int32(v) {
+					t.Fatal("self-loop survived")
+				}
+				if w <= prev {
+					t.Fatal("neighbors unsorted or duplicated")
+				}
+				prev = w
+				if !g.HasEdge(int(w), v) {
+					t.Fatal("asymmetric adjacency")
+				}
+			}
+		}
+	})
+}

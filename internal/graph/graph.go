@@ -1,0 +1,204 @@
+// Package graph provides the undirected simple-graph substrate used by the
+// closest-truss-community algorithms: an immutable base graph with sorted
+// adjacency, a mutable overlay supporting destructive vertex/edge deletion,
+// breadth-first traversals, triangle/support computation, exact diameters,
+// induced subgraphs and edge-list I/O.
+//
+// Vertices are dense integers in [0, N). Edges are undirected and unweighted;
+// self-loops and parallel edges are rejected at construction time.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected simple graph with sorted adjacency lists.
+// The zero value is an empty graph. Build instances with a Builder.
+type Graph struct {
+	adj [][]int32
+	m   int
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nb := range g.adj {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether the edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) || u == v {
+		return false
+	}
+	// Search the shorter list.
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	nb := g.adj[u]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// ForEachEdge calls fn once per edge with u < v.
+func (g *Graph) ForEachEdge(fn func(u, v int)) {
+	for u, nb := range g.adj {
+		for _, w := range nb {
+			if int(w) > u {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// EdgeKeys returns all edges as packed keys, in ascending order.
+func (g *Graph) EdgeKeys() []EdgeKey {
+	keys := make([]EdgeKey, 0, g.m)
+	g.ForEachEdge(func(u, v int) { keys = append(keys, Key(u, v)) })
+	return keys
+}
+
+// NumIDs implements Adjacency.
+func (g *Graph) NumIDs() int { return len(g.adj) }
+
+// Present implements Adjacency; every vertex of an immutable graph is present.
+func (g *Graph) Present(v int) bool { return v >= 0 && v < len(g.adj) }
+
+// ForEachNeighbor implements Adjacency.
+func (g *Graph) ForEachNeighbor(v int, fn func(u int)) {
+	for _, w := range g.adj[v] {
+		fn(int(w))
+	}
+}
+
+// EdgeKey packs an undirected edge into a single comparable value with the
+// smaller endpoint in the high 32 bits, so keys sort lexicographically by
+// (min, max).
+type EdgeKey uint64
+
+// Key returns the EdgeKey for the undirected edge (u, v).
+func Key(u, v int) EdgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return EdgeKey(uint64(uint32(u))<<32 | uint64(uint32(v)))
+}
+
+// Endpoints returns the two endpoints of the key with u < v.
+func (k EdgeKey) Endpoints() (u, v int) {
+	return int(uint32(k >> 32)), int(uint32(k))
+}
+
+// String renders the key as "(u,v)".
+func (k EdgeKey) String() string {
+	u, v := k.Endpoints()
+	return fmt.Sprintf("(%d,%d)", u, v)
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// are merged; self-loops are rejected.
+type Builder struct {
+	keys []EdgeKey
+	n    int
+}
+
+// NewBuilder returns a Builder with capacity hints for n vertices and m edges.
+func NewBuilder(n, m int) *Builder {
+	return &Builder{keys: make([]EdgeKey, 0, m), n: n}
+}
+
+// EnsureVertex grows the vertex ID space to include v (useful for declaring
+// isolated vertices).
+func (b *Builder) EnsureVertex(v int) {
+	if v+1 > b.n {
+		b.n = v + 1
+	}
+}
+
+// AddEdge records the undirected edge (u, v). Self-loops are ignored.
+func (b *Builder) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 {
+		return
+	}
+	b.EnsureVertex(u)
+	b.EnsureVertex(v)
+	b.keys = append(b.keys, Key(u, v))
+}
+
+// Build produces the immutable Graph. The builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.keys, func(i, j int) bool { return b.keys[i] < b.keys[j] })
+	deg := make([]int32, b.n)
+	m := 0
+	var prev EdgeKey = ^EdgeKey(0)
+	for _, k := range b.keys {
+		if k == prev {
+			continue
+		}
+		prev = k
+		u, v := k.Endpoints()
+		deg[u]++
+		deg[v]++
+		m++
+	}
+	adj := make([][]int32, b.n)
+	for v := range adj {
+		adj[v] = make([]int32, 0, deg[v])
+	}
+	prev = ^EdgeKey(0)
+	for _, k := range b.keys {
+		if k == prev {
+			continue
+		}
+		prev = k
+		u, v := k.Endpoints()
+		adj[u] = append(adj[u], int32(v))
+		adj[v] = append(adj[v], int32(u))
+	}
+	for v := range adj {
+		nb := adj[v]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return &Graph{adj: adj, m: m}
+}
+
+// FromEdges builds a graph directly from an edge list.
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n, len(edges))
+	if n > 0 {
+		b.EnsureVertex(n - 1)
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Adjacency is the traversal interface shared by Graph and Mutable so that
+// BFS, diameter and connectivity routines work on both.
+type Adjacency interface {
+	// NumIDs returns the size of the vertex ID space (IDs are < NumIDs).
+	NumIDs() int
+	// Present reports whether vertex v currently belongs to the graph.
+	Present(v int) bool
+	// ForEachNeighbor calls fn for every present neighbor of v.
+	ForEachNeighbor(v int, fn func(u int))
+}

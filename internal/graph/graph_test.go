@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// paperGraph builds the example graph of Figure 1(a) in the paper.
+// Vertex IDs: q1=0 q2=1 q3=2 v1=3 v2=4 v3=5 v4=6 v5=7 p1=8 p2=9 p3=10 t=11.
+func paperGraph() *Graph {
+	const (
+		q1 = 0
+		q2 = 1
+		q3 = 2
+		v1 = 3
+		v2 = 4
+		v3 = 5
+		v4 = 6
+		v5 = 7
+		p1 = 8
+		p2 = 9
+		p3 = 10
+		t  = 11
+	)
+	edges := [][2]int{
+		// 4-clique q1,q2,v1,v2
+		{q1, q2}, {q1, v1}, {q1, v2}, {q2, v1}, {q2, v2}, {v1, v2},
+		// 4-clique q3,v3,v4,v5
+		{v3, v4}, {v3, v5}, {v4, v5}, {q3, v3}, {q3, v4}, {q3, v5},
+		// connectors keeping the grey region a 4-truss with sup(q2,v2)=3
+		{q2, v5}, {v2, v5}, {q2, v4}, {q2, v3}, {v1, v5},
+		// 4-clique q3,p1,p2,p3 (the free riders)
+		{q3, p1}, {q3, p2}, {q3, p3}, {p1, p2}, {p1, p3}, {p2, p3},
+		// pendant path through t
+		{q1, t}, {t, q3},
+	}
+	return FromEdges(12, edges)
+}
+
+func TestBuilderDedupAndSelfLoop(t *testing.T) {
+	b := NewBuilder(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 2) // self-loop dropped
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if g.N() != 3 {
+		t.Fatalf("N = %d, want 3", g.N())
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(1, 2) {
+		t.Fatal("expected edges missing")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(2, 2) {
+		t.Fatal("unexpected edge present")
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	g := NewBuilder(0, 0).Build()
+	if g.N() != 0 || g.M() != 0 || g.MaxDegree() != 0 {
+		t.Fatalf("empty graph: N=%d M=%d", g.N(), g.M())
+	}
+	if d, ok := Diameter(g); d != 0 || !ok {
+		t.Fatalf("empty diameter = %d,%v", d, ok)
+	}
+}
+
+func TestEnsureVertexIsolated(t *testing.T) {
+	b := NewBuilder(0, 0)
+	b.AddEdge(0, 1)
+	b.EnsureVertex(5)
+	g := b.Build()
+	if g.N() != 6 {
+		t.Fatalf("N = %d, want 6", g.N())
+	}
+	if g.Degree(5) != 0 {
+		t.Fatalf("degree(5) = %d", g.Degree(5))
+	}
+}
+
+func TestEdgeKeyRoundTrip(t *testing.T) {
+	f := func(a, b uint16) bool {
+		u, v := int(a), int(b)
+		if u == v {
+			return true
+		}
+		k := Key(u, v)
+		x, y := k.Endpoints()
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return x == lo && y == hi && Key(v, u) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeKeyOrdering(t *testing.T) {
+	if Key(0, 5) >= Key(1, 2) {
+		t.Fatal("keys must order by min endpoint first")
+	}
+	if Key(1, 2) >= Key(1, 3) {
+		t.Fatal("keys must order by max endpoint second")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := paperGraph()
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		if !sort.SliceIsSorted(nb, func(i, j int) bool { return nb[i] < nb[j] }) {
+			t.Fatalf("neighbors of %d not sorted: %v", v, nb)
+		}
+	}
+}
+
+func TestForEachEdgeCountsOnce(t *testing.T) {
+	g := paperGraph()
+	count := 0
+	g.ForEachEdge(func(u, v int) {
+		if u >= v {
+			t.Fatalf("ForEachEdge gave u=%d >= v=%d", u, v)
+		}
+		count++
+	})
+	if count != g.M() {
+		t.Fatalf("edge callback count = %d, want %d", count, g.M())
+	}
+	if len(g.EdgeKeys()) != g.M() {
+		t.Fatal("EdgeKeys length mismatch")
+	}
+}
+
+func TestDegreeSum(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 30, 0.2)
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomGraph builds a G(n,p) graph deterministically from seed.
+func randomGraph(seed int64, n int, p float64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n, 0)
+	b.EnsureVertex(n - 1)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestHasEdgeMatchesNeighbors(t *testing.T) {
+	g := randomGraph(42, 40, 0.15)
+	for u := 0; u < g.N(); u++ {
+		inNb := map[int]bool{}
+		for _, w := range g.Neighbors(u) {
+			inNb[int(w)] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.HasEdge(u, v) != inNb[v] {
+				t.Fatalf("HasEdge(%d,%d) = %v disagrees with adjacency", u, v, g.HasEdge(u, v))
+			}
+		}
+	}
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := paperGraph()
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 99) || g.HasEdge(3, 3) {
+		t.Fatal("out-of-range or loop edge reported present")
+	}
+}
+
+func TestFromEdgesIgnoresNegative(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {-1, 2}, {1, 2}})
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+}

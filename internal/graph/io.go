@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MaxVertexID bounds vertex IDs accepted by ReadEdgeList. The graph uses a
+// dense ID space (memory proportional to the largest ID, not the edge
+// count), so inputs with sparse huge IDs must be remapped before loading;
+// rejecting them here turns a multi-gigabyte allocation into an error.
+const MaxVertexID = 1<<22 - 1
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line).
+// Lines starting with '#' or '%' are comments. Vertex IDs must be integers
+// in [0, MaxVertexID]; the graph spans 0..maxID.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0, 1024)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want two vertex IDs, got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex ID", lineNo)
+		}
+		if u > MaxVertexID || v > MaxVertexID {
+			return nil, fmt.Errorf("graph: line %d: vertex ID exceeds MaxVertexID (%d); remap sparse IDs first", lineNo, MaxVertexID)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %v", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes the graph as "u v" lines with u < v, preceded by a
+// comment header.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# undirected graph: %d vertices, %d edges\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.ForEachEdge(func(u, v int) {
+		if writeErr != nil {
+			return
+		}
+		_, writeErr = fmt.Fprintf(bw, "%d %d\n", u, v)
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}
+
+// Stats summarizes a graph the way Table 2 of the paper does (|V|, |E|,
+// dmax), leaving τ̄(∅) to the truss package.
+type Stats struct {
+	N         int
+	M         int
+	MaxDegree int
+	AvgDegree float64
+	Triangles int64
+	GCC       float64 // global clustering coefficient
+}
+
+// ComputeStats gathers the Table-2 style statistics for g.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{N: g.N(), M: g.M(), MaxDegree: g.MaxDegree()}
+	if s.N > 0 {
+		s.AvgDegree = 2 * float64(s.M) / float64(s.N)
+	}
+	s.Triangles = TriangleCount(g)
+	s.GCC = GlobalClusteringCoefficient(g)
+	return s
+}
+
+// ApproxBytes estimates the in-memory size of the adjacency representation,
+// used for the "Graph Size" column of Table 3 (4 bytes per directed arc plus
+// slice headers).
+func (g *Graph) ApproxBytes() int64 {
+	var b int64
+	for v := 0; v < g.N(); v++ {
+		b += int64(len(g.adj[v]))*4 + 24
+	}
+	return b
+}

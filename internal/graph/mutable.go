@@ -1,0 +1,263 @@
+package graph
+
+import "sort"
+
+// Mutable is a destructively editable subgraph of a base Graph. It shares the
+// base graph's vertex ID space; vertices outside the subgraph are simply not
+// present. Deletion of vertices and edges is O(degree), and the common
+// neighborhood of an edge can be enumerated efficiently, which is what the
+// k-truss maintenance cascade (Algorithm 3 of the paper) needs.
+type Mutable struct {
+	adj     []map[int32]struct{}
+	present []bool
+	n, m    int
+}
+
+// NewMutable builds a Mutable containing the induced subgraph of g on the
+// given vertices. If vertices is nil, the whole graph is included.
+func NewMutable(g *Graph, vertices []int) *Mutable {
+	mu := &Mutable{
+		adj:     make([]map[int32]struct{}, g.N()),
+		present: make([]bool, g.N()),
+	}
+	if vertices == nil {
+		for v := 0; v < g.N(); v++ {
+			mu.present[v] = true
+			mu.n++
+		}
+	} else {
+		for _, v := range vertices {
+			if !mu.present[v] {
+				mu.present[v] = true
+				mu.n++
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if !mu.present[v] {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if mu.present[w] {
+				if mu.adj[v] == nil {
+					mu.adj[v] = make(map[int32]struct{}, g.Degree(v))
+				}
+				mu.adj[v][w] = struct{}{}
+				if int(w) > v {
+					mu.m++
+				}
+			}
+		}
+	}
+	return mu
+}
+
+// NewMutableFromEdges builds a Mutable over an ID space of size n containing
+// exactly the given edges (and their endpoints).
+func NewMutableFromEdges(n int, edges []EdgeKey) *Mutable {
+	mu := &Mutable{
+		adj:     make([]map[int32]struct{}, n),
+		present: make([]bool, n),
+	}
+	for _, k := range edges {
+		u, v := k.Endpoints()
+		mu.AddEdge(u, v)
+	}
+	return mu
+}
+
+// Clone returns a deep copy.
+func (mu *Mutable) Clone() *Mutable {
+	cp := &Mutable{
+		adj:     make([]map[int32]struct{}, len(mu.adj)),
+		present: make([]bool, len(mu.present)),
+		n:       mu.n,
+		m:       mu.m,
+	}
+	copy(cp.present, mu.present)
+	for v, set := range mu.adj {
+		if set == nil {
+			continue
+		}
+		ns := make(map[int32]struct{}, len(set))
+		for w := range set {
+			ns[w] = struct{}{}
+		}
+		cp.adj[v] = ns
+	}
+	return cp
+}
+
+// NumIDs implements Adjacency.
+func (mu *Mutable) NumIDs() int { return len(mu.present) }
+
+// Present implements Adjacency.
+func (mu *Mutable) Present(v int) bool {
+	return v >= 0 && v < len(mu.present) && mu.present[v]
+}
+
+// ForEachNeighbor implements Adjacency.
+func (mu *Mutable) ForEachNeighbor(v int, fn func(u int)) {
+	for w := range mu.adj[v] {
+		fn(int(w))
+	}
+}
+
+// N returns the number of present vertices.
+func (mu *Mutable) N() int { return mu.n }
+
+// M returns the number of edges.
+func (mu *Mutable) M() int { return mu.m }
+
+// Degree returns the degree of v (0 if absent).
+func (mu *Mutable) Degree(v int) int { return len(mu.adj[v]) }
+
+// HasEdge reports whether edge (u, v) exists.
+func (mu *Mutable) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(mu.adj) || mu.adj[u] == nil {
+		return false
+	}
+	_, ok := mu.adj[u][int32(v)]
+	return ok
+}
+
+// AddEdge inserts the edge (u, v), adding endpoints as needed. Self-loops are
+// ignored. Reports whether the edge was newly added.
+func (mu *Mutable) AddEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if mu.HasEdge(u, v) {
+		return false
+	}
+	mu.addVertex(u)
+	mu.addVertex(v)
+	if mu.adj[u] == nil {
+		mu.adj[u] = make(map[int32]struct{}, 4)
+	}
+	if mu.adj[v] == nil {
+		mu.adj[v] = make(map[int32]struct{}, 4)
+	}
+	mu.adj[u][int32(v)] = struct{}{}
+	mu.adj[v][int32(u)] = struct{}{}
+	mu.m++
+	return true
+}
+
+// EnsureVertex makes v present, isolated if it has no edges yet.
+func (mu *Mutable) EnsureVertex(v int) {
+	if v >= 0 && v < len(mu.present) {
+		mu.addVertex(v)
+	}
+}
+
+func (mu *Mutable) addVertex(v int) {
+	if !mu.present[v] {
+		mu.present[v] = true
+		mu.n++
+	}
+}
+
+// DeleteEdge removes the edge (u, v) if present. Endpoints remain present
+// even if isolated. Reports whether an edge was removed.
+func (mu *Mutable) DeleteEdge(u, v int) bool {
+	if !mu.HasEdge(u, v) {
+		return false
+	}
+	delete(mu.adj[u], int32(v))
+	delete(mu.adj[v], int32(u))
+	mu.m--
+	return true
+}
+
+// DeleteVertex removes v and all its incident edges.
+func (mu *Mutable) DeleteVertex(v int) {
+	if v < 0 || v >= len(mu.present) || !mu.present[v] {
+		return
+	}
+	for w := range mu.adj[v] {
+		delete(mu.adj[w], int32(v))
+		mu.m--
+	}
+	mu.adj[v] = nil
+	mu.present[v] = false
+	mu.n--
+}
+
+// RemoveIsolated deletes every present vertex of degree zero that is not in
+// keep, and returns how many were removed.
+func (mu *Mutable) RemoveIsolated(keep map[int]bool) int {
+	removed := 0
+	for v := range mu.present {
+		if mu.present[v] && len(mu.adj[v]) == 0 && !keep[v] {
+			mu.present[v] = false
+			mu.n--
+			removed++
+		}
+	}
+	return removed
+}
+
+// Vertices returns the sorted list of present vertices.
+func (mu *Mutable) Vertices() []int {
+	vs := make([]int, 0, mu.n)
+	for v, p := range mu.present {
+		if p {
+			vs = append(vs, v)
+		}
+	}
+	return vs
+}
+
+// EdgeKeys returns all edges as packed keys in ascending order.
+func (mu *Mutable) EdgeKeys() []EdgeKey {
+	keys := make([]EdgeKey, 0, mu.m)
+	for v, set := range mu.adj {
+		for w := range set {
+			if int(w) > v {
+				keys = append(keys, Key(v, int(w)))
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// CommonNeighbors calls fn for every vertex w adjacent to both u and v. It
+// iterates the smaller adjacency set.
+func (mu *Mutable) CommonNeighbors(u, v int, fn func(w int)) {
+	a, b := mu.adj[u], mu.adj[v]
+	if a == nil || b == nil {
+		return
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for w := range a {
+		if _, ok := b[w]; ok {
+			fn(int(w))
+		}
+	}
+}
+
+// CountCommonNeighbors returns |N(u) ∩ N(v)|, i.e. the support of (u, v).
+func (mu *Mutable) CountCommonNeighbors(u, v int) int {
+	c := 0
+	mu.CommonNeighbors(u, v, func(int) { c++ })
+	return c
+}
+
+// Freeze converts the current state into an immutable Graph over the same
+// vertex ID space.
+func (mu *Mutable) Freeze() *Graph {
+	b := NewBuilder(len(mu.present), mu.m)
+	b.EnsureVertex(len(mu.present) - 1)
+	for v, set := range mu.adj {
+		for w := range set {
+			if int(w) > v {
+				b.AddEdge(v, int(w))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDiameterParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 40, 0.1)
+		d1, ok1 := Diameter(g)
+		d2, ok2 := DiameterParallel(g, 4)
+		return d1 == d2 && ok1 == ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiameterParallelOnMutable(t *testing.T) {
+	g := randomGraph(3, 50, 0.08)
+	mu := NewMutable(g, nil)
+	mu.DeleteVertex(0)
+	mu.DeleteVertex(7)
+	d1, ok1 := Diameter(mu)
+	d2, ok2 := DiameterParallel(mu, 3)
+	if d1 != d2 || ok1 != ok2 {
+		t.Fatalf("parallel (%d,%v) vs sequential (%d,%v)", d2, ok2, d1, ok1)
+	}
+}
+
+func TestDiameterParallelEdgeCases(t *testing.T) {
+	if d, ok := DiameterParallel(NewBuilder(0, 0).Build(), 2); d != 0 || !ok {
+		t.Fatalf("empty: %d %v", d, ok)
+	}
+	// Single vertex.
+	b := NewBuilder(1, 0)
+	b.EnsureVertex(0)
+	if d, ok := DiameterParallel(b.Build(), 8); d != 0 || !ok {
+		t.Fatalf("singleton: %d %v", d, ok)
+	}
+	// More workers than sources.
+	if d, ok := DiameterParallel(pathGraph(3), 64); d != 2 || !ok {
+		t.Fatalf("tiny path: %d %v", d, ok)
+	}
+	// Disconnected must report ok=false.
+	g := FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if _, ok := DiameterParallel(g, 2); ok {
+		t.Fatal("disconnected graph reported connected")
+	}
+}

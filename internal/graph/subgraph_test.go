@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInduced(t *testing.T) {
+	g := paperGraph()
+	sub := Induced(g, []int{0, 1, 3, 4}) // the q1,q2,v1,v2 clique
+	if sub.M() != 6 {
+		t.Fatalf("induced M = %d, want 6", sub.M())
+	}
+	if sub.N() != g.N() {
+		t.Fatal("Induced must preserve the ID space")
+	}
+	if sub.Degree(5) != 0 {
+		t.Fatal("non-selected vertex should be isolated")
+	}
+	// Tolerates junk input.
+	if Induced(g, []int{-5, 400, 0, 0}).M() != 0 {
+		t.Fatal("junk vertices should contribute no edges")
+	}
+}
+
+func TestInducedCompact(t *testing.T) {
+	g := paperGraph()
+	sub, ids := InducedCompact(g, []int{4, 0, 1, 3, 0})
+	if sub.N() != 4 || sub.M() != 6 {
+		t.Fatalf("compact N=%d M=%d, want 4 6", sub.N(), sub.M())
+	}
+	if len(ids) != 4 || ids[0] != 0 || ids[3] != 4 {
+		t.Fatalf("id mapping = %v", ids)
+	}
+}
+
+func TestInducedMutable(t *testing.T) {
+	g := paperGraph()
+	mu := NewMutable(g, nil)
+	sub := InducedMutable(mu, []int{0, 1, 3, 4})
+	if sub.N() != 4 || sub.M() != 6 {
+		t.Fatalf("N=%d M=%d, want 4 6", sub.N(), sub.M())
+	}
+	// Vertices absent from the parent must not appear.
+	mu.DeleteVertex(3)
+	sub2 := InducedMutable(mu, []int{0, 1, 3, 4})
+	if sub2.Present(3) || sub2.N() != 3 {
+		t.Fatal("deleted parent vertex resurrected")
+	}
+}
+
+func TestEdgesWithinAndDensity(t *testing.T) {
+	g := paperGraph()
+	clique := []int{0, 1, 3, 4}
+	if got := EdgesWithin(g, clique); got != 6 {
+		t.Fatalf("EdgesWithin = %d, want 6", got)
+	}
+	if d := Density(g, clique); d != 1.0 {
+		t.Fatalf("clique density = %f, want 1", d)
+	}
+	if d := Density(g, []int{0}); d != 0 {
+		t.Fatal("singleton density must be 0")
+	}
+	if d := Density(g, nil); d != 0 {
+		t.Fatal("empty density must be 0")
+	}
+}
+
+func TestReadWriteEdgeList(t *testing.T) {
+	g := paperGraph()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip: N=%d M=%d, want %d %d", back.N(), back.M(), g.N(), g.M())
+	}
+	g.ForEachEdge(func(u, v int) {
+		if !back.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) lost in round trip", u, v)
+		}
+	})
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# header\n% other comment\n\n0 1\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "0 x\n", "-1 2\n", "9999999999 1\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q should fail", in)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := completeGraph(5)
+	s := ComputeStats(g)
+	if s.N != 5 || s.M != 10 || s.MaxDegree != 4 || s.Triangles != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.AvgDegree != 4 {
+		t.Fatalf("avg degree = %f, want 4", s.AvgDegree)
+	}
+	if g.ApproxBytes() <= 0 {
+		t.Fatal("ApproxBytes must be positive")
+	}
+}

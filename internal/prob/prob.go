@@ -1,0 +1,284 @@
+// Package prob extends the closest-truss-community machinery to
+// probabilistic (uncertain) graphs — the first direction the paper's §8
+// names as future work ("how k-truss generalizes to probabilistic graphs",
+// realized by the same authors in ICDE 2016). Each edge e carries an
+// independent existence probability p(e); a subgraph H is a (k,γ)-truss if
+// every edge satisfies
+//
+//	Pr[ e exists ∧ sup_H(e) >= k-2 ]  >=  γ,
+//
+// where the support distribution is Poisson-binomial over the triangles of
+// e (triangle u-v-w survives for edge (u,v) with probability
+// p(u,w)·p(v,w)). The package provides (k,γ)-truss decomposition by
+// peeling and a probabilistic closest-truss-community search built on the
+// same greedy framework as the deterministic algorithms.
+package prob
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Graph is an undirected simple graph with independent edge probabilities.
+type Graph struct {
+	g *graph.Graph
+	p map[graph.EdgeKey]float64
+}
+
+// NewGraph wraps a deterministic graph with edge probabilities. Every edge
+// of g must have a probability in (0, 1]; missing entries default to 1.
+func NewGraph(g *graph.Graph, p map[graph.EdgeKey]float64) (*Graph, error) {
+	pg := &Graph{g: g, p: make(map[graph.EdgeKey]float64, g.M())}
+	var err error
+	g.ForEachEdge(func(u, v int) {
+		if err != nil {
+			return
+		}
+		k := graph.Key(u, v)
+		prob, ok := p[k]
+		if !ok {
+			prob = 1
+		}
+		if prob <= 0 || prob > 1 {
+			err = fmt.Errorf("prob: edge %s has probability %v outside (0,1]", k, prob)
+			return
+		}
+		pg.p[k] = prob
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// Base returns the underlying deterministic graph.
+func (pg *Graph) Base() *graph.Graph { return pg.g }
+
+// Prob returns p(u,v), or 0 if the edge does not exist.
+func (pg *Graph) Prob(u, v int) float64 { return pg.p[graph.Key(u, v)] }
+
+// supTailProb returns Pr[X >= s] for a Poisson-binomial variable X with
+// the given success probabilities, via the standard O(n·s) DP on the
+// partial distribution (truncated at s successes, which is all we need).
+func supTailProb(tri []float64, s int) float64 {
+	if s <= 0 {
+		return 1
+	}
+	if s > len(tri) {
+		return 0
+	}
+	// dist[j] = Pr[j successes so far], for j < s; tail accumulates Pr[>=s].
+	dist := make([]float64, s)
+	dist[0] = 1
+	tail := 0.0
+	for _, t := range tri {
+		// Probability mass moving from j=s-1 to s leaves the window.
+		tail += dist[s-1] * t
+		for j := s - 1; j >= 1; j-- {
+			dist[j] = dist[j]*(1-t) + dist[j-1]*t
+		}
+		dist[0] *= 1 - t
+	}
+	return tail
+}
+
+// edgeEta returns Pr[e exists ∧ sup(e) >= k-2] in the current mutable
+// subgraph mu, using pg's probabilities.
+func (pg *Graph) edgeEta(mu *graph.Mutable, e graph.EdgeKey, k int32) float64 {
+	u, v := e.Endpoints()
+	var tri []float64
+	mu.CommonNeighbors(u, v, func(w int) {
+		tri = append(tri, pg.p[graph.Key(u, w)]*pg.p[graph.Key(v, w)])
+	})
+	return pg.p[e] * supTailProb(tri, int(k-2))
+}
+
+// Decomposition maps each edge to its probabilistic trussness at level γ:
+// the largest k such that the edge survives in the maximal (k,γ)-truss.
+type Decomposition struct {
+	Gamma     float64
+	EdgeTruss map[graph.EdgeKey]int32
+	MaxTruss  int32
+}
+
+// Decompose computes the (k,γ)-truss decomposition by iterated peeling:
+// for k = 2, 3, ..., repeatedly remove edges whose survival probability at
+// level k falls below γ; edges removed during round k have probabilistic
+// trussness k.
+func Decompose(pg *Graph, gamma float64) (*Decomposition, error) {
+	if gamma <= 0 || gamma > 1 {
+		return nil, fmt.Errorf("prob: gamma %v outside (0,1]", gamma)
+	}
+	d := &Decomposition{Gamma: gamma, EdgeTruss: make(map[graph.EdgeKey]int32, pg.g.M())}
+	mu := graph.NewMutable(pg.g, nil)
+	k := int32(2)
+	for mu.M() > 0 {
+		// Remove all edges failing level k, cascading.
+		for {
+			var victims []graph.EdgeKey
+			for _, e := range mu.EdgeKeys() {
+				if pg.edgeEta(mu, e, k) < gamma {
+					victims = append(victims, e)
+				}
+			}
+			if len(victims) == 0 {
+				break
+			}
+			for _, e := range victims {
+				u, v := e.Endpoints()
+				if mu.HasEdge(u, v) {
+					// τ_γ(e) = k-1: e survived level k-1 but not k. At
+					// k=2 an edge can fail only by p(e) < γ; call that 1.
+					d.EdgeTruss[e] = k - 1
+					mu.DeleteEdge(u, v)
+				}
+			}
+		}
+		if mu.M() > 0 {
+			if k > d.MaxTruss {
+				d.MaxTruss = k
+			}
+			// Survivors of level k are at least k; continue upward.
+			for _, e := range mu.EdgeKeys() {
+				d.EdgeTruss[e] = k
+			}
+		}
+		k++
+	}
+	return d, nil
+}
+
+// EdgesAtLeast returns edges with probabilistic trussness >= k.
+func (d *Decomposition) EdgesAtLeast(k int32) []graph.EdgeKey {
+	var out []graph.EdgeKey
+	for e, t := range d.EdgeTruss {
+		if t >= k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ErrNoCommunity is returned when no connected (k,γ)-truss covers Q.
+var ErrNoCommunity = errors.New("prob: no connected (k,γ)-truss contains the query vertices")
+
+// Community is a probabilistic closest truss community.
+type Community struct {
+	// K is the probabilistic trussness and Gamma the confidence level.
+	K     int32
+	Gamma float64
+	// Vertices is the sorted member set.
+	Vertices []int
+	// EdgeCount counts community edges.
+	EdgeCount int
+	// QueryDist is the graph query distance within the community.
+	QueryDist int
+
+	sub *graph.Mutable
+}
+
+// Subgraph exposes the community subgraph (read-only).
+func (c *Community) Subgraph() *graph.Mutable { return c.sub }
+
+// Diameter computes the exact community diameter.
+func (c *Community) Diameter() int {
+	d, _ := graph.Diameter(c.sub)
+	return d
+}
+
+// Search finds a connected (k,γ)-truss containing q with the largest k
+// and then greedily minimizes the query distance exactly as Algorithm 1
+// does deterministically: repeatedly delete the furthest vertex and restore
+// the (k,γ)-truss property, returning the best intermediate graph.
+func Search(pg *Graph, q []int, gamma float64) (*Community, error) {
+	if len(q) == 0 {
+		return nil, errors.New("prob: empty query")
+	}
+	d, err := Decompose(pg, gamma)
+	if err != nil {
+		return nil, err
+	}
+	// Largest k whose (k,γ)-truss connects q.
+	var g0 *graph.Mutable
+	var k int32
+	for k = d.MaxTruss; k >= 2; k-- {
+		mu := graph.NewMutableFromEdges(pg.g.N(), d.EdgesAtLeast(k))
+		if graph.Connected(mu, q) {
+			comp := graph.Component(mu, q[0])
+			g0 = graph.InducedMutable(mu, comp)
+			break
+		}
+	}
+	if g0 == nil {
+		return nil, ErrNoCommunity
+	}
+	best := g0.Clone()
+	bestQD, _ := graph.GraphQueryDistance(best, q)
+	work := g0
+	isQuery := make(map[int]bool, len(q))
+	for _, v := range q {
+		isQuery[v] = true
+	}
+	for {
+		qd := graph.QueryDistances(work, q)
+		// Furthest vertex, preferring non-query.
+		pick, pickD := -1, int32(-1)
+		for v := 0; v < work.NumIDs(); v++ {
+			if !work.Present(v) {
+				continue
+			}
+			dv := qd[v]
+			if dv == graph.Unreachable {
+				dv = 1 << 30
+			}
+			if dv > pickD || (dv == pickD && pick >= 0 && isQuery[pick] && !isQuery[v]) {
+				pick, pickD = v, dv
+			}
+		}
+		if pick < 0 || pickD == 0 {
+			break
+		}
+		work.DeleteVertex(pick)
+		maintainProbTruss(pg, work, k, gamma)
+		if !graph.Connected(work, q) {
+			break
+		}
+		if cur, ok := graph.GraphQueryDistance(work, q); ok && cur < bestQD {
+			best = work.Clone()
+			bestQD = cur
+		}
+	}
+	comp := graph.Component(best, q[0])
+	best = graph.InducedMutable(best, comp)
+	return &Community{
+		K:         k,
+		Gamma:     gamma,
+		Vertices:  best.Vertices(),
+		EdgeCount: best.M(),
+		QueryDist: int(bestQD),
+		sub:       best,
+	}, nil
+}
+
+// maintainProbTruss restores the (k,γ)-truss property after deletions by
+// cascading removal of edges whose survival probability fell below γ.
+func maintainProbTruss(pg *Graph, mu *graph.Mutable, k int32, gamma float64) {
+	for {
+		var victims []graph.EdgeKey
+		for _, e := range mu.EdgeKeys() {
+			if pg.edgeEta(mu, e, k) < gamma {
+				victims = append(victims, e)
+			}
+		}
+		if len(victims) == 0 {
+			return
+		}
+		for _, e := range victims {
+			u, v := e.Endpoints()
+			mu.DeleteEdge(u, v)
+		}
+		mu.RemoveIsolated(nil)
+	}
+}

@@ -1,0 +1,290 @@
+package prob
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/truss"
+)
+
+func uniformProbs(g *graph.Graph, p float64) map[graph.EdgeKey]float64 {
+	m := make(map[graph.EdgeKey]float64, g.M())
+	g.ForEachEdge(func(u, v int) { m[graph.Key(u, v)] = p })
+	return m
+}
+
+func completeGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func TestSupTailProbExact(t *testing.T) {
+	// Against direct enumeration for small cases.
+	cases := []struct {
+		tri []float64
+		s   int
+	}{
+		{[]float64{0.5, 0.5}, 1},
+		{[]float64{0.5, 0.5}, 2},
+		{[]float64{0.9, 0.1, 0.3}, 2},
+		{[]float64{0.25}, 1},
+		{nil, 0},
+		{nil, 1},
+	}
+	for _, c := range cases {
+		want := bruteTail(c.tri, c.s)
+		got := supTailProb(c.tri, c.s)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("tail(%v, %d) = %v, want %v", c.tri, c.s, got, want)
+		}
+	}
+}
+
+func bruteTail(tri []float64, s int) float64 {
+	n := len(tri)
+	total := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		p := 1.0
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				p *= tri[i]
+				cnt++
+			} else {
+				p *= 1 - tri[i]
+			}
+		}
+		if cnt >= s {
+			total += p
+		}
+	}
+	return total
+}
+
+func TestCertainGraphMatchesDeterministic(t *testing.T) {
+	// With all probabilities 1 and any γ <= 1, the (k,γ)-decomposition must
+	// equal the deterministic truss decomposition.
+	rng := rand.New(rand.NewSource(4))
+	b := graph.NewBuilder(18, 0)
+	b.EnsureVertex(17)
+	for u := 0; u < 18; u++ {
+		for v := u + 1; v < 18; v++ {
+			if rng.Float64() < 0.3 {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g := b.Build()
+	pg, err := NewGraph(g, uniformProbs(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := Decompose(pg, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := truss.Decompose(g)
+	for e, k := range dd.EdgeTruss {
+		if pd.EdgeTruss[e] != k {
+			t.Fatalf("certain graph: τ%s = %d, deterministic says %d", e, pd.EdgeTruss[e], k)
+		}
+	}
+	if pd.MaxTruss != dd.MaxTruss {
+		t.Fatalf("max truss %d vs %d", pd.MaxTruss, dd.MaxTruss)
+	}
+}
+
+func TestDecomposeMonotoneInGamma(t *testing.T) {
+	// Raising γ can only lower probabilistic trussness.
+	g := completeGraph(6)
+	pg, _ := NewGraph(g, uniformProbs(g, 0.8))
+	lo, _ := Decompose(pg, 0.3)
+	hi, _ := Decompose(pg, 0.95)
+	for e := range lo.EdgeTruss {
+		if hi.EdgeTruss[e] > lo.EdgeTruss[e] {
+			t.Fatalf("τ at γ=0.95 (%d) exceeds τ at γ=0.3 (%d) for %s",
+				hi.EdgeTruss[e], lo.EdgeTruss[e], e)
+		}
+	}
+}
+
+func TestDecomposeAgainstPossibleWorlds(t *testing.T) {
+	// Exact check on a tiny graph: enumerate every possible world and
+	// verify the (k,γ)-membership probability of the *final* maximal
+	// (k,γ)-truss H: every edge of H must satisfy
+	// Pr[e ∧ sup_H(e) >= k-2] >= γ, computed by brute force over worlds
+	// restricted to H.
+	g := completeGraph(5) // 10 edges, 2^10 worlds
+	probs := uniformProbs(g, 0.7)
+	pg, _ := NewGraph(g, probs)
+	gamma := 0.5
+	d, err := Decompose(pg, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int32(3); k <= d.MaxTruss; k++ {
+		hEdges := d.EdgesAtLeast(k)
+		if len(hEdges) == 0 {
+			continue
+		}
+		mu := graph.NewMutableFromEdges(g.N(), hEdges)
+		for _, e := range hEdges {
+			got := pg.edgeEta(mu, e, k)
+			want := bruteEta(pg, hEdges, e, k)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("k=%d edge %s: DP eta %v, brute force %v", k, e, got, want)
+			}
+			if got < gamma-1e-12 {
+				t.Fatalf("k=%d edge %s: survival %v < γ in the final truss", k, e, got)
+			}
+		}
+	}
+}
+
+// bruteEta computes Pr[e exists ∧ sup(e) >= k-2] over all worlds of the
+// subgraph given by edges.
+func bruteEta(pg *Graph, edges []graph.EdgeKey, e graph.EdgeKey, k int32) float64 {
+	n := len(edges)
+	idx := -1
+	for i, f := range edges {
+		if f == e {
+			idx = i
+		}
+	}
+	eu, ev := e.Endpoints()
+	total := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		if mask&(1<<idx) == 0 {
+			continue // e absent
+		}
+		p := 1.0
+		mu := graph.NewMutableFromEdges(pg.g.N(), nil)
+		for i, f := range edges {
+			u, v := f.Endpoints()
+			pe := pg.p[f]
+			if mask&(1<<i) != 0 {
+				p *= pe
+				mu.AddEdge(u, v)
+			} else {
+				p *= 1 - pe
+			}
+		}
+		if int32(mu.CountCommonNeighbors(eu, ev)) >= k-2 {
+			total += p
+		}
+	}
+	return total
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	g := completeGraph(3)
+	if _, err := NewGraph(g, map[graph.EdgeKey]float64{graph.Key(0, 1): 0}); err == nil {
+		t.Fatal("zero probability accepted")
+	}
+	if _, err := NewGraph(g, map[graph.EdgeKey]float64{graph.Key(0, 1): 1.5}); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	pg, err := NewGraph(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Prob(0, 1) != 1 {
+		t.Fatal("missing probabilities must default to 1")
+	}
+	if pg.Prob(0, 99) != 0 {
+		t.Fatal("absent edge must have probability 0")
+	}
+	if _, err := Decompose(pg, 0); err == nil {
+		t.Fatal("γ=0 accepted")
+	}
+}
+
+func TestSearchFindsReliableCommunity(t *testing.T) {
+	// Two 5-cliques sharing query vertex... rather: a reliable clique and a
+	// flaky clique, both containing q=0. The flaky one has low edge
+	// probabilities, so at high γ the community must be the reliable one.
+	b := graph.NewBuilder(9, 0)
+	reliable := []int{0, 1, 2, 3, 4}
+	flaky := []int{0, 5, 6, 7, 8}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(reliable[i], reliable[j])
+			b.AddEdge(flaky[i], flaky[j])
+		}
+	}
+	g := b.Build()
+	probs := map[graph.EdgeKey]float64{}
+	g.ForEachEdge(func(u, v int) {
+		inFlaky := (u == 0 || u >= 5) && (v == 0 || v >= 5)
+		if inFlaky {
+			probs[graph.Key(u, v)] = 0.4
+		} else {
+			probs[graph.Key(u, v)] = 0.95
+		}
+	})
+	pg, err := NewGraph(g, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Search(pg, []int{0}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K < 4 {
+		t.Fatalf("k = %d, want >= 4 (reliable clique survives)", c.K)
+	}
+	for _, v := range c.Vertices {
+		if v >= 5 {
+			t.Fatalf("flaky vertex %d in high-confidence community", v)
+		}
+	}
+	// At a permissive γ the flaky clique qualifies too and the trussness
+	// can only be >= the strict one.
+	cLo, err := Search(pg, []int{0}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cLo.K < c.K {
+		t.Fatalf("looser γ lowered k: %d < %d", cLo.K, c.K)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	pg, _ := NewGraph(g, nil)
+	if _, err := Search(pg, []int{0, 2}, 0.5); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Search(pg, nil, 0.5); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := Search(pg, []int{0}, -1); err == nil {
+		t.Fatal("bad gamma accepted")
+	}
+}
+
+func TestSearchCommunityAccessors(t *testing.T) {
+	g := completeGraph(5)
+	pg, _ := NewGraph(g, uniformProbs(g, 0.9))
+	c, err := Search(pg, []int{0, 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gamma != 0.5 || c.EdgeCount == 0 || len(c.Vertices) == 0 {
+		t.Fatalf("community: %+v", c)
+	}
+	if c.Diameter() != 1 {
+		t.Fatalf("clique diameter = %d", c.Diameter())
+	}
+	if c.Subgraph() == nil || c.QueryDist != 1 {
+		t.Fatalf("accessors: %+v", c)
+	}
+}

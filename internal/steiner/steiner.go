@@ -1,0 +1,219 @@
+package steiner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/trussindex"
+)
+
+// Tree is a Steiner tree connecting a set of terminals.
+type Tree struct {
+	// Terminals are the query vertices the tree connects.
+	Terminals []int
+	// Vertices is the sorted vertex set of the tree (terminals included).
+	Vertices []int
+	// Edges are the tree edges.
+	Edges []graph.EdgeKey
+	// MinTruss is the minimum edge trussness in the tree; for a single-
+	// vertex tree it is the vertex trussness of the terminal.
+	MinTruss int32
+	// Weight is the total truss distance across the tree's MST edges.
+	Weight float64
+}
+
+// ErrDisconnected is returned when the terminals do not share a connected
+// component.
+var ErrDisconnected = errors.New("steiner: terminals are not connected")
+
+// Build computes a KMB-style 2-approximate Steiner tree for the terminals q
+// under the truss-distance metric with penalty gamma:
+//
+//  1. build the complete distance graph over terminals using truss distance,
+//  2. take its minimum spanning tree,
+//  3. replace each MST edge by the realizing shortest path in G,
+//  4. take a spanning tree of the union and prune non-terminal leaves.
+//
+// With gamma = 0 this is a plain hop-count Steiner approximation.
+func Build(ix *trussindex.Index, q []int, gamma float64) (*Tree, error) {
+	if len(q) == 0 {
+		return nil, errors.New("steiner: no terminals")
+	}
+	uniq := dedupe(q)
+	g := ix.Graph()
+	for _, v := range uniq {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("steiner: terminal %d out of range", v)
+		}
+	}
+	if len(uniq) == 1 {
+		v := uniq[0]
+		return &Tree{
+			Terminals: uniq,
+			Vertices:  []int{v},
+			MinTruss:  ix.VertexTruss(v),
+		}, nil
+	}
+	metric := NewMetric(ix, gamma)
+	// Pairwise truss distances and realizing thresholds from each terminal.
+	r := len(uniq)
+	dist := make([][]float64, r)
+	thr := make([][]int32, r)
+	for i, v := range uniq {
+		d, t := metric.DistancesFrom(v)
+		dist[i] = d
+		thr[i] = t
+	}
+	for i := 0; i < r; i++ {
+		for j := i + 1; j < r; j++ {
+			if math.IsInf(dist[i][uniq[j]], 1) {
+				return nil, ErrDisconnected
+			}
+		}
+	}
+	// Prim's MST over the complete terminal graph.
+	inTree := make([]bool, r)
+	best := make([]float64, r)
+	bestFrom := make([]int, r)
+	for i := range best {
+		best[i] = Inf
+		bestFrom[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < r; j++ {
+		best[j] = dist[0][uniq[j]]
+		bestFrom[j] = 0
+	}
+	type mstEdge struct{ from, to int }
+	mst := make([]mstEdge, 0, r-1)
+	totalWeight := 0.0
+	for len(mst) < r-1 {
+		pick, pickD := -1, Inf
+		for j := 0; j < r; j++ {
+			if !inTree[j] && best[j] < pickD {
+				pick, pickD = j, best[j]
+			}
+		}
+		if pick < 0 {
+			return nil, ErrDisconnected
+		}
+		inTree[pick] = true
+		mst = append(mst, mstEdge{bestFrom[pick], pick})
+		totalWeight += pickD
+		for j := 0; j < r; j++ {
+			if !inTree[j] && dist[pick][uniq[j]] < best[j] {
+				best[j] = dist[pick][uniq[j]]
+				bestFrom[j] = pick
+			}
+		}
+	}
+	// Expand MST edges into actual paths at their realizing thresholds.
+	union := graph.NewMutableFromEdges(g.N(), nil)
+	for _, e := range mst {
+		src, dst := uniq[e.from], uniq[e.to]
+		t := thr[e.from][dst]
+		path := metric.PathAtThreshold(src, dst, t)
+		if path == nil {
+			// The threshold subgraph should contain the path by
+			// construction; fall back to any connecting threshold.
+			path = metric.PathAtThreshold(src, dst, 2)
+		}
+		if path == nil {
+			return nil, ErrDisconnected
+		}
+		for i := 0; i+1 < len(path); i++ {
+			union.AddEdge(path[i], path[i+1])
+		}
+	}
+	for _, v := range uniq {
+		union.EnsureVertex(v)
+	}
+	return treeFromUnion(ix, union, uniq, totalWeight)
+}
+
+// treeFromUnion extracts a BFS spanning tree of the union subgraph and
+// repeatedly prunes non-terminal leaves.
+func treeFromUnion(ix *trussindex.Index, union *graph.Mutable, terminals []int, weight float64) (*Tree, error) {
+	isTerminal := make(map[int]bool, len(terminals))
+	for _, v := range terminals {
+		isTerminal[v] = true
+	}
+	// BFS spanning tree from the first terminal.
+	n := union.NumIDs()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	root := terminals[0]
+	parent[root] = -1
+	queue := []int32{int32(root)}
+	for head := 0; head < len(queue); head++ {
+		v := int(queue[head])
+		union.ForEachNeighbor(v, func(u int) {
+			if parent[u] == -2 {
+				parent[u] = int32(v)
+				queue = append(queue, int32(u))
+			}
+		})
+	}
+	tree := graph.NewMutableFromEdges(n, nil)
+	for _, vq := range queue {
+		v := int(vq)
+		if parent[v] >= 0 {
+			tree.AddEdge(v, int(parent[v]))
+		}
+	}
+	tree.EnsureVertex(root)
+	for _, v := range terminals {
+		if !tree.Present(v) {
+			return nil, ErrDisconnected
+		}
+	}
+	// Prune non-terminal leaves until fixpoint.
+	for {
+		pruned := false
+		for _, v := range tree.Vertices() {
+			if tree.Degree(v) <= 1 && !isTerminal[v] {
+				tree.DeleteVertex(v)
+				pruned = true
+			}
+		}
+		if !pruned {
+			break
+		}
+	}
+	edges := tree.EdgeKeys()
+	minTruss := int32(math.MaxInt32)
+	for _, e := range edges {
+		u, v := e.Endpoints()
+		if t := ix.EdgeTruss(u, v); t < minTruss {
+			minTruss = t
+		}
+	}
+	if len(edges) == 0 {
+		minTruss = ix.VertexTruss(terminals[0])
+	}
+	return &Tree{
+		Terminals: append([]int(nil), terminals...),
+		Vertices:  tree.Vertices(),
+		Edges:     edges,
+		MinTruss:  minTruss,
+		Weight:    weight,
+	}, nil
+}
+
+func dedupe(q []int) []int {
+	seen := make(map[int]bool, len(q))
+	out := make([]int, 0, len(q))
+	for _, v := range q {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

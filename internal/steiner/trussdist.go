@@ -1,0 +1,164 @@
+// Package steiner provides the truss-distance metric (Definition 7 of the
+// paper) and a KMB/Mehlhorn-style 2-approximate Steiner tree over it, the
+// seed structure of the LCTC local-exploration algorithm (Algorithm 5).
+package steiner
+
+import (
+	"math"
+
+	"repro/internal/trussindex"
+)
+
+// Inf marks unreachable truss distances.
+var Inf = math.Inf(1)
+
+// Metric evaluates the truss distance
+//
+//	ˆdist_P(u,v) = dist_P(u,v) + γ·(τ̄(∅) − min_{e∈P} τ(e))
+//
+// exactly, by scanning the distinct trussness thresholds t in descending
+// order and running a BFS restricted to edges with τ ≥ t: the optimum over
+// paths equals the minimum over thresholds of hops_t + γ(τ̄(∅) − t).
+type Metric struct {
+	ix         *trussindex.Index
+	gamma      float64
+	thresholds []int32
+}
+
+// NewMetric builds a Metric with penalty weight gamma >= 0. gamma = 0
+// degenerates to plain hop distance.
+func NewMetric(ix *trussindex.Index, gamma float64) *Metric {
+	if gamma < 0 {
+		gamma = 0
+	}
+	return &Metric{ix: ix, gamma: gamma, thresholds: ix.Thresholds()}
+}
+
+// Gamma returns the penalty weight.
+func (m *Metric) Gamma() float64 { return m.gamma }
+
+// DistancesFrom returns for every vertex v the truss distance from src, plus
+// for each v the threshold t achieving it (0 when unreachable). Unreachable
+// vertices get Inf.
+func (m *Metric) DistancesFrom(src int) (dist []float64, bestT []int32) {
+	n := m.ix.Graph().N()
+	dist = make([]float64, n)
+	bestT = make([]int32, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	if src < 0 || src >= n {
+		return dist, bestT
+	}
+	dist[src] = 0
+	if len(m.thresholds) > 0 {
+		bestT[src] = m.thresholds[0]
+	}
+	hop := make([]int32, n)
+	var queue []int32
+	maxT := float64(m.ix.MaxTruss())
+	for _, t := range m.thresholds {
+		penalty := m.gamma * (maxT - float64(t))
+		m.bfsAtLeast(src, t, hop, &queue)
+		for v := 0; v < n; v++ {
+			if hop[v] < 0 {
+				continue
+			}
+			if d := float64(hop[v]) + penalty; d < dist[v] {
+				dist[v] = d
+				bestT[v] = t
+			}
+		}
+	}
+	return dist, bestT
+}
+
+// bfsAtLeast fills hop with BFS hop counts from src using only edges with
+// trussness >= t (-1 for unreachable).
+func (m *Metric) bfsAtLeast(src int, t int32, hop []int32, queue *[]int32) {
+	for i := range hop {
+		hop[i] = -1
+	}
+	hop[src] = 0
+	q := (*queue)[:0]
+	q = append(q, int32(src))
+	for head := 0; head < len(q); head++ {
+		v := int(q[head])
+		hv := hop[v]
+		m.ix.ForEachNeighborAtLeast(v, t, func(u int) {
+			if hop[u] < 0 {
+				hop[u] = hv + 1
+				q = append(q, int32(u))
+			}
+		})
+	}
+	*queue = q
+}
+
+// PathAtThreshold returns a shortest path (as a vertex sequence src..dst) in
+// the subgraph of edges with trussness >= t, or nil if dst is unreachable.
+func (m *Metric) PathAtThreshold(src, dst int, t int32) []int {
+	n := m.ix.Graph().N()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[src] = -1
+	queue := []int32{int32(src)}
+	for head := 0; head < len(queue); head++ {
+		v := int(queue[head])
+		if v == dst {
+			break
+		}
+		m.ix.ForEachNeighborAtLeast(v, t, func(u int) {
+			if parent[u] == -2 {
+				parent[u] = int32(v)
+				queue = append(queue, int32(u))
+			}
+		})
+	}
+	if parent[dst] == -2 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = int(parent[v]) {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// TrussDistance returns the exact truss distance between u and v (Inf if
+// disconnected) together with the realizing threshold.
+func (m *Metric) TrussDistance(u, v int) (float64, int32) {
+	dist, bestT := m.DistancesFrom(u)
+	if v < 0 || v >= len(dist) {
+		return Inf, 0
+	}
+	return dist[v], bestT[v]
+}
+
+// PathMinTruss returns the minimum edge trussness along a vertex path.
+func PathMinTruss(ix *trussindex.Index, path []int) int32 {
+	if len(path) < 2 {
+		return 0
+	}
+	min := int32(math.MaxInt32)
+	for i := 0; i+1 < len(path); i++ {
+		if t := ix.EdgeTruss(path[i], path[i+1]); t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// PathTrussDistance evaluates Definition 7 directly on an explicit path:
+// len + γ(τ̄(∅) − min edge trussness). Used by tests as an oracle.
+func PathTrussDistance(ix *trussindex.Index, path []int, gamma float64) float64 {
+	if len(path) < 2 {
+		return 0
+	}
+	return float64(len(path)-1) + gamma*float64(ix.MaxTruss()-PathMinTruss(ix, path))
+}

@@ -1,0 +1,200 @@
+// Package tcp implements the triangle-connected k-truss community model of
+// Huang et al. (SIGMOD 2014) — reference [17] of the paper — which this
+// paper's CTC model is motivated against: TCP requires every pair of edges
+// in a community to be connected through a chain of triangles, a constraint
+// strictly stronger than connectivity that can make multi-vertex queries
+// unanswerable (the paper's §1 example: Q = {v4, q3, p1} has no TCP
+// community at any k, but does have a CTC).
+package tcp
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/truss"
+)
+
+// Community is one triangle-connected k-truss community.
+type Community struct {
+	// K is the trussness level of the community.
+	K int32
+	// Vertices is the sorted vertex set.
+	Vertices []int
+	// Edges is the community's edge set (every pair triangle-connected).
+	Edges []graph.EdgeKey
+}
+
+// ErrNoCommunity is returned when no triangle-connected community covers
+// the query.
+var ErrNoCommunity = errors.New("tcp: no triangle-connected k-truss community contains the query")
+
+// edgeDSU is union-find over edge indices.
+type edgeDSU struct {
+	parent []int32
+}
+
+func newEdgeDSU(n int) *edgeDSU {
+	d := &edgeDSU{parent: make([]int32, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+func (d *edgeDSU) find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *edgeDSU) union(a, b int32) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		d.parent[rb] = ra
+	}
+}
+
+// classesAtLevel partitions the edges of trussness >= k into
+// triangle-connected equivalence classes.
+func classesAtLevel(g *graph.Graph, d *truss.Decomposition, k int32) (map[graph.EdgeKey]int, [][]graph.EdgeKey) {
+	edges := d.EdgesAtLeast(k)
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	idx := make(map[graph.EdgeKey]int, len(edges))
+	for i, e := range edges {
+		idx[e] = i
+	}
+	mu := graph.NewMutableFromEdges(g.N(), edges)
+	dsu := newEdgeDSU(len(edges))
+	for i, e := range edges {
+		u, v := e.Endpoints()
+		mu.CommonNeighbors(u, v, func(w int) {
+			// Triangle u-v-w within the level-k subgraph: union all three.
+			if j, ok := idx[graph.Key(u, w)]; ok {
+				if l, ok2 := idx[graph.Key(v, w)]; ok2 {
+					dsu.union(int32(i), int32(j))
+					dsu.union(int32(i), int32(l))
+				}
+			}
+		})
+	}
+	groups := map[int32][]graph.EdgeKey{}
+	for i, e := range edges {
+		r := dsu.find(int32(i))
+		groups[r] = append(groups[r], e)
+	}
+	out := make([][]graph.EdgeKey, 0, len(groups))
+	for _, es := range groups {
+		out = append(out, es)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	classOf := make(map[graph.EdgeKey]int, len(edges))
+	for ci, es := range out {
+		for _, e := range es {
+			classOf[e] = ci
+		}
+	}
+	return classOf, out
+}
+
+func communityFromEdges(k int32, es []graph.EdgeKey) *Community {
+	vs := map[int]bool{}
+	for _, e := range es {
+		u, v := e.Endpoints()
+		vs[u] = true
+		vs[v] = true
+	}
+	verts := make([]int, 0, len(vs))
+	for v := range vs {
+		verts = append(verts, v)
+	}
+	sort.Ints(verts)
+	edges := append([]graph.EdgeKey(nil), es...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	return &Community{K: k, Vertices: verts, Edges: edges}
+}
+
+// Communities returns every triangle-connected k-truss community containing
+// the single query vertex q at level k (the [17] primitive: one community
+// per triangle-connected class holding an edge incident to q). The result
+// may be empty.
+func Communities(g *graph.Graph, d *truss.Decomposition, q int, k int32) []*Community {
+	classOf, groups := classesAtLevel(g, d, k)
+	seen := map[int]bool{}
+	var out []*Community
+	if q < 0 || q >= g.N() {
+		return nil
+	}
+	for _, w := range g.Neighbors(q) {
+		e := graph.Key(q, int(w))
+		if ci, ok := classOf[e]; ok && !seen[ci] {
+			seen[ci] = true
+			out = append(out, communityFromEdges(k, groups[ci]))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Edges[0] < out[j].Edges[0] })
+	return out
+}
+
+// SearchMulti extends the model to a query set, per the paper's §1
+// discussion: a valid answer is a triangle-connected class at level k that
+// contains an incident edge of every query vertex. Returns ErrNoCommunity
+// when the constraint is unsatisfiable at this k.
+func SearchMulti(g *graph.Graph, d *truss.Decomposition, q []int, k int32) (*Community, error) {
+	if len(q) == 0 {
+		return nil, errors.New("tcp: empty query")
+	}
+	classOf, groups := classesAtLevel(g, d, k)
+	// For each query vertex, the set of classes touching it.
+	candidate := map[int]int{} // class -> how many query vertices it covers
+	for _, qv := range q {
+		if qv < 0 || qv >= g.N() {
+			return nil, ErrNoCommunity
+		}
+		mine := map[int]bool{}
+		for _, w := range g.Neighbors(qv) {
+			if ci, ok := classOf[graph.Key(qv, int(w))]; ok {
+				mine[ci] = true
+			}
+		}
+		for ci := range mine {
+			candidate[ci]++
+		}
+	}
+	best := -1
+	for ci, cover := range candidate {
+		if cover == len(dedupe(q)) && (best < 0 || ci < best) {
+			best = ci
+		}
+	}
+	if best < 0 {
+		return nil, ErrNoCommunity
+	}
+	return communityFromEdges(k, groups[best]), nil
+}
+
+// MaxSearchMulti finds the largest k admitting a triangle-connected
+// community covering all of q, mirroring the CTC's "largest k" condition.
+func MaxSearchMulti(g *graph.Graph, d *truss.Decomposition, q []int) (*Community, error) {
+	hi := d.QueryUpperBound(q)
+	for k := hi; k >= 3; k-- { // triangle connectivity needs k >= 3 to be meaningful
+		if c, err := SearchMulti(g, d, q, k); err == nil {
+			return c, nil
+		}
+	}
+	return nil, ErrNoCommunity
+}
+
+func dedupe(q []int) []int {
+	seen := map[int]bool{}
+	out := q[:0:0]
+	for _, v := range q {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package truss
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDynamicLowAnchorInflation(t *testing.T) {
+	// K6 on 0..5 plus x=6 attached to 0 and 1 only. Edge (0,1) has a
+	// triangle through x whose wing edges have low trussness (3). Deleting
+	// a K6 edge not touching (0,1) must drop τ(0,1) from 6 to 5 — if the
+	// influence region excludes the low wings as anchors, their triangle
+	// can inflate (0,1) back to 6.
+	b := graph.NewBuilder(7, 0)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge(0, 6)
+	b.AddEdge(1, 6)
+	g := b.Build()
+	dy := NewDynamic(g)
+	if dy.EdgeTruss(0, 1) != 6 {
+		t.Fatalf("τ(0,1) = %d before", dy.EdgeTruss(0, 1))
+	}
+	dy.DeleteEdge(2, 3)
+	checkAgainstRecompute(t, dy, "after K6 edge delete with low wings")
+}
+
+func TestDynamicLowAnchorInflationK5(t *testing.T) {
+	// Sharper variant: K5 on 0..4 plus x=5 attached to 0 and 1. Deleting
+	// (2,3) drops the K5 edges to τ=4; the wing edges (0,5),(1,5) have τ=3
+	// and in the true peel stop supporting (0,1) at level 4 — an influence
+	// region treating them as permanent anchors inflates τ(0,1) to 5.
+	b := graph.NewBuilder(6, 0)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge(0, 5)
+	b.AddEdge(1, 5)
+	g := b.Build()
+	dy := NewDynamic(g)
+	dy.DeleteEdge(2, 3)
+	checkAgainstRecompute(t, dy, "K5 with low wings")
+}

@@ -1,0 +1,229 @@
+package truss
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Dynamic maintains a truss decomposition under edge insertions and
+// deletions, following the incremental algorithms of Huang et al. (SIGMOD
+// 2014), the same-author system whose simple truss index this paper reuses.
+//
+// It relies on the local characterization of trussness: the labels τ are
+// the greatest pointwise fixed point of
+//
+//	τ(f) = max k such that f has >= k-2 triangles whose other two edges
+//	       both carry labels >= k,
+//
+// so converging labels downward from any pointwise upper bound by
+// asynchronous relaxation yields the exact decomposition. Deletions leave
+// old labels as upper bounds and cascade only through edges that actually
+// drop (each by at most one level). Insertions can raise labels by at most
+// one, and only within the set of edges triangle-connected to the new edge
+// through same-level chains; those candidates are bumped by one and then
+// relaxed back down. Every update is property-tested against full
+// recomputation.
+type Dynamic struct {
+	mu    *graph.Mutable
+	truss map[graph.EdgeKey]int32
+}
+
+// NewDynamic builds a dynamic decomposition from an initial graph.
+func NewDynamic(g *graph.Graph) *Dynamic {
+	d := Decompose(g)
+	return &Dynamic{
+		mu:    graph.NewMutable(g, nil),
+		truss: d.EdgeTruss,
+	}
+}
+
+// Graph exposes the current graph (treat as read-only).
+func (dy *Dynamic) Graph() *graph.Mutable { return dy.mu }
+
+// EdgeTruss returns τ(u,v) in the current graph (0 if absent).
+func (dy *Dynamic) EdgeTruss(u, v int) int32 { return dy.truss[graph.Key(u, v)] }
+
+// Snapshot converts the current state into a Decomposition.
+func (dy *Dynamic) Snapshot() *Decomposition {
+	d := &Decomposition{
+		EdgeTruss:   make(map[graph.EdgeKey]int32, len(dy.truss)),
+		VertexTruss: make([]int32, dy.mu.NumIDs()),
+	}
+	for e, k := range dy.truss {
+		d.EdgeTruss[e] = k
+		u, v := e.Endpoints()
+		if k > d.VertexTruss[u] {
+			d.VertexTruss[u] = k
+		}
+		if k > d.VertexTruss[v] {
+			d.VertexTruss[v] = k
+		}
+		if k > d.MaxTruss {
+			d.MaxTruss = k
+		}
+	}
+	return d
+}
+
+// consistentLevel returns the largest k <= cap such that f has at least
+// k-2 triangles whose other two edges both have labels >= k (and k >= 2).
+func (dy *Dynamic) consistentLevel(f graph.EdgeKey, cap int32) int32 {
+	u, v := f.Endpoints()
+	var mins []int32
+	dy.mu.CommonNeighbors(u, v, func(w int) {
+		a := dy.truss[graph.Key(u, w)]
+		b := dy.truss[graph.Key(v, w)]
+		if b < a {
+			a = b
+		}
+		mins = append(mins, a)
+	})
+	// Sort descending; level k needs mins[k-3] >= k (1-indexed: k-2 wings).
+	sort.Slice(mins, func(i, j int) bool { return mins[i] > mins[j] })
+	hi := int32(len(mins)) + 2
+	if hi > cap {
+		hi = cap
+	}
+	for k := hi; k > 2; k-- {
+		if mins[k-3] >= k {
+			return k
+		}
+	}
+	return 2
+}
+
+// relaxDown drains the queue, lowering any label that violates local
+// consistency and enqueueing the triangle partners that might have counted
+// the dropped edge. Labels only decrease, so this terminates at the exact
+// decomposition provided the starting labels are pointwise upper bounds.
+func (dy *Dynamic) relaxDown(queue []graph.EdgeKey) {
+	inQueue := make(map[graph.EdgeKey]bool, len(queue))
+	for _, e := range queue {
+		inQueue[e] = true
+	}
+	for head := 0; head < len(queue); head++ {
+		f := queue[head]
+		inQueue[f] = false
+		u, v := f.Endpoints()
+		if !dy.mu.HasEdge(u, v) {
+			continue
+		}
+		old := dy.truss[f]
+		h := dy.consistentLevel(f, old)
+		if h >= old {
+			continue
+		}
+		dy.truss[f] = h
+		// Partners with labels in (h, old] may have counted f at their
+		// level; recheck them.
+		dy.mu.CommonNeighbors(u, v, func(w int) {
+			for _, g := range [2]graph.EdgeKey{graph.Key(u, w), graph.Key(v, w)} {
+				if t := dy.truss[g]; t > h && t <= old && !inQueue[g] {
+					inQueue[g] = true
+					queue = append(queue, g)
+				}
+			}
+		})
+	}
+}
+
+// InsertEdge adds (u, v) and updates the trussness of all affected edges.
+// Reports whether the edge was new.
+func (dy *Dynamic) InsertEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= dy.mu.NumIDs() || v >= dy.mu.NumIDs() {
+		return false
+	}
+	if !dy.mu.AddEdge(u, v) {
+		return false
+	}
+	e := graph.Key(u, v)
+	// Candidate set: edges in triangles with e, closed under same-level
+	// triangle connectivity (a rise of f can enable a partner g to rise
+	// only when τ(g) = τ(f), per the insertion theorem of Huang et al.).
+	seeds := make([]graph.EdgeKey, 0, 8)
+	dy.mu.CommonNeighbors(u, v, func(w int) {
+		seeds = append(seeds, graph.Key(u, w), graph.Key(v, w))
+	})
+	candidates := dy.sameLevelClosure(seeds)
+	// Bump candidates to their upper bounds (+1), give e its support-based
+	// upper bound, then relax everything back down.
+	queue := make([]graph.EdgeKey, 0, len(candidates)+1)
+	for _, f := range candidates {
+		dy.truss[f]++
+		queue = append(queue, f)
+	}
+	dy.truss[e] = dy.consistentLevel(e, int32(2+dy.mu.CountCommonNeighbors(u, v)))
+	queue = append(queue, e)
+	dy.relaxDown(queue)
+	return true
+}
+
+// sameLevelClosure expands the seed edges through triangle adjacency
+// restricted to partners with equal labels.
+func (dy *Dynamic) sameLevelClosure(seeds []graph.EdgeKey) []graph.EdgeKey {
+	seen := make(map[graph.EdgeKey]bool, len(seeds))
+	var out []graph.EdgeKey
+	var queue []graph.EdgeKey
+	push := func(f graph.EdgeKey) {
+		if seen[f] {
+			return
+		}
+		fu, fv := f.Endpoints()
+		if !dy.mu.HasEdge(fu, fv) {
+			return
+		}
+		seen[f] = true
+		out = append(out, f)
+		queue = append(queue, f)
+	}
+	for _, s := range seeds {
+		push(s)
+	}
+	for head := 0; head < len(queue); head++ {
+		f := queue[head]
+		level := dy.truss[f]
+		fu, fv := f.Endpoints()
+		dy.mu.CommonNeighbors(fu, fv, func(w int) {
+			for _, g := range [2]graph.EdgeKey{graph.Key(fu, w), graph.Key(fv, w)} {
+				if dy.truss[g] == level {
+					push(g)
+				}
+			}
+		})
+	}
+	return out
+}
+
+// DeleteEdge removes (u, v) and updates the trussness of all affected
+// edges. Reports whether an edge was removed.
+func (dy *Dynamic) DeleteEdge(u, v int) bool {
+	e := graph.Key(u, v)
+	if _, ok := dy.truss[e]; !ok {
+		return false
+	}
+	// Partners of e's triangles lose a wing; old labels stay upper bounds.
+	var queue []graph.EdgeKey
+	dy.mu.CommonNeighbors(u, v, func(w int) {
+		queue = append(queue, graph.Key(u, w), graph.Key(v, w))
+	})
+	if !dy.mu.DeleteEdge(u, v) {
+		return false
+	}
+	delete(dy.truss, e)
+	dy.relaxDown(queue)
+	return true
+}
+
+// DeleteVertex removes v with all incident edges, updating trussness.
+func (dy *Dynamic) DeleteVertex(v int) {
+	if v < 0 || v >= dy.mu.NumIDs() || !dy.mu.Present(v) {
+		return
+	}
+	var nbrs []int
+	dy.mu.ForEachNeighbor(v, func(u int) { nbrs = append(nbrs, u) })
+	for _, u := range nbrs {
+		dy.DeleteEdge(v, u)
+	}
+	dy.mu.DeleteVertex(v)
+}

@@ -1,0 +1,174 @@
+package truss
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// checkAgainstRecompute verifies that the dynamic decomposition matches a
+// from-scratch decomposition of the current graph.
+func checkAgainstRecompute(t *testing.T, dy *Dynamic, context string) {
+	t.Helper()
+	want := DecomposeMutable(dy.Graph())
+	got := dy.Snapshot()
+	if len(got.EdgeTruss) != len(want.EdgeTruss) {
+		t.Fatalf("%s: %d edges tracked, recompute has %d", context, len(got.EdgeTruss), len(want.EdgeTruss))
+	}
+	for e, k := range want.EdgeTruss {
+		if got.EdgeTruss[e] != k {
+			t.Fatalf("%s: τ%s = %d, recompute says %d", context, e, got.EdgeTruss[e], k)
+		}
+	}
+	if got.MaxTruss != want.MaxTruss {
+		t.Fatalf("%s: max truss %d vs %d", context, got.MaxTruss, want.MaxTruss)
+	}
+}
+
+func TestDynamicInsertTriangleByTriangle(t *testing.T) {
+	// Build K5 one edge at a time; every prefix must match recomputation.
+	b := graph.NewBuilder(5, 0)
+	b.EnsureVertex(4)
+	dy := NewDynamic(b.Build())
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if !dy.InsertEdge(u, v) {
+				t.Fatalf("insert (%d,%d) failed", u, v)
+			}
+			checkAgainstRecompute(t, dy, "building K5")
+		}
+	}
+	if dy.EdgeTruss(0, 1) != 5 {
+		t.Fatalf("final K5 trussness %d", dy.EdgeTruss(0, 1))
+	}
+	// Tear it down edge by edge.
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if !dy.DeleteEdge(u, v) {
+				t.Fatalf("delete (%d,%d) failed", u, v)
+			}
+			checkAgainstRecompute(t, dy, "dismantling K5")
+		}
+	}
+}
+
+func TestDynamicRejectsDegenerates(t *testing.T) {
+	dy := NewDynamic(completeGraph(4))
+	if dy.InsertEdge(0, 0) {
+		t.Fatal("self-loop accepted")
+	}
+	if dy.InsertEdge(0, 1) {
+		t.Fatal("duplicate accepted")
+	}
+	if dy.InsertEdge(-1, 2) || dy.InsertEdge(0, 99) {
+		t.Fatal("out-of-range accepted")
+	}
+	if dy.DeleteEdge(0, 99) {
+		t.Fatal("absent delete accepted")
+	}
+	if !dy.DeleteEdge(0, 1) || dy.DeleteEdge(0, 1) {
+		t.Fatal("delete idempotence broken")
+	}
+}
+
+func TestDynamicDeleteVertex(t *testing.T) {
+	g := paperGraph()
+	dy := NewDynamic(g)
+	dy.DeleteVertex(2) // q3: touches both 4-cliques and the pendant path
+	checkAgainstRecompute(t, dy, "after DeleteVertex(q3)")
+	if dy.Graph().Present(2) {
+		t.Fatal("vertex still present")
+	}
+	dy.DeleteVertex(2) // no-op
+	checkAgainstRecompute(t, dy, "double delete")
+}
+
+func TestDynamicRandomOperationSequences(t *testing.T) {
+	// The serious test: random interleavings of insertions and deletions on
+	// random graphs, each step checked against full recomputation.
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 14
+		g := randomGraph(seed, n, 0.25)
+		dy := NewDynamic(g)
+		for step := 0; step < 60; step++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if dy.Graph().HasEdge(u, v) {
+				dy.DeleteEdge(u, v)
+			} else {
+				dy.InsertEdge(u, v)
+			}
+			checkAgainstRecompute(t, dy, "random sequence")
+		}
+	}
+}
+
+func TestDynamicInsertRaisesPaperGraph(t *testing.T) {
+	// On Figure 1(a): inserting the chord (t, v4) creates no triangles
+	// for edges (q1,t),(t,q3)... actually (t,v4) with common neighbor q3
+	// (t-q3, v4-q3) forms one triangle; all three edges get trussness 3.
+	g := paperGraph()
+	dy := NewDynamic(g)
+	if dy.EdgeTruss(2, 11) != 2 {
+		t.Fatalf("τ(q3,t) = %d before insert", dy.EdgeTruss(2, 11))
+	}
+	dy.InsertEdge(11, 6) // (t, v4)
+	checkAgainstRecompute(t, dy, "after chord insert")
+	if dy.EdgeTruss(2, 11) != 3 {
+		t.Fatalf("τ(q3,t) = %d after insert, want 3", dy.EdgeTruss(2, 11))
+	}
+	// The deep 4-truss must be untouched.
+	if dy.EdgeTruss(1, 4) != 4 {
+		t.Fatalf("τ(q2,v2) changed to %d", dy.EdgeTruss(1, 4))
+	}
+}
+
+func TestDynamicSnapshotUsableForSearch(t *testing.T) {
+	// A snapshot after updates must drive ConnectedKTruss correctly.
+	g := paperGraph()
+	dy := NewDynamic(g)
+	// Delete one free-rider clique edge: p-block degrades below 4-truss.
+	dy.DeleteEdge(8, 9) // (p1,p2)
+	checkAgainstRecompute(t, dy, "after free-rider edge delete")
+	snap := dy.Snapshot()
+	frozen := dy.Graph().Freeze()
+	mu, k, err := MaxConnectedKTruss(frozen, snap, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 {
+		t.Fatalf("k = %d, want 4", k)
+	}
+	if mu.Present(8) || mu.Present(9) {
+		t.Fatal("degraded free riders should be out of the 4-truss")
+	}
+}
+
+func TestDynamicLargeRandomChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn test is slow")
+	}
+	// Bigger graph, checks only at the end and at a few checkpoints.
+	g := randomGraph(99, 60, 0.12)
+	dy := NewDynamic(g)
+	rng := rand.New(rand.NewSource(99))
+	for step := 1; step <= 300; step++ {
+		u, v := rng.Intn(60), rng.Intn(60)
+		if u == v {
+			continue
+		}
+		if dy.Graph().HasEdge(u, v) {
+			dy.DeleteEdge(u, v)
+		} else {
+			dy.InsertEdge(u, v)
+		}
+		if step%100 == 0 {
+			checkAgainstRecompute(t, dy, "churn checkpoint")
+		}
+	}
+	checkAgainstRecompute(t, dy, "after churn")
+}

@@ -1,0 +1,102 @@
+package truss
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ErrNoCommunity is returned when no connected k-truss containing the query
+// vertices exists for any k >= 2.
+var ErrNoCommunity = errors.New("truss: no connected k-truss contains the query vertices")
+
+// MaximalKTruss returns a Mutable holding the maximal (not necessarily
+// connected) k-truss subgraph of g: the union of all edges with trussness
+// >= k.
+func MaximalKTruss(g *graph.Graph, d *Decomposition, k int32) *graph.Mutable {
+	return graph.NewMutableFromEdges(g.N(), d.EdgesAtLeast(k))
+}
+
+// ConnectedKTruss extracts the connected component of the maximal k-truss of
+// g that contains all query vertices. It returns ErrNoCommunity if the query
+// vertices do not share a component at level k.
+func ConnectedKTruss(g *graph.Graph, d *Decomposition, k int32, q []int) (*graph.Mutable, error) {
+	if len(q) == 0 {
+		return nil, errors.New("truss: empty query")
+	}
+	mu := MaximalKTruss(g, d, k)
+	if !graph.Connected(mu, q) {
+		return nil, fmt.Errorf("%w (k=%d)", ErrNoCommunity, k)
+	}
+	comp := graph.Component(mu, q[0])
+	return graph.InducedMutable(mu, comp), nil
+}
+
+// MaxConnectedKTruss finds the largest k for which a connected k-truss
+// containing Q exists, and returns that subgraph together with k. This is
+// the reference (index-free) implementation of FindG0 used to validate the
+// truss-index version; it binary-searches down from the Lemma-1 bound.
+func MaxConnectedKTruss(g *graph.Graph, d *Decomposition, q []int) (*graph.Mutable, int32, error) {
+	if len(q) == 0 {
+		return nil, 0, errors.New("truss: empty query")
+	}
+	hi := d.QueryUpperBound(q)
+	for k := hi; k >= 2; k-- {
+		mu, err := ConnectedKTruss(g, d, k, q)
+		if err == nil {
+			return mu, k, nil
+		}
+	}
+	return nil, 0, ErrNoCommunity
+}
+
+// SubgraphTrussness returns τ(H) = 2 + min edge support of the current state
+// of mu (Definition 2), or 0 if mu has no edges.
+func SubgraphTrussness(mu *graph.Mutable) int32 {
+	if mu.M() == 0 {
+		return 0
+	}
+	min := int32(-1)
+	for v := 0; v < mu.NumIDs(); v++ {
+		if !mu.Present(v) {
+			continue
+		}
+		mu.ForEachNeighbor(v, func(w int) {
+			if w <= v {
+				return
+			}
+			s := int32(mu.CountCommonNeighbors(v, w))
+			if min < 0 || s < min {
+				min = s
+			}
+		})
+	}
+	return min + 2
+}
+
+// IsKTruss reports whether every edge of mu has support >= k-2.
+func IsKTruss(mu *graph.Mutable, k int32) bool {
+	if mu.M() == 0 {
+		return true
+	}
+	return SubgraphTrussness(mu) >= k
+}
+
+// VerifyCommunity checks the two CTC conditions for a candidate community:
+// it must be a connected k-truss containing all of q. It returns a
+// descriptive error on violation; nil means valid.
+func VerifyCommunity(mu *graph.Mutable, k int32, q []int) error {
+	for _, v := range q {
+		if !mu.Present(v) {
+			return fmt.Errorf("truss: query vertex %d missing from community", v)
+		}
+	}
+	if !graph.IsConnected(mu) {
+		return errors.New("truss: community is not connected")
+	}
+	if !IsKTruss(mu, k) {
+		return fmt.Errorf("truss: community is not a %d-truss (trussness %d)", k, SubgraphTrussness(mu))
+	}
+	return nil
+}

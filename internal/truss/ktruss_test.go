@@ -1,0 +1,198 @@
+package truss
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMaximalKTruss(t *testing.T) {
+	g := paperGraph()
+	d := Decompose(g)
+	mu := MaximalKTruss(g, d, 4)
+	// The 4-truss region is everything except t and its pendant edges:
+	// 23 edges, 11 vertices.
+	if mu.M() != 23 {
+		t.Fatalf("4-truss edges = %d, want 23", mu.M())
+	}
+	if mu.Present(11) {
+		t.Fatal("t must not be in the 4-truss")
+	}
+	if !IsKTruss(mu, 4) {
+		t.Fatal("maximal 4-truss fails the k-truss predicate")
+	}
+	// Level 2 returns everything.
+	if MaximalKTruss(g, d, 2).M() != g.M() {
+		t.Fatal("2-truss should contain all edges")
+	}
+}
+
+func TestConnectedKTrussQueryComponents(t *testing.T) {
+	// Two disjoint 4-cliques.
+	b := graph.NewBuilder(8, 0)
+	for _, off := range []int{0, 4} {
+		for u := 0; u < 4; u++ {
+			for v := u + 1; v < 4; v++ {
+				b.AddEdge(off+u, off+v)
+			}
+		}
+	}
+	b.AddEdge(3, 4) // bridge edge, trussness 2
+	g := b.Build()
+	d := Decompose(g)
+	// Query inside one clique: fine at k=4.
+	mu, err := ConnectedKTruss(g, d, 4, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu.N() != 4 || mu.M() != 6 {
+		t.Fatalf("component: N=%d M=%d, want 4 6", mu.N(), mu.M())
+	}
+	// Query spanning both cliques: no 4-truss connects them.
+	if _, err := ConnectedKTruss(g, d, 4, []int{0, 5}); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("want ErrNoCommunity, got %v", err)
+	}
+	// But the bridge makes them a single connected 2-truss.
+	mu2, err := ConnectedKTruss(g, d, 2, []int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu2.N() != 8 {
+		t.Fatalf("2-truss component N=%d, want 8", mu2.N())
+	}
+}
+
+func TestMaxConnectedKTruss(t *testing.T) {
+	g := paperGraph()
+	d := Decompose(g)
+	// Q = {q1,q2,q3}: the maximal connected 4-truss is the grey region.
+	mu, k, err := MaxConnectedKTruss(g, d, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 {
+		t.Fatalf("k = %d, want 4", k)
+	}
+	if mu.N() != 11 || mu.Present(11) {
+		t.Fatalf("G0 has %d nodes (t present: %v), want 11 without t", mu.N(), mu.Present(11))
+	}
+	// Q = {v4,q3,p1} (paper §1): the old triangle-connected model fails, but
+	// a connected k-truss still exists here; the largest is k=4 (all three in
+	// the grey 4-truss region).
+	_, k2, err := MaxConnectedKTruss(g, d, []int{6, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 != 4 {
+		t.Fatalf("k = %d, want 4", k2)
+	}
+	// Query containing t only reaches k=2.
+	_, k3, err := MaxConnectedKTruss(g, d, []int{11, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 != 2 {
+		t.Fatalf("k = %d, want 2", k3)
+	}
+}
+
+func TestMaxConnectedKTrussNoCommunity(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	d := Decompose(g)
+	if _, _, err := MaxConnectedKTruss(g, d, []int{0, 2}); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("want ErrNoCommunity, got %v", err)
+	}
+	if _, _, err := MaxConnectedKTruss(g, d, nil); err == nil {
+		t.Fatal("empty query should error")
+	}
+}
+
+func TestSubgraphTrussness(t *testing.T) {
+	g := paperGraph()
+	// Triangle q2,v2,q1: each edge in exactly one triangle → τ(H)=3 (paper §2).
+	tri := graph.InducedMutable(graph.NewMutable(g, nil), []int{0, 1, 4})
+	if got := SubgraphTrussness(tri); got != 3 {
+		t.Fatalf("triangle trussness = %d, want 3", got)
+	}
+	// The 4-clique induced on q1,q2,v1,v2 has trussness 4.
+	cl := graph.InducedMutable(graph.NewMutable(g, nil), []int{0, 1, 3, 4})
+	if got := SubgraphTrussness(cl); got != 4 {
+		t.Fatalf("clique trussness = %d, want 4", got)
+	}
+	if SubgraphTrussness(graph.NewMutableFromEdges(3, nil)) != 0 {
+		t.Fatal("edgeless trussness must be 0")
+	}
+}
+
+func TestVerifyCommunity(t *testing.T) {
+	g := paperGraph()
+	d := Decompose(g)
+	mu, _, _ := MaxConnectedKTruss(g, d, []int{0, 1, 2})
+	if err := VerifyCommunity(mu, 4, []int{0, 1, 2}); err != nil {
+		t.Fatalf("valid community rejected: %v", err)
+	}
+	if err := VerifyCommunity(mu, 5, []int{0, 1, 2}); err == nil {
+		t.Fatal("5-truss claim must fail")
+	}
+	if err := VerifyCommunity(mu, 4, []int{11}); err == nil {
+		t.Fatal("missing query vertex must fail")
+	}
+	disc := graph.NewMutableFromEdges(4, []graph.EdgeKey{graph.Key(0, 1), graph.Key(2, 3)})
+	if err := VerifyCommunity(disc, 2, []int{0}); err == nil {
+		t.Fatal("disconnected community must fail")
+	}
+}
+
+func TestKEdgeConnectivityProperty(t *testing.T) {
+	// §3.1: a k-truss community is (k-1)-edge-connected; removing any single
+	// edge from a 4-truss must leave it connected (4-truss ⇒ 3-edge-conn).
+	g := paperGraph()
+	d := Decompose(g)
+	mu, k, err := MaxConnectedKTruss(g, d, []int{0, 1, 2})
+	if err != nil || k != 4 {
+		t.Fatalf("setup: k=%d err=%v", k, err)
+	}
+	for _, e := range mu.EdgeKeys() {
+		u, v := e.Endpoints()
+		cp := mu.Clone()
+		cp.DeleteEdge(u, v)
+		if !graph.IsConnected(cp) {
+			t.Fatalf("removing single edge %s disconnected a 4-truss", e)
+		}
+	}
+}
+
+func TestDiameterBoundOfKTruss(t *testing.T) {
+	// §3.1: diam of a connected k-truss with n vertices <= floor((2n-2)/k).
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(seed, 24, 0.4)
+		d := Decompose(g)
+		for k := int32(3); k <= d.MaxTruss; k++ {
+			mu := MaximalKTruss(g, d, k)
+			if mu.M() == 0 {
+				continue
+			}
+			// Check per component.
+			seen := map[int]bool{}
+			for _, v := range mu.Vertices() {
+				if seen[v] {
+					continue
+				}
+				comp := graph.Component(mu, v)
+				for _, c := range comp {
+					seen[c] = true
+				}
+				sub := graph.InducedMutable(mu, comp)
+				diam, ok := graph.Diameter(sub)
+				if !ok {
+					t.Fatal("component not connected")
+				}
+				bound := (2*len(comp) - 2) / int(k)
+				if diam > bound {
+					t.Fatalf("seed %d k=%d: diam %d > bound %d (n=%d)", seed, k, diam, bound, len(comp))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package truss
+
+import (
+	"repro/internal/graph"
+)
+
+// MaintainKTruss implements Algorithm 3 of the paper. It deletes the
+// vertices vd (and their incident edges) from mu, then iteratively removes
+// every edge whose support in the shrinking graph drops below k-2, updating
+// the support table sup in place. Finally it drops vertices left isolated.
+//
+// It returns the vertices removed (vd plus cascade victims) and every edge
+// deleted, so callers like Algorithm 1 can stamp an exact deletion timeline
+// (edge-level: an intermediate graph is not induced, since the cascade can
+// drop an edge while both endpoints survive).
+func MaintainKTruss(mu *graph.Mutable, sup map[graph.EdgeKey]int32, k int32, vd []int) (removedVerts []int, removedEdges []graph.EdgeKey) {
+	// Seed the removal queue with all edges incident to vd.
+	queue := make([]graph.EdgeKey, 0, 16)
+	inQueue := make(map[graph.EdgeKey]bool)
+	for _, v := range vd {
+		if !mu.Present(v) {
+			continue
+		}
+		mu.ForEachNeighbor(v, func(w int) {
+			e := graph.Key(v, w)
+			if !inQueue[e] {
+				inQueue[e] = true
+				queue = append(queue, e)
+			}
+		})
+	}
+	// Cascade: removing an edge decrements the support of the other two
+	// edges of each triangle it participated in; any edge falling below
+	// k-2 joins the queue (lines 4-9 of Algorithm 3).
+	for head := 0; head < len(queue); head++ {
+		e := queue[head]
+		u, v := e.Endpoints()
+		if !mu.HasEdge(u, v) {
+			continue
+		}
+		mu.CommonNeighbors(u, v, func(w int) {
+			for _, f := range [2]graph.EdgeKey{graph.Key(u, w), graph.Key(v, w)} {
+				if inQueue[f] {
+					continue
+				}
+				sup[f]--
+				if sup[f] < k-2 {
+					inQueue[f] = true
+					queue = append(queue, f)
+				}
+			}
+		})
+		mu.DeleteEdge(u, v)
+		delete(sup, e)
+		removedEdges = append(removedEdges, e)
+	}
+	// Line 10: remove isolated vertices. Vertices of vd are isolated by now.
+	removedVerts = make([]int, 0, len(vd))
+	for v := 0; v < mu.NumIDs(); v++ {
+		if mu.Present(v) && mu.Degree(v) == 0 {
+			mu.DeleteVertex(v)
+			removedVerts = append(removedVerts, v)
+		}
+	}
+	return removedVerts, removedEdges
+}
+
+// DropBelowSupport removes every edge of mu whose support is below k-2,
+// cascading, without deleting any seed vertices. Used to restore the k-truss
+// property after arbitrary edge deletions. sup must be the current support
+// table and is updated in place. Isolated vertices are removed; returns them.
+func DropBelowSupport(mu *graph.Mutable, sup map[graph.EdgeKey]int32, k int32) []int {
+	queue := make([]graph.EdgeKey, 0, 16)
+	inQueue := make(map[graph.EdgeKey]bool)
+	for e, s := range sup {
+		if s < k-2 {
+			inQueue[e] = true
+			queue = append(queue, e)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		e := queue[head]
+		u, v := e.Endpoints()
+		if !mu.HasEdge(u, v) {
+			continue
+		}
+		mu.CommonNeighbors(u, v, func(w int) {
+			for _, f := range [2]graph.EdgeKey{graph.Key(u, w), graph.Key(v, w)} {
+				if inQueue[f] {
+					continue
+				}
+				sup[f]--
+				if sup[f] < k-2 {
+					inQueue[f] = true
+					queue = append(queue, f)
+				}
+			}
+		})
+		mu.DeleteEdge(u, v)
+		delete(sup, e)
+	}
+	removed := make([]int, 0)
+	for v := 0; v < mu.NumIDs(); v++ {
+		if mu.Present(v) && mu.Degree(v) == 0 {
+			mu.DeleteVertex(v)
+			removed = append(removed, v)
+		}
+	}
+	return removed
+}

@@ -1,0 +1,43 @@
+package trussindex
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom checks that arbitrary bytes never panic the deserializer and
+// that valid serializations round-trip.
+func FuzzReadFrom(f *testing.F) {
+	// Seed with a genuine serialization and mutations of it.
+	ix := Build(paperGraph())
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	if len(valid) > 10 {
+		trunc := append([]byte(nil), valid[:len(valid)/2]...)
+		f.Add(trunc)
+		flipped := append([]byte(nil), valid...)
+		flipped[len(flipped)-1] ^= 0xFF
+		f.Add(flipped)
+	}
+	f.Add([]byte("CTCIDX1\n"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must be internally consistent enough to answer
+		// lookups without panicking.
+		g := ix.Graph()
+		for v := 0; v < g.N() && v < 50; v++ {
+			_ = ix.VertexTruss(v)
+			for _, w := range g.Neighbors(v) {
+				_ = ix.EdgeTruss(v, int(w))
+			}
+		}
+	})
+}

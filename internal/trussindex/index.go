@@ -1,0 +1,309 @@
+// Package trussindex implements the compact truss index of Section 4.3 of
+// the paper and the FindG0 procedure (Algorithm 2) that retrieves the
+// maximal connected k-truss containing a query with the largest k in
+// O(|E(G0)|) time.
+//
+// The index stores, per vertex, the neighbor list sorted by descending edge
+// trussness (with a parallel trussness array standing in for the paper's
+// "level marks"), the vertex trussness, and an edge→trussness hash table.
+package trussindex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/truss"
+)
+
+// ErrNoCommunity is returned when the query vertices are not all contained
+// in any single connected k-truss for k >= 2.
+var ErrNoCommunity = errors.New("trussindex: no connected k-truss contains the query vertices")
+
+// Index is the simple truss index: adjacency sorted by edge trussness plus
+// vertex trussness and an edge-trussness hashtable.
+type Index struct {
+	g *graph.Graph
+	// nbr[v] lists v's neighbors sorted by descending τ(v,u), ties by
+	// ascending neighbor ID; nbrTruss[v][i] = τ(v, nbr[v][i]).
+	nbr      [][]int32
+	nbrTruss [][]int32
+	// vertexTruss[v] = τ(v); maxTruss = τ̄(∅).
+	vertexTruss []int32
+	maxTruss    int32
+	edgeTruss   map[graph.EdgeKey]int32
+}
+
+// Build constructs the index for g, running a truss decomposition first.
+func Build(g *graph.Graph) *Index {
+	return BuildFromDecomposition(g, truss.Decompose(g))
+}
+
+// BuildFromDecomposition constructs the index from a precomputed
+// decomposition of g.
+func BuildFromDecomposition(g *graph.Graph, d *truss.Decomposition) *Index {
+	ix := &Index{
+		g:           g,
+		nbr:         make([][]int32, g.N()),
+		nbrTruss:    make([][]int32, g.N()),
+		vertexTruss: d.VertexTruss,
+		maxTruss:    d.MaxTruss,
+		edgeTruss:   d.EdgeTruss,
+	}
+	for v := 0; v < g.N(); v++ {
+		src := g.Neighbors(v)
+		nb := make([]int32, len(src))
+		copy(nb, src)
+		ts := make([]int32, len(nb))
+		for i, u := range nb {
+			ts[i] = d.EdgeTruss[graph.Key(v, int(u))]
+		}
+		idx := make([]int, len(nb))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ia, ib := idx[a], idx[b]
+			if ts[ia] != ts[ib] {
+				return ts[ia] > ts[ib]
+			}
+			return nb[ia] < nb[ib]
+		})
+		sortedNb := make([]int32, len(nb))
+		sortedTs := make([]int32, len(nb))
+		for i, j := range idx {
+			sortedNb[i] = nb[j]
+			sortedTs[i] = ts[j]
+		}
+		ix.nbr[v] = sortedNb
+		ix.nbrTruss[v] = sortedTs
+	}
+	return ix
+}
+
+// Graph returns the indexed graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// MaxTruss returns τ̄(∅), the maximum edge trussness in the graph.
+func (ix *Index) MaxTruss() int32 { return ix.maxTruss }
+
+// VertexTruss returns τ(v), or 0 for an isolated or out-of-range vertex.
+func (ix *Index) VertexTruss(v int) int32 {
+	if v < 0 || v >= len(ix.vertexTruss) {
+		return 0
+	}
+	return ix.vertexTruss[v]
+}
+
+// EdgeTruss returns τ(u,v), or 0 if the edge does not exist.
+func (ix *Index) EdgeTruss(u, v int) int32 { return ix.edgeTruss[graph.Key(u, v)] }
+
+// EdgeTrussTable exposes the underlying edge→trussness table (read-only use).
+func (ix *Index) EdgeTrussTable() map[graph.EdgeKey]int32 { return ix.edgeTruss }
+
+// Decomposition reconstitutes a truss.Decomposition view of the index.
+func (ix *Index) Decomposition() *truss.Decomposition {
+	return &truss.Decomposition{
+		EdgeTruss:   ix.edgeTruss,
+		VertexTruss: ix.vertexTruss,
+		MaxTruss:    ix.maxTruss,
+	}
+}
+
+// ForEachNeighborAtLeast calls fn for every neighbor u of v with
+// τ(v,u) >= k. Thanks to the trussness-sorted adjacency this touches only
+// the qualifying prefix.
+func (ix *Index) ForEachNeighborAtLeast(v int, k int32, fn func(u int)) {
+	if v < 0 || v >= len(ix.nbr) {
+		return
+	}
+	nb, ts := ix.nbr[v], ix.nbrTruss[v]
+	for i := 0; i < len(nb) && ts[i] >= k; i++ {
+		fn(int(nb[i]))
+	}
+}
+
+// Thresholds returns the distinct edge trussness values present in the
+// graph, in descending order.
+func (ix *Index) Thresholds() []int32 {
+	seen := make(map[int32]bool)
+	for _, t := range ix.edgeTruss {
+		seen[t] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// dsu is a union-find over vertex IDs used to check query connectivity
+// incrementally while FindG0 inserts edges.
+type dsu struct {
+	parent []int32
+	rank   []int8
+}
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+func (d *dsu) find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int32) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+}
+
+func (d *dsu) sameSet(q []int) bool {
+	if len(q) == 0 {
+		return true
+	}
+	r := d.find(int32(q[0]))
+	for _, v := range q[1:] {
+		if d.find(int32(v)) != r {
+			return false
+		}
+	}
+	return true
+}
+
+// FindG0 implements Algorithm 2: starting from the Lemma-1 level
+// k = min_q τ(q), it inserts edges in decreasing order of trussness,
+// expanding BFS-style from the query vertices, and stops at the first level
+// where the query vertices become connected. It returns the connected
+// component containing Q of the accumulated k-truss, together with k.
+func (ix *Index) FindG0(q []int) (*graph.Mutable, int32, error) {
+	if len(q) == 0 {
+		return nil, 0, errors.New("trussindex: empty query")
+	}
+	for _, v := range q {
+		if v < 0 || v >= ix.g.N() {
+			return nil, 0, fmt.Errorf("trussindex: query vertex %d out of range", v)
+		}
+		if ix.vertexTruss[v] == 0 {
+			return nil, 0, fmt.Errorf("%w: vertex %d has no edges", ErrNoCommunity, v)
+		}
+	}
+	k := ix.vertexTruss[q[0]]
+	for _, v := range q[1:] {
+		if t := ix.vertexTruss[v]; t < k {
+			k = t
+		}
+	}
+	n := ix.g.N()
+	g0 := graph.NewMutableFromEdges(n, nil)
+	for _, v := range q {
+		g0.EnsureVertex(v)
+	}
+	uf := newDSU(n)
+	// pos[v]: how many of v's trussness-sorted edges have been inserted.
+	pos := make([]int32, n)
+	// levels[l] holds vertices scheduled for processing at level l;
+	// scheduledAt[v] dedups scheduling (levels strictly decrease per vertex).
+	levels := make([][]int32, k+1)
+	scheduledAt := make([]int32, n)
+	for i := range scheduledAt {
+		scheduledAt[i] = -1
+	}
+	schedule := func(v int, l int32) {
+		if l < 2 || scheduledAt[v] == l {
+			return
+		}
+		scheduledAt[v] = l
+		levels[l] = append(levels[l], int32(v))
+	}
+	for _, v := range q {
+		schedule(v, k)
+	}
+	for ; k >= 2; k-- {
+		// BFS within the level: processing a vertex may append newly
+		// discovered vertices to the same level's queue.
+		queue := levels[k]
+		levels[k] = nil
+		for head := 0; head < len(queue); head++ {
+			v := int(queue[head])
+			nb, ts := ix.nbr[v], ix.nbrTruss[v]
+			for pos[v] < int32(len(nb)) && ts[pos[v]] >= k {
+				u := int(nb[pos[v]])
+				pos[v]++
+				if g0.AddEdge(v, u) {
+					uf.union(int32(v), int32(u))
+				}
+				if scheduledAt[u] != k {
+					scheduledAt[u] = k
+					queue = append(queue, int32(u))
+				}
+			}
+			// Line 12-13: remember the next level at which v has edges.
+			if pos[v] < int32(len(nb)) {
+				schedule(v, ts[pos[v]])
+			}
+		}
+		if uf.sameSet(q) {
+			comp := graph.Component(g0, q[0])
+			return graph.InducedMutable(g0, comp), k, nil
+		}
+	}
+	return nil, 0, ErrNoCommunity
+}
+
+// FindKTruss returns the connected component containing Q of the maximal
+// k-truss for the given fixed k (used by the Exp-5 fixed-trussness variant),
+// or ErrNoCommunity if Q is not contained in one.
+func (ix *Index) FindKTruss(q []int, k int32) (*graph.Mutable, error) {
+	if len(q) == 0 {
+		return nil, errors.New("trussindex: empty query")
+	}
+	for _, v := range q {
+		if v < 0 || v >= ix.g.N() || ix.vertexTruss[v] < k {
+			return nil, fmt.Errorf("%w (k=%d)", ErrNoCommunity, k)
+		}
+	}
+	// BFS from q[0] using only edges with trussness >= k.
+	n := ix.g.N()
+	seen := make([]bool, n)
+	seen[q[0]] = true
+	queue := []int32{int32(q[0])}
+	mu := graph.NewMutableFromEdges(n, nil)
+	mu.EnsureVertex(q[0])
+	for head := 0; head < len(queue); head++ {
+		v := int(queue[head])
+		nb, ts := ix.nbr[v], ix.nbrTruss[v]
+		for i := 0; i < len(nb) && ts[i] >= k; i++ {
+			u := int(nb[i])
+			mu.AddEdge(v, u)
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, int32(u))
+			}
+		}
+	}
+	for _, v := range q[1:] {
+		if !seen[v] {
+			return nil, fmt.Errorf("%w (k=%d)", ErrNoCommunity, k)
+		}
+	}
+	return mu, nil
+}

@@ -1,0 +1,141 @@
+package trussindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// serialization format (little-endian varints):
+//   magic "CTCIDX1\n"
+//   n (uvarint), maxTruss (uvarint)
+//   per vertex v: deg (uvarint), then deg pairs (neighbor uvarint, τ uvarint)
+// The adjacency is stored in index order (descending trussness), so decoding
+// rebuilds the exact index without re-sorting. Vertex trussness is implied
+// by the first pair.
+
+const magic = "CTCIDX1\n"
+
+// WriteTo serializes the index. It returns the number of bytes written,
+// which is the "Index Size" figure reported in Table 3.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.Write([]byte(magic)); err != nil {
+		return cw.n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := cw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(ix.g.N())); err != nil {
+		return cw.n, err
+	}
+	if err := putUvarint(uint64(ix.maxTruss)); err != nil {
+		return cw.n, err
+	}
+	for v := 0; v < ix.g.N(); v++ {
+		if err := putUvarint(uint64(len(ix.nbr[v]))); err != nil {
+			return cw.n, err
+		}
+		for i, u := range ix.nbr[v] {
+			if err := putUvarint(uint64(u)); err != nil {
+				return cw.n, err
+			}
+			if err := putUvarint(uint64(ix.nbrTruss[v][i])); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadFrom deserializes an index previously written with WriteTo.
+func ReadFrom(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trussindex: reading magic: %v", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trussindex: bad magic %q", head)
+	}
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trussindex: reading n: %v", err)
+	}
+	maxTruss, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trussindex: reading maxTruss: %v", err)
+	}
+	n := int(n64)
+	ix := &Index{
+		nbr:         make([][]int32, n),
+		nbrTruss:    make([][]int32, n),
+		vertexTruss: make([]int32, n),
+		maxTruss:    int32(maxTruss),
+		edgeTruss:   make(map[graph.EdgeKey]int32),
+	}
+	b := graph.NewBuilder(n, 0)
+	if n > 0 {
+		b.EnsureVertex(n - 1)
+	}
+	for v := 0; v < n; v++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trussindex: vertex %d degree: %v", v, err)
+		}
+		ix.nbr[v] = make([]int32, deg)
+		ix.nbrTruss[v] = make([]int32, deg)
+		for i := 0; i < int(deg); i++ {
+			u, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trussindex: vertex %d neighbor: %v", v, err)
+			}
+			t, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trussindex: vertex %d truss: %v", v, err)
+			}
+			ix.nbr[v][i] = int32(u)
+			ix.nbrTruss[v][i] = int32(t)
+			if int(u) > v {
+				b.AddEdge(v, int(u))
+			}
+			ix.edgeTruss[graph.Key(v, int(u))] = int32(t)
+		}
+		if deg > 0 {
+			ix.vertexTruss[v] = ix.nbrTruss[v][0]
+		}
+	}
+	ix.g = b.Build()
+	return ix, nil
+}
+
+// ApproxBytes estimates the in-memory index footprint: 8 bytes per directed
+// arc (neighbor + trussness), 4 per vertex trussness, plus the edge hash at
+// roughly 16 bytes per edge. This is the basis of the Table 3 comparison
+// against Graph.ApproxBytes.
+func (ix *Index) ApproxBytes() int64 {
+	var b int64
+	for v := range ix.nbr {
+		b += int64(len(ix.nbr[v])) * 8
+	}
+	b += int64(len(ix.vertexTruss)) * 4
+	b += int64(len(ix.edgeTruss)) * 16
+	return b
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,226 @@
+// Package repro is a Go reproduction of "Approximate Closest Community
+// Search in Networks" (Huang, Lakshmanan, Yu, Cheng; PVLDB 2015). Given an
+// undirected graph and a set of query vertices Q, it finds a Closest Truss
+// Community (CTC): a connected k-truss containing Q with the largest
+// possible k and, among those, small diameter.
+//
+// The root package is a thin facade over the internal implementation:
+//
+//	g, _ := repro.LoadEdgeList(f)         // or repro.GenerateNetwork("dblp")
+//	c := repro.Open(g)                    // builds the truss index
+//	community, _ := c.LCTC(q, nil)        // fast local heuristic
+//	community, _ = c.Basic(q, nil)        // 2-approximation (Theorem 3)
+//	community, _ = c.BulkDelete(q, nil)   // (2+ε)-approx, much faster
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure of the paper.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/directed"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/prob"
+	"repro/internal/tcp"
+	"repro/internal/truss"
+	"repro/internal/trussindex"
+)
+
+// Re-exported types. Communities, options and graphs returned by this
+// package are the internal types; callers interact with them through their
+// exported methods.
+type (
+	// Graph is an immutable undirected simple graph.
+	Graph = graph.Graph
+	// Builder accumulates edges into a Graph.
+	Builder = graph.Builder
+	// Community is a discovered closest truss community.
+	Community = core.Community
+	// Options tunes the search (fixed k, η, γ, verification, timeout).
+	Options = core.Options
+	// Index is the compact truss index of §4.3 of the paper.
+	Index = trussindex.Index
+	// BaselineResult is a community found by the MDC/QDC baselines.
+	BaselineResult = baseline.Result
+	// MDCOptions tunes the minimum-degree (Cocktail Party) baseline.
+	MDCOptions = baseline.MDCOptions
+	// QDCOptions tunes the query-biased densest subgraph baseline.
+	QDCOptions = baseline.QDCOptions
+)
+
+// NewBuilder returns a graph builder with capacity hints.
+func NewBuilder(n, m int) *Builder { return graph.NewBuilder(n, m) }
+
+// FromEdges builds a graph over vertices 0..n-1 from an edge list.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// LoadEdgeList parses a whitespace-separated "u v" edge list with '#'
+// comments.
+func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// SaveEdgeList writes a graph in the LoadEdgeList format.
+func SaveEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// GenerateNetwork builds one of the six synthetic analogues of the paper's
+// datasets: "facebook", "amazon", "dblp", "youtube", "livejournal", "orkut".
+// The ground-truth communities are nil for facebook.
+func GenerateNetwork(name string) (*Graph, [][]int, error) {
+	nw, err := gen.NetworkByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nw.Graph(), nw.GroundTruth(), nil
+}
+
+// Client answers closest-truss-community queries over one graph.
+type Client struct {
+	s *core.Searcher
+	g *Graph
+}
+
+// Open builds the truss index for g (O(ρ·m), see Remark 1 of the paper)
+// and returns a query client.
+func Open(g *Graph) *Client {
+	return &Client{s: core.NewSearcher(trussindex.Build(g)), g: g}
+}
+
+// OpenIndex restores a client from a serialized index (see SaveIndex).
+func OpenIndex(r io.Reader) (*Client, error) {
+	ix, err := trussindex.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{s: core.NewSearcher(ix), g: ix.Graph()}, nil
+}
+
+// SaveIndex serializes the truss index, returning the byte count.
+func (c *Client) SaveIndex(w io.Writer) (int64, error) { return c.s.Index().WriteTo(w) }
+
+// Graph returns the indexed graph.
+func (c *Client) Graph() *Graph { return c.g }
+
+// MaxTrussness returns τ̄(∅), the largest edge trussness in the graph.
+func (c *Client) MaxTrussness() int { return int(c.s.Index().MaxTruss()) }
+
+// VertexTrussness returns τ(v), the largest trussness of a subgraph
+// containing v.
+func (c *Client) VertexTrussness(v int) int { return int(c.s.Index().VertexTruss(v)) }
+
+// Basic runs Algorithm 1: the greedy 2-approximation that repeatedly
+// removes the vertex furthest from the query. Exact on trussness,
+// diam ≤ 2·OPT (Theorem 3), but the slowest method.
+func (c *Client) Basic(q []int, opt *Options) (*Community, error) { return c.s.Basic(q, opt) }
+
+// BulkDelete runs Algorithm 4: batch deletion of all far vertices per
+// iteration. (2+ε)-approximation with ε = 2/diam(OPT) (Theorem 6).
+func (c *Client) BulkDelete(q []int, opt *Options) (*Community, error) {
+	return c.s.BulkDelete(q, opt)
+}
+
+// LCTC runs Algorithm 5: the local-exploration heuristic seeded by a
+// truss-distance Steiner tree. The recommended default.
+func (c *Client) LCTC(q []int, opt *Options) (*Community, error) { return c.s.LCTC(q, opt) }
+
+// TrussOnly returns G0, the maximal connected k-truss containing Q with the
+// largest k, without free-rider removal (Algorithm 2 / the "Truss"
+// baseline).
+func (c *Client) TrussOnly(q []int, opt *Options) (*Community, error) {
+	return c.s.TrussOnly(q, opt)
+}
+
+// MDC runs the minimum-degree (Cocktail Party) baseline of Sozio & Gionis.
+func (c *Client) MDC(q []int, opt *MDCOptions) (*BaselineResult, error) {
+	return baseline.MDC(c.g, q, opt)
+}
+
+// QDC runs the query-biased densest subgraph baseline of Wu et al.
+func (c *Client) QDC(q []int, opt *QDCOptions) (*BaselineResult, error) {
+	return baseline.QDC(c.g, q, opt)
+}
+
+// TCPCommunity is a triangle-connected k-truss community (the prior model
+// of Huang et al. SIGMOD 2014 this paper improves on).
+type TCPCommunity = tcp.Community
+
+// TCP searches for a triangle-connected k-truss community containing all
+// query vertices at the largest feasible k. Unlike the CTC searches, this
+// can fail even for connected queries (the paper's §1 motivation): triangle
+// connectivity is strictly stronger than connectivity.
+func (c *Client) TCP(q []int) (*TCPCommunity, error) {
+	return tcp.MaxSearchMulti(c.g, c.s.Index().Decomposition(), q)
+}
+
+// Dynamic maintains a truss decomposition under edge insertions and
+// deletions (the incremental machinery of the paper's reference [17]).
+type Dynamic = truss.Dynamic
+
+// OpenDynamic wraps g in a dynamically-maintained truss decomposition.
+// After updates, call Freeze to obtain a Client over the current graph.
+func OpenDynamic(g *Graph) *Dynamic { return truss.NewDynamic(g) }
+
+// FreezeDynamic converts the current state of a dynamic decomposition into
+// a query client without re-running the decomposition.
+func FreezeDynamic(dy *Dynamic) *Client {
+	g := dy.Graph().Freeze()
+	ix := trussindex.BuildFromDecomposition(g, dy.Snapshot())
+	return &Client{s: core.NewSearcher(ix), g: g}
+}
+
+// F1 scores a detected community against a ground-truth community.
+func F1(detected, truth []int) float64 { return metrics.F1(detected, truth) }
+
+// WriteDOT renders a community subgraph in Graphviz DOT format with the
+// given vertices highlighted (vertex → fill color).
+func WriteDOT(w io.Writer, sub *graph.Mutable, highlight map[int]string) error {
+	return graph.WriteDOT(w, sub, &graph.DOTOptions{Name: "community", Highlight: highlight})
+}
+
+// Probabilistic-graph extension (§8 future work; see internal/prob).
+type (
+	// ProbGraph is an undirected graph with independent edge probabilities.
+	ProbGraph = prob.Graph
+	// ProbCommunity is a (k,γ)-truss community on an uncertain graph.
+	ProbCommunity = prob.Community
+)
+
+// NewProbGraph attaches edge probabilities (nil entries default to 1) to g.
+func NewProbGraph(g *Graph, probs map[graph.EdgeKey]float64) (*ProbGraph, error) {
+	return prob.NewGraph(g, probs)
+}
+
+// ProbSearch finds a connected (k,γ)-truss containing q with the largest k
+// and greedily minimized query distance on an uncertain graph.
+func ProbSearch(pg *ProbGraph, q []int, gamma float64) (*ProbCommunity, error) {
+	return prob.Search(pg, q, gamma)
+}
+
+// EdgeKey packs an undirected edge (used as the probability-map key).
+type EdgeKey = graph.EdgeKey
+
+// Key builds the EdgeKey for (u, v).
+func Key(u, v int) EdgeKey { return graph.Key(u, v) }
+
+// Directed-graph extension (§8 future work; see internal/directed).
+type (
+	// DiGraph is a simple directed graph.
+	DiGraph = directed.DiGraph
+	// DiBuilder accumulates arcs.
+	DiBuilder = directed.DiBuilder
+	// DirectedCommunity is a (kc,kf)-D-truss community.
+	DirectedCommunity = directed.Community
+)
+
+// NewDiBuilder returns a directed-graph builder.
+func NewDiBuilder(n int) *DiBuilder { return directed.NewDiBuilder(n) }
+
+// DirectedSearch finds a closest D-truss community: the connected
+// (kc, kf)-D-truss containing q with the largest cycle-support kc for the
+// given flow-support requirement kf, shrunk toward the query.
+func DirectedSearch(g *DiGraph, q []int, kf int) (*DirectedCommunity, error) {
+	return directed.Search(g, q, kf)
+}

@@ -1,0 +1,135 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// figure1 is the paper's running example graph.
+// q1=0 q2=1 q3=2 v1=3 v2=4 v3=5 v4=6 v5=7 p1=8 p2=9 p3=10 t=11.
+func figure1() *Graph {
+	return FromEdges(12, [][2]int{
+		{0, 1}, {0, 3}, {0, 4}, {1, 3}, {1, 4}, {3, 4},
+		{5, 6}, {5, 7}, {6, 7}, {2, 5}, {2, 6}, {2, 7},
+		{1, 7}, {4, 7}, {1, 6}, {1, 5}, {3, 7},
+		{2, 8}, {2, 9}, {2, 10}, {8, 9}, {8, 10}, {9, 10},
+		{0, 11}, {11, 2},
+	})
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	c := Open(figure1())
+	if c.MaxTrussness() != 4 {
+		t.Fatalf("τ̄(∅) = %d, want 4", c.MaxTrussness())
+	}
+	if c.VertexTrussness(1) != 4 || c.VertexTrussness(11) != 2 {
+		t.Fatal("vertex trussness wrong")
+	}
+	q := []int{0, 1, 2}
+	for _, search := range []struct {
+		name string
+		run  func([]int, *Options) (*Community, error)
+	}{
+		{"Basic", c.Basic}, {"BulkDelete", c.BulkDelete}, {"LCTC", c.LCTC}, {"TrussOnly", c.TrussOnly},
+	} {
+		com, err := search.run(q, &Options{Verify: true})
+		if err != nil {
+			t.Fatalf("%s: %v", search.name, err)
+		}
+		if com.K != 4 {
+			t.Fatalf("%s: k = %d, want 4", search.name, com.K)
+		}
+		for _, v := range q {
+			if !com.Contains(v) {
+				t.Fatalf("%s: query vertex %d missing", search.name, v)
+			}
+		}
+	}
+	// The approximation algorithms drop the free riders; TrussOnly keeps them.
+	basic, _ := c.Basic(q, nil)
+	trussOnly, _ := c.TrussOnly(q, nil)
+	if basic.N() >= trussOnly.N() {
+		t.Fatalf("Basic (%d) should be smaller than TrussOnly (%d)", basic.N(), trussOnly.N())
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	c := Open(figure1())
+	if r, err := c.MDC([]int{0, 1}, nil); err != nil || r.N() == 0 {
+		t.Fatalf("MDC: %v", err)
+	}
+	if r, err := c.QDC([]int{0, 1}, nil); err != nil || r.N() == 0 {
+		t.Fatalf("QDC: %v", err)
+	}
+}
+
+func TestIndexRoundTripThroughClient(t *testing.T) {
+	c := Open(figure1())
+	var buf bytes.Buffer
+	if _, err := c.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	com, err := c2.LCTC([]int{0, 1, 2}, &Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.K != 4 {
+		t.Fatalf("restored client: k = %d", com.K)
+	}
+}
+
+func TestEdgeListRoundTripPublic(t *testing.T) {
+	g := figure1()
+	var buf bytes.Buffer
+	if err := SaveEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatal("round trip changed the graph")
+	}
+	if _, err := LoadEdgeList(strings.NewReader("bogus line")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestGenerateNetworkPublic(t *testing.T) {
+	g, truth, err := GenerateNetwork("facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 {
+		t.Fatal("empty network")
+	}
+	if truth != nil {
+		t.Fatal("facebook must have no ground truth")
+	}
+	if _, _, err := GenerateNetwork("nonesuch"); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+func TestF1Public(t *testing.T) {
+	if F1([]int{1, 2}, []int{1, 2}) != 1 {
+		t.Fatal("F1 facade broken")
+	}
+}
+
+func TestBuilderPublic(t *testing.T) {
+	b := NewBuilder(0, 4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	g := b.Build()
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("builder facade: N=%d M=%d", g.N(), g.M())
+	}
+}
