@@ -71,12 +71,26 @@ func computeDistances(mu *graph.Mutable, q []int, st *peelState, dist []int32, q
 	return queue
 }
 
+// queriesConnected reports whether all query vertices are present and
+// mutually reachable, judged from a filled peelState (dist(q0, qi) finite
+// for all i is equivalent to mutual reachability in an undirected graph).
+func queriesConnected(mu *graph.Mutable, q []int, st *peelState) bool {
+	for _, v := range q {
+		if !mu.Present(v) {
+			return false
+		}
+	}
+	return st.maxDist[q[0]] != infDist
+}
+
 // greedyPeel runs the shared peeling framework on g0 (a connected k-truss
 // containing q) and returns the intermediate graph with the smallest graph
 // query distance, restricted to the component containing q. g0 is not
 // modified.
 func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, deadline time.Time) (*graph.Mutable, error) {
 	work := g0.Clone()
+	// Dense per-edge state, indexed by the base graph's edge IDs: supports
+	// for the maintenance cascade and deletion stamps for the timeline.
 	sup := graph.MutableEdgeSupports(work)
 	isQuery := make(map[int]bool, len(q))
 	for _, v := range q {
@@ -88,21 +102,27 @@ func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, deadline tim
 	var queue []int32
 
 	// edgeStamp[e] = iteration during whose transition the edge was removed;
-	// edges never removed are absent. e ∈ G_l iff edgeStamp[e] missing or
-	// >= l. Edge-level stamping is essential: the truss-maintenance cascade
-	// can delete an edge while both endpoints survive, so intermediate
-	// graphs are not induced subgraphs.
-	edgeStamp := make(map[graph.EdgeKey]int)
+	// -1 for edges never removed. e ∈ G_l iff edgeStamp[e] < 0 or >= l.
+	// Edge-level stamping is essential: the truss-maintenance cascade can
+	// delete an edge while both endpoints survive, so intermediate graphs
+	// are not induced subgraphs.
+	edgeStamp := make([]int32, g0.Base().M())
+	for i := range edgeStamp {
+		edgeStamp[i] = -1
+	}
 	var qdHist []int32
 	d := infDist // running minimum for the bulk rules
-	for iter := 0; ; iter++ {
+	for iter := int32(0); ; iter++ {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return nil, ErrTimeout
 		}
-		if !graph.Connected(work, q) {
+		queue = computeDistances(work, q, st, dist, queue)
+		// The query set is mutually connected iff every query vertex is
+		// present and reaches q[0] — read off the distances just computed
+		// instead of running a separate BFS.
+		if !queriesConnected(work, q, st) {
 			break
 		}
-		queue = computeDistances(work, q, st, dist, queue)
 		qdHist = append(qdHist, st.graphD)
 		if st.graphD < d {
 			d = st.graphD
@@ -122,19 +142,18 @@ func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, deadline tim
 	if len(qdHist) == 0 {
 		return nil, errors.New("core: no feasible intermediate graph")
 	}
-	best := 0
+	best := int32(0)
 	for l, qd := range qdHist {
 		if qd < qdHist[best] {
-			best = l
+			best = int32(l)
 		}
 	}
-	keep := make([]graph.EdgeKey, 0, g0.M())
-	for _, e := range g0.EdgeKeys() {
-		if s, ok := edgeStamp[e]; !ok || s >= best {
-			keep = append(keep, e)
+	sub := graph.NewMutableShell(g0.Base())
+	g0.ForEachLiveEdge(func(e int32, _, _ int) {
+		if edgeStamp[e] < 0 || edgeStamp[e] >= best {
+			sub.AddEdgeByID(e)
 		}
-	}
-	sub := graph.NewMutableFromEdges(g0.NumIDs(), keep)
+	})
 	for _, v := range q {
 		sub.EnsureVertex(v)
 	}

@@ -148,7 +148,7 @@ func (s *Searcher) LCTC(q []int, opt *Options) (*Community, error) {
 	// Truss-decompose the expansion and find the largest k <= kt such that
 	// a connected k-truss containing Q survives inside Gt.
 	dec := truss.DecomposeMutable(gt)
-	ht, k, err := bestKTrussWithin(gt, dec, q, kt)
+	ht, k, err := bestKTrussWithin(dec, q, kt)
 	if err != nil {
 		return nil, fmt.Errorf("core: LCTC extraction: %w", err)
 	}
@@ -185,7 +185,9 @@ func (s *Searcher) expand(seed []int, kt int32, eta int) *graph.Mutable {
 			}
 		})
 	}
-	gt := graph.NewMutableFromEdges(n, nil)
+	// The expansion contains only indexed-graph edges, so build it as an
+	// edge-bitset overlay of the base graph.
+	gt := graph.NewMutableShell(s.ix.Graph())
 	for v := 0; v < n; v++ {
 		if !in[v] {
 			continue
@@ -200,16 +202,16 @@ func (s *Searcher) expand(seed []int, kt int32, eta int) *graph.Mutable {
 	return gt
 }
 
-// bestKTrussWithin finds the maximum k <= cap such that the subgraph of gt
-// restricted to edges of local trussness >= k connects q, and returns the
-// q-component of that subgraph.
-func bestKTrussWithin(gt *graph.Mutable, dec *truss.Decomposition, q []int, capK int32) (*graph.Mutable, int32, error) {
+// bestKTrussWithin finds the maximum k <= cap such that the subgraph of the
+// decomposed expansion restricted to edges of local trussness >= k connects
+// q, and returns the q-component of that subgraph.
+func bestKTrussWithin(dec *truss.Decomposition, q []int, capK int32) (*graph.Mutable, int32, error) {
 	hi := dec.QueryUpperBound(q)
 	if hi > capK {
 		hi = capK
 	}
 	for k := hi; k >= 2; k-- {
-		mu := graph.NewMutableFromEdges(gt.NumIDs(), dec.EdgesAtLeast(k))
+		mu := dec.MutableAtLeast(k)
 		if !graph.Connected(mu, q) {
 			continue
 		}

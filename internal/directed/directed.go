@@ -234,11 +234,13 @@ type Community struct {
 
 // underlying builds the undirected footprint of an arc set.
 func underlying(n int, arcs []Arc) *graph.Mutable {
-	mu := graph.NewMutableFromEdges(n, nil)
+	keys := make([]graph.EdgeKey, 0, len(arcs))
 	for _, a := range arcs {
-		mu.AddEdge(int(a.From), int(a.To))
+		if a.From != a.To {
+			keys = append(keys, graph.Key(int(a.From), int(a.To)))
+		}
 	}
-	return mu
+	return graph.NewMutableFromEdges(n, keys)
 }
 
 // Search finds a closest D-truss community: the maximal (kc, kf)-D-truss

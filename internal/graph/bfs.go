@@ -17,15 +17,20 @@ func BFS(g Adjacency, src int, dist []int32, queue []int32) []int32 {
 	queue = queue[:0]
 	dist[src] = 0
 	queue = append(queue, int32(src))
+	// The visit closure is hoisted out of the loop (dv mutated, not
+	// recaptured) so the interface call allocates once per BFS, not once per
+	// dequeued vertex.
+	var dv int32
+	visit := func(u int) {
+		if dist[u] == Unreachable {
+			dist[u] = dv + 1
+			queue = append(queue, int32(u))
+		}
+	}
 	for head := 0; head < len(queue); head++ {
 		v := int(queue[head])
-		dv := dist[v]
-		g.ForEachNeighbor(v, func(u int) {
-			if dist[u] == Unreachable {
-				dist[u] = dv + 1
-				queue = append(queue, int32(u))
-			}
-		})
+		dv = dist[v]
+		g.ForEachNeighbor(v, visit)
 	}
 	return queue
 }
@@ -137,6 +142,12 @@ func ComponentCount(g Adjacency) int {
 	n := g.NumIDs()
 	seen := make([]bool, n)
 	var queue []int32
+	visit := func(u int) {
+		if !seen[u] {
+			seen[u] = true
+			queue = append(queue, int32(u))
+		}
+	}
 	count := 0
 	for s := 0; s < n; s++ {
 		if !g.Present(s) || seen[s] {
@@ -147,13 +158,7 @@ func ComponentCount(g Adjacency) int {
 		queue = append(queue, int32(s))
 		seen[s] = true
 		for head := 0; head < len(queue); head++ {
-			v := int(queue[head])
-			g.ForEachNeighbor(v, func(u int) {
-				if !seen[u] {
-					seen[u] = true
-					queue = append(queue, int32(u))
-				}
-			})
+			g.ForEachNeighbor(int(queue[head]), visit)
 		}
 	}
 	return count

@@ -1,0 +1,43 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit vector used for per-edge liveness flags in
+// the mutable overlay and the decomposition/peeling loops.
+type Bitset []uint64
+
+// NewBitset returns a Bitset able to hold n bits, all clear.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bitset) Set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int32) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// SetAll sets the first n bits.
+func (b Bitset) SetAll(n int) {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if n&63 != 0 && len(b) > 0 {
+		b[len(b)-1] = (1 << (uint(n) & 63)) - 1
+	}
+}
+
+// Clone returns a copy.
+func (b Bitset) Clone() Bitset { return append(Bitset(nil), b...) }
+
+// ForEach calls fn for every set bit, in ascending order.
+func (b Bitset) ForEach(fn func(i int32)) {
+	for wi, word := range b {
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			word &^= 1 << uint(t)
+			fn(int32(wi<<6 + t))
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package graph_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+var cloneBenchGraph *graph.Graph
+
+func cloneBench50k(b *testing.B) *graph.Graph {
+	b.Helper()
+	if cloneBenchGraph == nil {
+		cloneBenchGraph, _ = gen.CommunityGraph(gen.CommunityParams{
+			N: 9000, NumCommunities: 550, MinSize: 5, MaxSize: 32,
+			Overlap: 0.3, PIntra: 0.5, BackgroundEdges: 4500,
+			Hubs: 5, HubDegree: 110, PlantedClique: 22, Seed: 0x50C1,
+		})
+	}
+	return cloneBenchGraph
+}
+
+func BenchmarkMutableClone(b *testing.B) {
+	mu := graph.NewMutable(cloneBench50k(b), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := mu.Clone()
+		if cp.M() != mu.M() {
+			b.Fatal("clone mismatch")
+		}
+	}
+}
+
+func BenchmarkMutableDeleteRebuild(b *testing.B) {
+	// Clone + cascade of edge deletions: the steady-state shape of the
+	// peeling loops.
+	g := cloneBench50k(b)
+	mu := graph.NewMutable(g, nil)
+	keys := mu.EdgeKeys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := mu.Clone()
+		for _, k := range keys[:len(keys)/4] {
+			u, v := k.Endpoints()
+			cp.DeleteEdge(u, v)
+		}
+	}
+}

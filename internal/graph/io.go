@@ -96,13 +96,9 @@ func ComputeStats(g *Graph) Stats {
 	return s
 }
 
-// ApproxBytes estimates the in-memory size of the adjacency representation,
-// used for the "Graph Size" column of Table 3 (4 bytes per directed arc plus
-// slice headers).
+// ApproxBytes estimates the in-memory size of the CSR representation, used
+// for the "Graph Size" column of Table 3: 8 bytes per directed arc (neighbor
+// + edge ID), 4 per vertex offset and 8 per edge-key entry.
 func (g *Graph) ApproxBytes() int64 {
-	var b int64
-	for v := 0; v < g.N(); v++ {
-		b += int64(len(g.adj[v]))*4 + 24
-	}
-	return b
+	return int64(len(g.nbr))*8 + int64(len(g.off))*4 + int64(len(g.edges))*8
 }

@@ -2,88 +2,139 @@ package graph
 
 import "sort"
 
-// Mutable is a destructively editable subgraph of a base Graph. It shares the
-// base graph's vertex ID space; vertices outside the subgraph are simply not
-// present. Deletion of vertices and edges is O(degree), and the common
-// neighborhood of an edge can be enumerated efficiently, which is what the
-// k-truss maintenance cascade (Algorithm 3 of the paper) needs.
+// Mutable is a destructively editable subgraph of a base Graph. It shares
+// the base graph's vertex ID space and CSR adjacency: the edge set is
+// tracked as an edge-alive bitset over the base's dense edge IDs, so
+// Clone, DeleteEdge and the k-truss maintenance cascade (Algorithm 3 of the
+// paper) are allocation-free on the steady state and per-edge quantities can
+// live in flat arrays indexed by base edge ID.
+//
+// Edges outside the base graph can still be added (AddEdge falls back to a
+// small per-vertex overflow list). A Mutable without overflow edges is
+// "overlay-pure"; the hot peeling paths (MutableEdgeSupports, MaintainKTruss)
+// require purity and panic otherwise — every subgraph they are fed is built
+// from base edges only.
 type Mutable struct {
-	adj     []map[int32]struct{}
+	base    *Graph
+	alive   Bitset  // bit e set iff base edge e is present
+	deg     []int32 // live degree (base + overflow)
 	present []bool
-	n, m    int
+	n       int // number of present vertices
+	aliveM  int // live base edges
+	// overflow adjacency for edges outside the base graph; nil until first
+	// foreign AddEdge. Unsorted, both directions mirrored.
+	extra  [][]int32
+	extraM int
+}
+
+func newOverlay(g *Graph) *Mutable {
+	return &Mutable{
+		base:    g,
+		alive:   NewBitset(g.M()),
+		deg:     make([]int32, g.N()),
+		present: make([]bool, g.N()),
+	}
 }
 
 // NewMutable builds a Mutable containing the induced subgraph of g on the
 // given vertices. If vertices is nil, the whole graph is included.
 func NewMutable(g *Graph, vertices []int) *Mutable {
-	mu := &Mutable{
-		adj:     make([]map[int32]struct{}, g.N()),
-		present: make([]bool, g.N()),
-	}
+	mu := newOverlay(g)
 	if vertices == nil {
 		for v := 0; v < g.N(); v++ {
 			mu.present[v] = true
+		}
+		mu.n = g.N()
+		mu.alive.SetAll(g.M())
+		mu.aliveM = g.M()
+		for v := 0; v < g.N(); v++ {
+			mu.deg[v] = int32(g.Degree(v))
+		}
+		return mu
+	}
+	for _, v := range vertices {
+		if v >= 0 && v < g.N() && !mu.present[v] {
+			mu.present[v] = true
 			mu.n++
 		}
-	} else {
-		for _, v := range vertices {
-			if !mu.present[v] {
-				mu.present[v] = true
-				mu.n++
-			}
-		}
 	}
-	for v := 0; v < g.N(); v++ {
-		if !mu.present[v] {
-			continue
-		}
-		for _, w := range g.Neighbors(v) {
-			if mu.present[w] {
-				if mu.adj[v] == nil {
-					mu.adj[v] = make(map[int32]struct{}, g.Degree(v))
-				}
-				mu.adj[v][w] = struct{}{}
-				if int(w) > v {
-					mu.m++
-				}
-			}
+	for e := int32(0); e < int32(g.M()); e++ {
+		u, v := g.EdgeEndpoints(e)
+		if mu.present[u] && mu.present[v] {
+			mu.alive.Set(e)
+			mu.aliveM++
+			mu.deg[u]++
+			mu.deg[v]++
 		}
 	}
 	return mu
 }
 
+// NewMutableShell returns an empty Mutable over the ID and edge-ID space of
+// g: no vertices present, no edges alive. AddEdge on an edge of g revives
+// its bit in O(log deg); use this (rather than NewMutableFromEdges) when
+// assembling a subgraph out of base-graph edges, e.g. in FindG0.
+func NewMutableShell(g *Graph) *Mutable { return newOverlay(g) }
+
 // NewMutableFromEdges builds a Mutable over an ID space of size n containing
-// exactly the given edges (and their endpoints).
+// exactly the given edges (and their endpoints). The edges become the
+// Mutable's base graph.
 func NewMutableFromEdges(n int, edges []EdgeKey) *Mutable {
-	mu := &Mutable{
-		adj:     make([]map[int32]struct{}, n),
-		present: make([]bool, n),
+	b := NewBuilder(n, len(edges))
+	if n > 0 {
+		b.EnsureVertex(n - 1)
 	}
 	for _, k := range edges {
 		u, v := k.Endpoints()
-		mu.AddEdge(u, v)
+		b.AddEdge(u, v)
+	}
+	mu := newOverlay(b.Build())
+	g := mu.base
+	mu.alive.SetAll(g.M())
+	mu.aliveM = g.M()
+	for v := 0; v < g.N(); v++ {
+		d := int32(g.Degree(v))
+		mu.deg[v] = d
+		if d > 0 {
+			mu.present[v] = true
+			mu.n++
+		}
 	}
 	return mu
 }
 
-// Clone returns a deep copy.
+// Base returns the immutable base graph whose edge-ID space indexes this
+// Mutable's per-edge arrays.
+func (mu *Mutable) Base() *Graph { return mu.base }
+
+// OverlayPure reports whether every edge of the Mutable is a base-graph edge
+// (no overflow), i.e. whether dense edge-ID arrays fully describe it.
+func (mu *Mutable) OverlayPure() bool { return mu.extraM == 0 }
+
+func (mu *Mutable) requirePure(op string) {
+	if mu.extraM > 0 {
+		panic("graph: " + op + " requires an overlay-pure Mutable (no edges outside the base graph)")
+	}
+}
+
+// Clone returns a deep copy. The immutable base graph is shared.
 func (mu *Mutable) Clone() *Mutable {
 	cp := &Mutable{
-		adj:     make([]map[int32]struct{}, len(mu.adj)),
-		present: make([]bool, len(mu.present)),
+		base:    mu.base,
+		alive:   mu.alive.Clone(),
+		deg:     append([]int32(nil), mu.deg...),
+		present: append([]bool(nil), mu.present...),
 		n:       mu.n,
-		m:       mu.m,
+		aliveM:  mu.aliveM,
+		extraM:  mu.extraM,
 	}
-	copy(cp.present, mu.present)
-	for v, set := range mu.adj {
-		if set == nil {
-			continue
+	if mu.extra != nil {
+		cp.extra = make([][]int32, len(mu.extra))
+		for v, nb := range mu.extra {
+			if len(nb) > 0 {
+				cp.extra[v] = append([]int32(nil), nb...)
+			}
 		}
-		ns := make(map[int32]struct{}, len(set))
-		for w := range set {
-			ns[w] = struct{}{}
-		}
-		cp.adj[v] = ns
 	}
 	return cp
 }
@@ -98,49 +149,117 @@ func (mu *Mutable) Present(v int) bool {
 
 // ForEachNeighbor implements Adjacency.
 func (mu *Mutable) ForEachNeighbor(v int, fn func(u int)) {
-	for w := range mu.adj[v] {
-		fn(int(w))
+	nb := mu.base.Neighbors(v)
+	ids := mu.base.NeighborEdgeIDs(v)
+	for i, w := range nb {
+		if mu.alive.Get(ids[i]) {
+			fn(int(w))
+		}
+	}
+	if mu.extra != nil {
+		for _, w := range mu.extra[v] {
+			fn(int(w))
+		}
 	}
 }
+
+// ForEachIncidentEdge calls fn(e, w) for every live base edge (v, w), with e
+// the base edge ID. Requires overlay purity.
+func (mu *Mutable) ForEachIncidentEdge(v int, fn func(e int32, w int)) {
+	mu.requirePure("ForEachIncidentEdge")
+	nb := mu.base.Neighbors(v)
+	ids := mu.base.NeighborEdgeIDs(v)
+	for i, w := range nb {
+		if mu.alive.Get(ids[i]) {
+			fn(ids[i], int(w))
+		}
+	}
+}
+
+// ForEachLiveEdge calls fn(e, u, v) with u < v for every live base edge, in
+// ascending edge-ID order. Overflow edges are not visited; use EdgeKeys for
+// the full edge set.
+func (mu *Mutable) ForEachLiveEdge(fn func(e int32, u, v int)) {
+	mu.alive.ForEach(func(e int32) {
+		u, v := mu.base.EdgeEndpoints(e)
+		fn(e, u, v)
+	})
+}
+
+// EdgeAlive reports whether base edge e is present.
+func (mu *Mutable) EdgeAlive(e int32) bool { return mu.alive.Get(e) }
 
 // N returns the number of present vertices.
 func (mu *Mutable) N() int { return mu.n }
 
 // M returns the number of edges.
-func (mu *Mutable) M() int { return mu.m }
+func (mu *Mutable) M() int { return mu.aliveM + mu.extraM }
 
 // Degree returns the degree of v (0 if absent).
-func (mu *Mutable) Degree(v int) int { return len(mu.adj[v]) }
+func (mu *Mutable) Degree(v int) int { return int(mu.deg[v]) }
+
+func (mu *Mutable) extraIndex(u, v int) int {
+	if mu.extra == nil {
+		return -1
+	}
+	for i, w := range mu.extra[u] {
+		if int(w) == v {
+			return i
+		}
+	}
+	return -1
+}
 
 // HasEdge reports whether edge (u, v) exists.
 func (mu *Mutable) HasEdge(u, v int) bool {
-	if u < 0 || v < 0 || u >= len(mu.adj) || mu.adj[u] == nil {
+	if u < 0 || v < 0 || u >= len(mu.present) || v >= len(mu.present) {
 		return false
 	}
-	_, ok := mu.adj[u][int32(v)]
-	return ok
+	if e := mu.base.EdgeID(u, v); e >= 0 {
+		return mu.alive.Get(e)
+	}
+	return mu.extraIndex(u, v) >= 0
 }
 
-// AddEdge inserts the edge (u, v), adding endpoints as needed. Self-loops are
-// ignored. Reports whether the edge was newly added.
+// AddEdge inserts the edge (u, v), adding endpoints as needed. Self-loops
+// and out-of-range endpoints are ignored. Reports whether the edge was newly
+// added.
 func (mu *Mutable) AddEdge(u, v int) bool {
-	if u == v {
+	if u == v || u < 0 || v < 0 || u >= len(mu.present) || v >= len(mu.present) {
 		return false
 	}
-	if mu.HasEdge(u, v) {
+	if e := mu.base.EdgeID(u, v); e >= 0 {
+		return mu.AddEdgeByID(e)
+	}
+	if mu.extraIndex(u, v) >= 0 {
 		return false
 	}
+	if mu.extra == nil {
+		mu.extra = make([][]int32, len(mu.present))
+	}
+	mu.extra[u] = append(mu.extra[u], int32(v))
+	mu.extra[v] = append(mu.extra[v], int32(u))
+	mu.extraM++
 	mu.addVertex(u)
 	mu.addVertex(v)
-	if mu.adj[u] == nil {
-		mu.adj[u] = make(map[int32]struct{}, 4)
+	mu.deg[u]++
+	mu.deg[v]++
+	return true
+}
+
+// AddEdgeByID revives base edge e (a no-op if already alive), marking its
+// endpoints present. Reports whether the edge was newly added.
+func (mu *Mutable) AddEdgeByID(e int32) bool {
+	if mu.alive.Get(e) {
+		return false
 	}
-	if mu.adj[v] == nil {
-		mu.adj[v] = make(map[int32]struct{}, 4)
-	}
-	mu.adj[u][int32(v)] = struct{}{}
-	mu.adj[v][int32(u)] = struct{}{}
-	mu.m++
+	mu.alive.Set(e)
+	mu.aliveM++
+	u, v := mu.base.EdgeEndpoints(e)
+	mu.addVertex(u)
+	mu.addVertex(v)
+	mu.deg[u]++
+	mu.deg[v]++
 	return true
 }
 
@@ -161,13 +280,41 @@ func (mu *Mutable) addVertex(v int) {
 // DeleteEdge removes the edge (u, v) if present. Endpoints remain present
 // even if isolated. Reports whether an edge was removed.
 func (mu *Mutable) DeleteEdge(u, v int) bool {
-	if !mu.HasEdge(u, v) {
+	if u < 0 || v < 0 || u >= len(mu.present) || v >= len(mu.present) {
 		return false
 	}
-	delete(mu.adj[u], int32(v))
-	delete(mu.adj[v], int32(u))
-	mu.m--
+	if e := mu.base.EdgeID(u, v); e >= 0 {
+		return mu.DeleteEdgeByID(e)
+	}
+	i := mu.extraIndex(u, v)
+	if i < 0 {
+		return false
+	}
+	mu.removeExtraAt(u, i)
+	mu.removeExtraAt(v, mu.extraIndex(v, u))
+	mu.extraM--
+	mu.deg[u]--
+	mu.deg[v]--
 	return true
+}
+
+// DeleteEdgeByID kills base edge e. Reports whether it was alive.
+func (mu *Mutable) DeleteEdgeByID(e int32) bool {
+	if !mu.alive.Get(e) {
+		return false
+	}
+	mu.alive.Clear(e)
+	mu.aliveM--
+	u, v := mu.base.EdgeEndpoints(e)
+	mu.deg[u]--
+	mu.deg[v]--
+	return true
+}
+
+func (mu *Mutable) removeExtraAt(v, i int) {
+	nb := mu.extra[v]
+	nb[i] = nb[len(nb)-1]
+	mu.extra[v] = nb[:len(nb)-1]
 }
 
 // DeleteVertex removes v and all its incident edges.
@@ -175,11 +322,24 @@ func (mu *Mutable) DeleteVertex(v int) {
 	if v < 0 || v >= len(mu.present) || !mu.present[v] {
 		return
 	}
-	for w := range mu.adj[v] {
-		delete(mu.adj[w], int32(v))
-		mu.m--
+	nb := mu.base.Neighbors(v)
+	ids := mu.base.NeighborEdgeIDs(v)
+	for i, w := range nb {
+		if mu.alive.Get(ids[i]) {
+			mu.alive.Clear(ids[i])
+			mu.aliveM--
+			mu.deg[w]--
+		}
 	}
-	mu.adj[v] = nil
+	if mu.extra != nil {
+		for _, w := range mu.extra[v] {
+			mu.removeExtraAt(int(w), mu.extraIndex(int(w), v))
+			mu.extraM--
+			mu.deg[w]--
+		}
+		mu.extra[v] = nil
+	}
+	mu.deg[v] = 0
 	mu.present[v] = false
 	mu.n--
 }
@@ -189,7 +349,7 @@ func (mu *Mutable) DeleteVertex(v int) {
 func (mu *Mutable) RemoveIsolated(keep map[int]bool) int {
 	removed := 0
 	for v := range mu.present {
-		if mu.present[v] && len(mu.adj[v]) == 0 && !keep[v] {
+		if mu.present[v] && mu.deg[v] == 0 && !keep[v] {
 			mu.present[v] = false
 			mu.n--
 			removed++
@@ -211,31 +371,73 @@ func (mu *Mutable) Vertices() []int {
 
 // EdgeKeys returns all edges as packed keys in ascending order.
 func (mu *Mutable) EdgeKeys() []EdgeKey {
-	keys := make([]EdgeKey, 0, mu.m)
-	for v, set := range mu.adj {
-		for w := range set {
-			if int(w) > v {
-				keys = append(keys, Key(v, int(w)))
+	keys := make([]EdgeKey, 0, mu.M())
+	mu.alive.ForEach(func(e int32) { keys = append(keys, mu.base.EdgeKeyOf(e)) })
+	if mu.extraM > 0 {
+		for v, nb := range mu.extra {
+			for _, w := range nb {
+				if int(w) > v {
+					keys = append(keys, Key(v, int(w)))
+				}
 			}
 		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	return keys
 }
 
-// CommonNeighbors calls fn for every vertex w adjacent to both u and v. It
-// iterates the smaller adjacency set.
+// CommonNeighbors calls fn for every vertex w adjacent to both u and v. On
+// an overlay-pure Mutable it merge-intersects the base's sorted adjacency
+// lists; with overflow edges it falls back to probing from the
+// smaller-degree endpoint.
 func (mu *Mutable) CommonNeighbors(u, v int, fn func(w int)) {
-	a, b := mu.adj[u], mu.adj[v]
-	if a == nil || b == nil {
+	if u < 0 || v < 0 || u >= len(mu.present) || v >= len(mu.present) {
 		return
 	}
-	if len(a) > len(b) {
-		a, b = b, a
+	if mu.extraM == 0 {
+		mu.commonNeighborsMerged(u, v, func(w, _, _ int32) { fn(int(w)) })
+		return
 	}
-	for w := range a {
-		if _, ok := b[w]; ok {
-			fn(int(w))
+	if mu.deg[u] > mu.deg[v] {
+		u, v = v, u
+	}
+	mu.ForEachNeighbor(u, func(w int) {
+		if w != v && mu.HasEdge(v, w) {
+			fn(w)
+		}
+	})
+}
+
+// CommonNeighborsEdges calls fn(w, euw, evw) for every live triangle through
+// the live or dead base edge (u, v), with euw/evw the base edge IDs of the
+// wings. Requires overlay purity.
+func (mu *Mutable) CommonNeighborsEdges(u, v int, fn func(w, euw, evw int32)) {
+	mu.requirePure("CommonNeighborsEdges")
+	mu.commonNeighborsMerged(u, v, fn)
+}
+
+// commonNeighborsMerged is Graph.ForEachCommonNeighborEdge specialized with
+// the alive check inlined; the duplication is deliberate — this is the
+// hottest loop in the peeling paths and an extra closure hop per
+// intersection hit is measurable. Keep the twin in graph.go in sync.
+func (mu *Mutable) commonNeighborsMerged(u, v int, fn func(w, euw, evw int32)) {
+	g := mu.base
+	ou, ov := g.off[u], g.off[v]
+	au, av := g.nbr[ou:g.off[u+1]], g.nbr[ov:g.off[v+1]]
+	i, j := 0, 0
+	for i < len(au) && j < len(av) {
+		switch {
+		case au[i] < av[j]:
+			i++
+		case au[i] > av[j]:
+			j++
+		default:
+			euw, evw := g.aeid[ou+int32(i)], g.aeid[ov+int32(j)]
+			if mu.alive.Get(euw) && mu.alive.Get(evw) {
+				fn(au[i], euw, evw)
+			}
+			i++
+			j++
 		}
 	}
 }
@@ -250,12 +452,18 @@ func (mu *Mutable) CountCommonNeighbors(u, v int) int {
 // Freeze converts the current state into an immutable Graph over the same
 // vertex ID space.
 func (mu *Mutable) Freeze() *Graph {
-	b := NewBuilder(len(mu.present), mu.m)
+	b := NewBuilder(len(mu.present), mu.M())
 	b.EnsureVertex(len(mu.present) - 1)
-	for v, set := range mu.adj {
-		for w := range set {
-			if int(w) > v {
-				b.AddEdge(v, int(w))
+	mu.alive.ForEach(func(e int32) {
+		u, v := mu.base.EdgeEndpoints(e)
+		b.AddEdge(u, v)
+	})
+	if mu.extraM > 0 {
+		for v, nb := range mu.extra {
+			for _, w := range nb {
+				if int(w) > v {
+					b.AddEdge(v, int(w))
+				}
 			}
 		}
 	}

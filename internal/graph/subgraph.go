@@ -56,32 +56,40 @@ func InducedCompact(g *Graph, vertices []int) (*Graph, []int) {
 }
 
 // InducedMutable returns a Mutable holding the induced subgraph of mu on the
-// given vertices.
+// given vertices. The result shares mu's base graph (and edge-ID space).
 func InducedMutable(mu *Mutable, vertices []int) *Mutable {
-	in := make(map[int]bool, len(vertices))
+	out := newOverlay(mu.base)
+	in := make([]bool, len(mu.present))
 	for _, v := range vertices {
+		if v < 0 || v >= len(in) || !mu.Present(v) {
+			continue
+		}
 		in[v] = true
-	}
-	out := &Mutable{
-		adj:     make([]map[int32]struct{}, mu.NumIDs()),
-		present: make([]bool, mu.NumIDs()),
-	}
-	for _, v := range vertices {
-		if !mu.Present(v) || out.present[v] {
-			continue
-		}
-		out.present[v] = true
-		out.n++
-	}
-	for _, v := range vertices {
 		if !out.present[v] {
-			continue
+			out.present[v] = true
+			out.n++
 		}
-		mu.ForEachNeighbor(v, func(w int) {
-			if w > v && in[w] && out.present[w] {
-				out.AddEdge(v, w)
+	}
+	mu.alive.ForEach(func(e int32) {
+		u, v := mu.base.EdgeEndpoints(e)
+		if in[u] && in[v] {
+			out.alive.Set(e)
+			out.aliveM++
+			out.deg[u]++
+			out.deg[v]++
+		}
+	})
+	if mu.extraM > 0 {
+		for v, nb := range mu.extra {
+			if !in[v] {
+				continue
 			}
-		})
+			for _, w := range nb {
+				if int(w) > v && in[w] {
+					out.AddEdge(v, int(w))
+				}
+			}
+		}
 	}
 	return out
 }

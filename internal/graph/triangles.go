@@ -1,15 +1,75 @@
 package graph
 
-import "sort"
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // EdgeSupports computes sup(e) = number of triangles containing e, for every
 // edge of the immutable graph, by intersecting the sorted adjacency lists of
-// each edge's endpoints. The result maps packed edge keys to supports.
-func EdgeSupports(g *Graph) map[EdgeKey]int32 {
-	sup := make(map[EdgeKey]int32, g.M())
-	g.ForEachEdge(func(u, v int) {
-		sup[Key(u, v)] = int32(countCommonSorted(g.Neighbors(u), g.Neighbors(v)))
-	})
+// each edge's endpoints. The result is indexed by dense edge ID.
+func EdgeSupports(g *Graph) []int32 {
+	sup := make([]int32, g.M())
+	supportRange(g, sup, 0, g.N())
+	return sup
+}
+
+// supportRange fills sup[e] for every edge (u, v) with u in [lo, hi) and
+// u < v. Each edge is owned by its smaller endpoint, so disjoint vertex
+// ranges write disjoint entries.
+func supportRange(g *Graph, sup []int32, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		nb := g.Neighbors(u)
+		ids := g.NeighborEdgeIDs(u)
+		for i, w := range nb {
+			if int(w) > u {
+				sup[ids[i]] = int32(countCommonSorted(nb, g.Neighbors(int(w))))
+			}
+		}
+	}
+}
+
+// parallelSupportThreshold is the edge count below which the goroutine
+// fan-out of EdgeSupportsParallel costs more than it saves.
+const parallelSupportThreshold = 1 << 14
+
+// EdgeSupportsParallel computes EdgeSupports with the per-vertex work
+// sharded over GOMAXPROCS goroutines (work-stealing over vertex blocks, like
+// DiameterParallel). Used by truss.Decompose for the initial counting pass.
+func EdgeSupportsParallel(g *Graph) []int32 {
+	if g.M() < parallelSupportThreshold {
+		return EdgeSupports(g)
+	}
+	sup := make([]int32, g.M())
+	workers := runtime.GOMAXPROCS(0)
+	const block = 256
+	nblocks := (g.N() + block - 1) / block
+	if workers > nblocks {
+		workers = nblocks
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				bi := int(atomic.AddInt64(&next, 1))
+				if bi >= nblocks {
+					return
+				}
+				lo := bi * block
+				hi := lo + block
+				if hi > g.N() {
+					hi = g.N()
+				}
+				supportRange(g, sup, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
 	return sup
 }
 
@@ -40,20 +100,17 @@ func TriangleCount(g *Graph) int64 {
 	return total / 3
 }
 
-// MutableEdgeSupports computes per-edge supports for the current state of a
-// Mutable subgraph.
-func MutableEdgeSupports(mu *Mutable) map[EdgeKey]int32 {
-	sup := make(map[EdgeKey]int32, mu.M())
-	for v := 0; v < mu.NumIDs(); v++ {
-		if !mu.Present(v) {
-			continue
-		}
-		mu.ForEachNeighbor(v, func(w int) {
-			if w > v {
-				sup[Key(v, w)] = int32(mu.CountCommonNeighbors(v, w))
-			}
-		})
-	}
+// MutableEdgeSupports computes per-edge supports for the current state of an
+// overlay-pure Mutable subgraph. The result is indexed by the base graph's
+// edge IDs; entries of dead edges are zero.
+func MutableEdgeSupports(mu *Mutable) []int32 {
+	mu.requirePure("MutableEdgeSupports")
+	sup := make([]int32, mu.base.M())
+	mu.ForEachLiveEdge(func(e int32, u, v int) {
+		c := int32(0)
+		mu.commonNeighborsMerged(u, v, func(_, _, _ int32) { c++ })
+		sup[e] = c
+	})
 	return sup
 }
 

@@ -21,9 +21,9 @@ func TestEdgeSupportsClique(t *testing.T) {
 	if len(sup) != 10 {
 		t.Fatalf("support entries = %d, want 10", len(sup))
 	}
-	for k, s := range sup {
+	for e, s := range sup {
 		if s != 3 {
-			t.Fatalf("sup%s = %d, want 3 in K5", k, s)
+			t.Fatalf("sup%s = %d, want 3 in K5", g.EdgeKeyOf(int32(e)), s)
 		}
 	}
 }
@@ -32,11 +32,11 @@ func TestEdgeSupportPaperExample(t *testing.T) {
 	// Paper §2: sup(e(q2,v2)) = 3 (triangles with q1, v1, v5).
 	g := paperGraph()
 	sup := EdgeSupports(g)
-	if got := sup[Key(1, 4)]; got != 3 {
+	if got := sup[g.EdgeID(1, 4)]; got != 3 {
 		t.Fatalf("sup(q2,v2) = %d, want 3", got)
 	}
 	// Pendant path edges (q1,t) and (t,q3) are in no triangle.
-	if sup[Key(0, 11)] != 0 || sup[Key(2, 11)] != 0 {
+	if sup[g.EdgeID(0, 11)] != 0 || sup[g.EdgeID(2, 11)] != 0 {
 		t.Fatal("pendant edges should have support 0")
 	}
 }
@@ -74,6 +74,8 @@ func TestSupportSumIsThreeTriangles(t *testing.T) {
 }
 
 func TestMutableSupportsMatchImmutable(t *testing.T) {
+	// A full overlay shares the base's edge-ID space, so the dense support
+	// arrays must match entry for entry.
 	f := func(seed int64) bool {
 		g := randomGraph(seed, 20, 0.3)
 		want := EdgeSupports(g)
@@ -81,8 +83,8 @@ func TestMutableSupportsMatchImmutable(t *testing.T) {
 		if len(got) != len(want) {
 			return false
 		}
-		for k, s := range want {
-			if got[k] != s {
+		for e, s := range want {
+			if got[e] != s {
 				return false
 			}
 		}
@@ -90,6 +92,21 @@ func TestMutableSupportsMatchImmutable(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEdgeSupportsParallelMatchesSequential(t *testing.T) {
+	// Force the parallel path by exceeding the small-graph threshold.
+	g := randomGraph(11, 260, 0.55)
+	if g.M() < parallelSupportThreshold {
+		t.Fatalf("test graph too small to exercise parallel path: m=%d", g.M())
+	}
+	seq := EdgeSupports(g)
+	par := EdgeSupportsParallel(g)
+	for e := range seq {
+		if seq[e] != par[e] {
+			t.Fatalf("edge %d: parallel sup %d, sequential %d", e, par[e], seq[e])
+		}
 	}
 }
 

@@ -92,7 +92,7 @@ func TestCertainGraphMatchesDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	dd := truss.Decompose(g)
-	for e, k := range dd.EdgeTruss {
+	for e, k := range dd.EdgeTrussMap() {
 		if pd.EdgeTruss[e] != k {
 			t.Fatalf("certain graph: τ%s = %d, deterministic says %d", e, pd.EdgeTruss[e], k)
 		}

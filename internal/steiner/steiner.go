@@ -110,8 +110,9 @@ func Build(ix *trussindex.Index, q []int, gamma float64) (*Tree, error) {
 			}
 		}
 	}
-	// Expand MST edges into actual paths at their realizing thresholds.
-	union := graph.NewMutableFromEdges(g.N(), nil)
+	// Expand MST edges into actual paths at their realizing thresholds. The
+	// paths consist of indexed-graph edges, so the union is a bitset overlay.
+	union := graph.NewMutableShell(g)
 	for _, e := range mst {
 		src, dst := uniq[e.from], uniq[e.to]
 		t := thr[e.from][dst]
@@ -159,7 +160,7 @@ func treeFromUnion(ix *trussindex.Index, union *graph.Mutable, terminals []int, 
 			}
 		})
 	}
-	tree := graph.NewMutableFromEdges(n, nil)
+	tree := graph.NewMutableShell(union.Base())
 	for _, vq := range queue {
 		v := int(vq)
 		if parent[v] >= 0 {

@@ -60,8 +60,7 @@ func (d *edgeDSU) union(a, b int32) {
 // classesAtLevel partitions the edges of trussness >= k into
 // triangle-connected equivalence classes.
 func classesAtLevel(g *graph.Graph, d *truss.Decomposition, k int32) (map[graph.EdgeKey]int, [][]graph.EdgeKey) {
-	edges := d.EdgesAtLeast(k)
-	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	edges := d.EdgesAtLeast(k) // already in ascending key order
 	idx := make(map[graph.EdgeKey]int, len(edges))
 	for i, e := range edges {
 		idx[e] = i

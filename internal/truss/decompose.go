@@ -6,16 +6,27 @@
 // A connected k-truss (Definition 1) is a connected subgraph H in which every
 // edge is contained in at least k-2 triangles of H. The trussness τ(e) of an
 // edge is the largest k such that some k-truss contains e (Definition 2).
+//
+// All hot paths run over flat arrays indexed by the graph's dense edge IDs:
+// supports and trussness are []int32, the peeling queue is the standard
+// bucket array with position swaps (the same O(1) decrease-key structure
+// used for core decomposition), and edge liveness is a bitset. DecomposeNaive
+// retains the original map-based implementation as a differential-testing
+// oracle.
 package truss
 
 import (
 	"repro/internal/graph"
 )
 
-// Decomposition holds the full truss decomposition of a graph.
+// Decomposition holds the full truss decomposition of a graph. Trussness is
+// stored densely, indexed by the edge IDs of G; EdgeKey-based accessors are
+// provided for callers that work with packed keys.
 type Decomposition struct {
-	// EdgeTruss maps every edge to its trussness τ(e) >= 2.
-	EdgeTruss map[graph.EdgeKey]int32
+	// G is the decomposed graph, defining the edge-ID space of Truss.
+	G *graph.Graph
+	// Truss[e] is the trussness τ(e) >= 2 of the edge with ID e.
+	Truss []int32
 	// VertexTruss[v] is τ(v) = max trussness of an incident edge (0 if v has
 	// no edges).
 	VertexTruss []int32
@@ -26,83 +37,92 @@ type Decomposition struct {
 
 // Decompose computes the truss decomposition of g by peeling edges in
 // non-decreasing support order, cascading support decrements through the
-// triangles of each removed edge. Runs in O(m^1.5)-ish time at our scales.
+// triangles of each removed edge. The initial support pass is parallel; the
+// peel itself is the array-based bucket queue, O(m) space and
+// O(Σ min(deg u, deg v)) triangle work.
 func Decompose(g *graph.Graph) *Decomposition {
-	return decompose(graph.NewMutable(g, nil), g.N())
-}
-
-// DecomposeMutable computes the truss decomposition of the current state of
-// mu. The input is not modified (an internal clone is peeled).
-func DecomposeMutable(mu *graph.Mutable) *Decomposition {
-	return decompose(mu.Clone(), mu.NumIDs())
-}
-
-func decompose(mu *graph.Mutable, n int) *Decomposition {
+	m := g.M()
 	d := &Decomposition{
-		EdgeTruss:   make(map[graph.EdgeKey]int32, mu.M()),
-		VertexTruss: make([]int32, n),
+		G:           g,
+		Truss:       make([]int32, m),
+		VertexTruss: make([]int32, g.N()),
 	}
-	m := mu.M()
 	if m == 0 {
 		return d
 	}
-	sup := graph.MutableEdgeSupports(mu)
+	sup := graph.EdgeSupportsParallel(g)
 	maxSup := int32(0)
 	for _, s := range sup {
 		if s > maxSup {
 			maxSup = s
 		}
 	}
-	// Bucket queue with lazy (stale) entries: an edge may sit in several
-	// buckets; an entry is valid only if the edge is still present and its
-	// current support matches the bucket index.
-	buckets := make([][]graph.EdgeKey, maxSup+1)
-	for e, s := range sup {
-		buckets[s] = append(buckets[s], e)
+	// Counting-sort edge IDs by support. order holds edge IDs sorted by
+	// current support; pos is its inverse; binStart[s] is the first position
+	// of the bucket holding support-s edges. A support decrement moves the
+	// edge to the head of its bucket and shrinks the bucket by one — O(1)
+	// decrease-key with zero allocation, and no stale entries to skip.
+	binStart := make([]int32, maxSup+2)
+	for _, s := range sup {
+		binStart[s+1]++
 	}
-	removed := make(map[graph.EdgeKey]bool, m)
-	cur := int32(0)
+	for s := int32(1); s <= maxSup+1; s++ {
+		binStart[s] += binStart[s-1]
+	}
+	order := make([]int32, m)
+	pos := make([]int32, m)
+	next := append([]int32(nil), binStart[:maxSup+1]...)
+	for e := int32(0); e < int32(m); e++ {
+		p := next[sup[e]]
+		next[sup[e]] = p + 1
+		order[p] = e
+		pos[e] = p
+	}
+	alive := graph.NewBitset(m)
+	alive.SetAll(m)
 	level := int32(2)
-	processed := 0
-	for processed < m {
-		// Advance to the lowest bucket holding a valid entry.
-		for cur <= maxSup && len(buckets[cur]) == 0 {
-			cur++
+	for i := 0; i < m; i++ {
+		e := order[i]
+		se := sup[e]
+		if se+2 > level {
+			level = se + 2
 		}
-		if cur > maxSup {
-			break // defensive; cannot happen while processed < m
-		}
-		b := buckets[cur]
-		e := b[len(b)-1]
-		buckets[cur] = b[:len(b)-1]
-		if removed[e] || sup[e] != cur {
-			continue // stale entry
-		}
-		if cur+2 > level {
-			level = cur + 2
-		}
-		d.EdgeTruss[e] = level
-		removed[e] = true
-		processed++
-		u, v := e.Endpoints()
-		mu.CommonNeighbors(u, v, func(w int) {
-			for _, f := range [2]graph.EdgeKey{graph.Key(u, w), graph.Key(v, w)} {
-				if removed[f] {
-					continue
-				}
-				if sup[f] > 0 {
-					sup[f]--
-					buckets[sup[f]] = append(buckets[sup[f]], f)
-					if sup[f] < cur {
-						cur = sup[f]
-					}
-				}
+		d.Truss[e] = level
+		alive.Clear(e)
+		u, v := g.EdgeEndpoints(e)
+		g.ForEachCommonNeighborEdge(u, v, func(_, euw, evw int32) {
+			if !alive.Get(euw) || !alive.Get(evw) {
+				return
+			}
+			if sup[euw] > se {
+				decreaseKey(euw, sup, order, pos, binStart)
+			}
+			if sup[evw] > se {
+				decreaseKey(evw, sup, order, pos, binStart)
 			}
 		})
-		mu.DeleteEdge(u, v)
 	}
-	for e, k := range d.EdgeTruss {
-		u, v := e.Endpoints()
+	d.finishVertexTruss()
+	return d
+}
+
+// decreaseKey moves edge f one support bucket down: swap it with the first
+// edge of its bucket, advance the bucket boundary, decrement its support.
+func decreaseKey(f int32, sup, order, pos, binStart []int32) {
+	sf := sup[f]
+	pf := pos[f]
+	pw := binStart[sf]
+	if w := order[pw]; w != f {
+		order[pf], order[pw] = w, f
+		pos[f], pos[w] = pw, pf
+	}
+	binStart[sf]++
+	sup[f] = sf - 1
+}
+
+func (d *Decomposition) finishVertexTruss() {
+	for e, k := range d.Truss {
+		u, v := d.G.EdgeEndpoints(int32(e))
 		if k > d.VertexTruss[u] {
 			d.VertexTruss[u] = k
 		}
@@ -113,7 +133,52 @@ func decompose(mu *graph.Mutable, n int) *Decomposition {
 			d.MaxTruss = k
 		}
 	}
-	return d
+}
+
+// DecomposeMutable computes the truss decomposition of the current state of
+// mu. The input is not modified. When mu is its base graph in full (the
+// common case for freshly wrapped graphs), the base is decomposed directly;
+// otherwise the live subgraph is frozen first.
+func DecomposeMutable(mu *graph.Mutable) *Decomposition {
+	if mu.OverlayPure() && mu.M() == mu.Base().M() {
+		d := Decompose(mu.Base())
+		if len(d.VertexTruss) < mu.NumIDs() {
+			vt := make([]int32, mu.NumIDs())
+			copy(vt, d.VertexTruss)
+			d.VertexTruss = vt
+		}
+		return d
+	}
+	return Decompose(mu.Freeze())
+}
+
+// EdgeTrussOf returns τ(u,v), or 0 if the edge does not exist.
+func (d *Decomposition) EdgeTrussOf(u, v int) int32 {
+	if d.G == nil {
+		return 0
+	}
+	e := d.G.EdgeID(u, v)
+	if e < 0 {
+		return 0
+	}
+	return d.Truss[e]
+}
+
+// EdgeTrussKey returns τ(e) for a packed edge key, or 0 if absent.
+func (d *Decomposition) EdgeTrussKey(k graph.EdgeKey) int32 {
+	u, v := k.Endpoints()
+	return d.EdgeTrussOf(u, v)
+}
+
+// EdgeTrussMap materializes the edge→trussness table as a map keyed by
+// packed edge keys — a compatibility adapter for callers (and reference
+// implementations) that are not written against dense edge IDs. O(m).
+func (d *Decomposition) EdgeTrussMap() map[graph.EdgeKey]int32 {
+	out := make(map[graph.EdgeKey]int32, len(d.Truss))
+	for e, k := range d.Truss {
+		out[d.G.EdgeKeyOf(int32(e))] = k
+	}
+	return out
 }
 
 // QueryUpperBound returns the Lemma 1 upper bound on the trussness of any
@@ -139,12 +204,50 @@ func (d *Decomposition) QueryUpperBound(q []int) int32 {
 	return min
 }
 
-// EdgesAtLeast returns all edges with trussness >= k.
+// EdgesAtLeast returns all edges with trussness >= k, in ascending key
+// order. The output is sized exactly (count first, then fill).
 func (d *Decomposition) EdgesAtLeast(k int32) []graph.EdgeKey {
-	out := make([]graph.EdgeKey, 0)
-	for e, t := range d.EdgeTruss {
+	count := 0
+	for _, t := range d.Truss {
 		if t >= k {
-			out = append(out, e)
+			count++
+		}
+	}
+	out := make([]graph.EdgeKey, 0, count)
+	for e, t := range d.Truss {
+		if t >= k {
+			out = append(out, d.G.EdgeKeyOf(int32(e)))
+		}
+	}
+	return out
+}
+
+// MutableAtLeast returns a Mutable over G containing exactly the edges with
+// trussness >= k — the maximal (not necessarily connected) k-truss — without
+// rebuilding adjacency: it is an edge-bitset overlay of G.
+func (d *Decomposition) MutableAtLeast(k int32) *graph.Mutable {
+	mu := graph.NewMutableShell(d.G)
+	for e, t := range d.Truss {
+		if t >= k {
+			mu.AddEdgeByID(int32(e))
+		}
+	}
+	return mu
+}
+
+// Thresholds returns the distinct edge trussness values present, descending.
+func (d *Decomposition) Thresholds() []int32 {
+	if d.MaxTruss == 0 {
+		return nil
+	}
+	seen := make([]bool, d.MaxTruss+1)
+	for _, t := range d.Truss {
+		seen[t] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for t := d.MaxTruss; t >= 2; t-- {
+		if seen[t] {
+			out = append(out, t)
 		}
 	}
 	return out

@@ -1,0 +1,53 @@
+package truss
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// benchGraph50k is the ~50k-edge planted-community network used as the
+// shared perf yardstick across PRs (see BENCH_pr1.json for the recorded
+// trajectory). Kept deterministic by the fixed seed.
+var benchGraph50k *graph.Graph
+
+func bench50k(b *testing.B) *graph.Graph {
+	b.Helper()
+	if benchGraph50k == nil {
+		benchGraph50k, _ = gen.CommunityGraph(gen.CommunityParams{
+			N: 9000, NumCommunities: 550, MinSize: 5, MaxSize: 32,
+			Overlap: 0.3, PIntra: 0.5, BackgroundEdges: 4500,
+			Hubs: 5, HubDegree: 110, PlantedClique: 22, Seed: 0x50C1,
+		})
+	}
+	return benchGraph50k
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	g := bench50k(b)
+	b.Logf("graph: n=%d m=%d", g.N(), g.M())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Decompose(g)
+		if d.MaxTruss < 3 {
+			b.Fatal("unexpected decomposition")
+		}
+	}
+}
+
+// BenchmarkDecomposeNaive measures the retained seed-equivalent reference
+// (map supports + lazy bucket queue) on the same graph, giving the
+// before/after trajectory recorded in BENCH_pr1.json.
+func BenchmarkDecomposeNaive(b *testing.B) {
+	g := bench50k(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := DecomposeNaive(g)
+		if d.MaxTruss < 3 {
+			b.Fatal("unexpected decomposition")
+		}
+	}
+}

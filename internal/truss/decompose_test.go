@@ -1,10 +1,12 @@
 package truss
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/gen"
 	"repro/internal/graph"
 )
 
@@ -84,13 +86,14 @@ func referenceTrussness(g *graph.Graph) map[graph.EdgeKey]int32 {
 
 func TestDecomposeClique(t *testing.T) {
 	for n := 3; n <= 8; n++ {
-		d := Decompose(completeGraph(n))
+		g := completeGraph(n)
+		d := Decompose(g)
 		if d.MaxTruss != int32(n) {
 			t.Fatalf("K%d max truss = %d, want %d", n, d.MaxTruss, n)
 		}
-		for e, k := range d.EdgeTruss {
+		for e, k := range d.Truss {
 			if k != int32(n) {
-				t.Fatalf("K%d: τ%s = %d, want %d", n, e, k, n)
+				t.Fatalf("K%d: τ%s = %d, want %d", n, g.EdgeKeyOf(int32(e)), k, n)
 			}
 		}
 	}
@@ -101,20 +104,21 @@ func TestDecomposePath(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		b.AddEdge(i, i+1)
 	}
-	d := Decompose(b.Build())
+	g := b.Build()
+	d := Decompose(g)
 	if d.MaxTruss != 2 {
 		t.Fatalf("path max truss = %d, want 2", d.MaxTruss)
 	}
-	for e, k := range d.EdgeTruss {
+	for e, k := range d.Truss {
 		if k != 2 {
-			t.Fatalf("τ%s = %d, want 2", e, k)
+			t.Fatalf("τ%s = %d, want 2", g.EdgeKeyOf(int32(e)), k)
 		}
 	}
 }
 
 func TestDecomposeEmpty(t *testing.T) {
 	d := Decompose(graph.NewBuilder(0, 0).Build())
-	if d.MaxTruss != 0 || len(d.EdgeTruss) != 0 {
+	if d.MaxTruss != 0 || len(d.Truss) != 0 {
 		t.Fatalf("empty decomposition: %+v", d)
 	}
 }
@@ -124,7 +128,7 @@ func TestDecomposePaperExample(t *testing.T) {
 	// the pendant edges through t have trussness 2.
 	g := paperGraph()
 	d := Decompose(g)
-	if got := d.EdgeTruss[graph.Key(1, 4)]; got != 4 {
+	if got := d.EdgeTrussOf(1, 4); got != 4 {
 		t.Fatalf("τ(q2,v2) = %d, want 4", got)
 	}
 	if d.VertexTruss[1] != 4 {
@@ -133,7 +137,7 @@ func TestDecomposePaperExample(t *testing.T) {
 	if d.MaxTruss != 4 {
 		t.Fatalf("τ̄(∅) = %d, want 4", d.MaxTruss)
 	}
-	if d.EdgeTruss[graph.Key(0, 11)] != 2 || d.EdgeTruss[graph.Key(2, 11)] != 2 {
+	if d.EdgeTrussOf(0, 11) != 2 || d.EdgeTrussOf(2, 11) != 2 {
 		t.Fatal("pendant edges should have trussness 2")
 	}
 }
@@ -142,7 +146,7 @@ func TestDecomposeMatchesReference(t *testing.T) {
 	for seed := int64(0); seed < 12; seed++ {
 		g := randomGraph(seed, 22, 0.3)
 		want := referenceTrussness(g)
-		got := Decompose(g).EdgeTruss
+		got := Decompose(g).EdgeTrussMap()
 		if len(got) != len(want) {
 			t.Fatalf("seed %d: %d edges decomposed, want %d", seed, len(got), len(want))
 		}
@@ -154,23 +158,74 @@ func TestDecomposeMatchesReference(t *testing.T) {
 	}
 }
 
+// diffDecompositions fails the test unless the array-based and reference
+// decompositions agree on every edge.
+func diffDecompositions(t *testing.T, context string, got, want *Decomposition) {
+	t.Helper()
+	if got.MaxTruss != want.MaxTruss {
+		t.Fatalf("%s: max truss %d, reference says %d", context, got.MaxTruss, want.MaxTruss)
+	}
+	if len(got.Truss) != len(want.Truss) {
+		t.Fatalf("%s: %d edges, reference has %d", context, len(got.Truss), len(want.Truss))
+	}
+	wantMap := want.EdgeTrussMap()
+	for e, k := range got.EdgeTrussMap() {
+		if wantMap[e] != k {
+			t.Fatalf("%s: τ%s = %d, reference says %d", context, e, k, wantMap[e])
+		}
+	}
+	for v := range want.VertexTruss {
+		if got.VertexTruss[v] != want.VertexTruss[v] {
+			t.Fatalf("%s: τ(%d) = %d, reference says %d",
+				context, v, got.VertexTruss[v], want.VertexTruss[v])
+		}
+	}
+}
+
+// TestDecomposeDifferentialVsNaive runs the array-based Decompose against the
+// retained naive (map-based, lazy-bucket) reference on ~50 seeded graphs:
+// Erdős–Rényi at several densities plus planted-community networks from
+// internal/gen, the triangle-rich shape the paper's datasets have.
+func TestDecomposeDifferentialVsNaive(t *testing.T) {
+	cases := 0
+	for seed := int64(0); seed < 10; seed++ {
+		for _, p := range []float64{0.08, 0.2, 0.35, 0.5} {
+			g := randomGraph(seed*31+int64(p*100), 26, p)
+			diffDecompositions(t, fmt.Sprintf("er seed=%d p=%.2f", seed, p),
+				Decompose(g), DecomposeNaive(g))
+			cases++
+		}
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		g, _ := gen.CommunityGraph(gen.CommunityParams{
+			N: 300, NumCommunities: 12, MinSize: 5, MaxSize: 25,
+			Overlap: 0.3, PIntra: 0.5, BackgroundEdges: 150,
+			PlantedClique: 9, Seed: 0xD1FF + seed,
+		})
+		diffDecompositions(t, fmt.Sprintf("community seed=%d", seed),
+			Decompose(g), DecomposeNaive(g))
+		cases++
+	}
+	if cases < 50 {
+		t.Fatalf("differential coverage shrank to %d cases, want >= 50", cases)
+	}
+}
+
 func TestDecomposeMutableMatchesGraph(t *testing.T) {
 	g := randomGraph(7, 25, 0.25)
 	mu := graph.NewMutable(g, nil)
 	d1 := Decompose(g)
 	d2 := DecomposeMutable(mu)
-	if d1.MaxTruss != d2.MaxTruss || len(d1.EdgeTruss) != len(d2.EdgeTruss) {
-		t.Fatal("mutable decomposition disagrees with graph decomposition")
-	}
-	for e, k := range d1.EdgeTruss {
-		if d2.EdgeTruss[e] != k {
-			t.Fatalf("τ%s mismatch: %d vs %d", e, d2.EdgeTruss[e], k)
-		}
-	}
+	diffDecompositions(t, "mutable vs graph", d2, d1)
 	// The input mutable must be untouched.
 	if mu.M() != g.M() {
 		t.Fatal("DecomposeMutable modified its input")
 	}
+	// A genuinely shrunken overlay must decompose its live subgraph only.
+	mu.DeleteVertex(0)
+	d3 := DecomposeMutable(mu)
+	d4 := Decompose(mu.Freeze())
+	diffDecompositions(t, "shrunk overlay", d3, d4)
 }
 
 func TestTrussnessAtMostSupportPlusTwo(t *testing.T) {
@@ -178,7 +233,7 @@ func TestTrussnessAtMostSupportPlusTwo(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomGraph(seed, 20, 0.3)
 		sup := graph.EdgeSupports(g)
-		for e, k := range Decompose(g).EdgeTruss {
+		for e, k := range Decompose(g).Truss {
 			if k > sup[e]+2 {
 				return false
 			}

@@ -34,7 +34,7 @@ func NewDynamic(g *graph.Graph) *Dynamic {
 	d := Decompose(g)
 	return &Dynamic{
 		mu:    graph.NewMutable(g, nil),
-		truss: d.EdgeTruss,
+		truss: d.EdgeTrussMap(),
 	}
 }
 
@@ -44,15 +44,19 @@ func (dy *Dynamic) Graph() *graph.Mutable { return dy.mu }
 // EdgeTruss returns τ(u,v) in the current graph (0 if absent).
 func (dy *Dynamic) EdgeTruss(u, v int) int32 { return dy.truss[graph.Key(u, v)] }
 
-// Snapshot converts the current state into a Decomposition.
+// Snapshot converts the current state into a Decomposition: the live graph
+// is frozen (giving it a dense edge-ID space) and the tracked labels are
+// scattered into the dense trussness array.
 func (dy *Dynamic) Snapshot() *Decomposition {
+	g := dy.mu.Freeze()
 	d := &Decomposition{
-		EdgeTruss:   make(map[graph.EdgeKey]int32, len(dy.truss)),
+		G:           g,
+		Truss:       make([]int32, g.M()),
 		VertexTruss: make([]int32, dy.mu.NumIDs()),
 	}
 	for e, k := range dy.truss {
-		d.EdgeTruss[e] = k
 		u, v := e.Endpoints()
+		d.Truss[g.EdgeID(u, v)] = k
 		if k > d.VertexTruss[u] {
 			d.VertexTruss[u] = k
 		}

@@ -13,12 +13,13 @@ func checkAgainstRecompute(t *testing.T, dy *Dynamic, context string) {
 	t.Helper()
 	want := DecomposeMutable(dy.Graph())
 	got := dy.Snapshot()
-	if len(got.EdgeTruss) != len(want.EdgeTruss) {
-		t.Fatalf("%s: %d edges tracked, recompute has %d", context, len(got.EdgeTruss), len(want.EdgeTruss))
+	gotMap, wantMap := got.EdgeTrussMap(), want.EdgeTrussMap()
+	if len(gotMap) != len(wantMap) {
+		t.Fatalf("%s: %d edges tracked, recompute has %d", context, len(gotMap), len(wantMap))
 	}
-	for e, k := range want.EdgeTruss {
-		if got.EdgeTruss[e] != k {
-			t.Fatalf("%s: τ%s = %d, recompute says %d", context, e, got.EdgeTruss[e], k)
+	for e, k := range wantMap {
+		if gotMap[e] != k {
+			t.Fatalf("%s: τ%s = %d, recompute says %d", context, e, gotMap[e], k)
 		}
 	}
 	if got.MaxTruss != want.MaxTruss {

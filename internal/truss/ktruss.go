@@ -13,8 +13,12 @@ var ErrNoCommunity = errors.New("truss: no connected k-truss contains the query 
 
 // MaximalKTruss returns a Mutable holding the maximal (not necessarily
 // connected) k-truss subgraph of g: the union of all edges with trussness
-// >= k.
+// >= k. When d was computed over g itself the result is a zero-copy edge
+// bitset overlay of g; otherwise the edge list is rebuilt.
 func MaximalKTruss(g *graph.Graph, d *Decomposition, k int32) *graph.Mutable {
+	if d.G == g || d.G.N() == g.N() {
+		return d.MutableAtLeast(k)
+	}
 	return graph.NewMutableFromEdges(g.N(), d.EdgesAtLeast(k))
 }
 

@@ -7,53 +7,35 @@ import (
 // MaintainKTruss implements Algorithm 3 of the paper. It deletes the
 // vertices vd (and their incident edges) from mu, then iteratively removes
 // every edge whose support in the shrinking graph drops below k-2, updating
-// the support table sup in place. Finally it drops vertices left isolated.
+// the dense support table sup (indexed by mu's base edge IDs) in place.
+// Finally it drops vertices left isolated.
 //
-// It returns the vertices removed (vd plus cascade victims) and every edge
-// deleted, so callers like Algorithm 1 can stamp an exact deletion timeline
-// (edge-level: an intermediate graph is not induced, since the cascade can
-// drop an edge while both endpoints survive).
-func MaintainKTruss(mu *graph.Mutable, sup map[graph.EdgeKey]int32, k int32, vd []int) (removedVerts []int, removedEdges []graph.EdgeKey) {
+// mu must be overlay-pure (all edges belong to its base graph); every
+// subgraph the search algorithms feed here is. The cascade is allocation-
+// light: the pending set is a bitset over base edge IDs and triangle
+// enumeration merge-scans the base CSR, so the steady state does no hashing.
+//
+// It returns the vertices removed (vd plus cascade victims) and the base
+// edge IDs of every edge deleted, so callers like Algorithm 1 can stamp an
+// exact deletion timeline (edge-level: an intermediate graph is not induced,
+// since the cascade can drop an edge while both endpoints survive).
+func MaintainKTruss(mu *graph.Mutable, sup []int32, k int32, vd []int) (removedVerts []int, removedEdges []int32) {
+	base := mu.Base()
+	queue := make([]int32, 0, 16)
+	inQueue := graph.NewBitset(base.M())
 	// Seed the removal queue with all edges incident to vd.
-	queue := make([]graph.EdgeKey, 0, 16)
-	inQueue := make(map[graph.EdgeKey]bool)
 	for _, v := range vd {
 		if !mu.Present(v) {
 			continue
 		}
-		mu.ForEachNeighbor(v, func(w int) {
-			e := graph.Key(v, w)
-			if !inQueue[e] {
-				inQueue[e] = true
+		mu.ForEachIncidentEdge(v, func(e int32, _ int) {
+			if !inQueue.Get(e) {
+				inQueue.Set(e)
 				queue = append(queue, e)
 			}
 		})
 	}
-	// Cascade: removing an edge decrements the support of the other two
-	// edges of each triangle it participated in; any edge falling below
-	// k-2 joins the queue (lines 4-9 of Algorithm 3).
-	for head := 0; head < len(queue); head++ {
-		e := queue[head]
-		u, v := e.Endpoints()
-		if !mu.HasEdge(u, v) {
-			continue
-		}
-		mu.CommonNeighbors(u, v, func(w int) {
-			for _, f := range [2]graph.EdgeKey{graph.Key(u, w), graph.Key(v, w)} {
-				if inQueue[f] {
-					continue
-				}
-				sup[f]--
-				if sup[f] < k-2 {
-					inQueue[f] = true
-					queue = append(queue, f)
-				}
-			}
-		})
-		mu.DeleteEdge(u, v)
-		delete(sup, e)
-		removedEdges = append(removedEdges, e)
-	}
+	removedEdges = cascade(mu, sup, k, queue, inQueue)
 	// Line 10: remove isolated vertices. Vertices of vd are isolated by now.
 	removedVerts = make([]int, 0, len(vd))
 	for v := 0; v < mu.NumIDs(); v++ {
@@ -65,40 +47,56 @@ func MaintainKTruss(mu *graph.Mutable, sup map[graph.EdgeKey]int32, k int32, vd 
 	return removedVerts, removedEdges
 }
 
-// DropBelowSupport removes every edge of mu whose support is below k-2,
-// cascading, without deleting any seed vertices. Used to restore the k-truss
-// property after arbitrary edge deletions. sup must be the current support
-// table and is updated in place. Isolated vertices are removed; returns them.
-func DropBelowSupport(mu *graph.Mutable, sup map[graph.EdgeKey]int32, k int32) []int {
-	queue := make([]graph.EdgeKey, 0, 16)
-	inQueue := make(map[graph.EdgeKey]bool)
-	for e, s := range sup {
-		if s < k-2 {
-			inQueue[e] = true
-			queue = append(queue, e)
-		}
-	}
+// cascade drains the queue of doomed edges: removing an edge decrements the
+// support of the other two edges of each triangle it participated in; any
+// edge falling below k-2 joins the queue (lines 4-9 of Algorithm 3).
+func cascade(mu *graph.Mutable, sup []int32, k int32, queue []int32, inQueue graph.Bitset) []int32 {
+	var removed []int32
 	for head := 0; head < len(queue); head++ {
 		e := queue[head]
-		u, v := e.Endpoints()
-		if !mu.HasEdge(u, v) {
+		if !mu.EdgeAlive(e) {
 			continue
 		}
-		mu.CommonNeighbors(u, v, func(w int) {
-			for _, f := range [2]graph.EdgeKey{graph.Key(u, w), graph.Key(v, w)} {
-				if inQueue[f] {
-					continue
+		u, v := mu.Base().EdgeEndpoints(e)
+		mu.CommonNeighborsEdges(u, v, func(_, euw, evw int32) {
+			if !inQueue.Get(euw) {
+				sup[euw]--
+				if sup[euw] < k-2 {
+					inQueue.Set(euw)
+					queue = append(queue, euw)
 				}
-				sup[f]--
-				if sup[f] < k-2 {
-					inQueue[f] = true
-					queue = append(queue, f)
+			}
+			if !inQueue.Get(evw) {
+				sup[evw]--
+				if sup[evw] < k-2 {
+					inQueue.Set(evw)
+					queue = append(queue, evw)
 				}
 			}
 		})
-		mu.DeleteEdge(u, v)
-		delete(sup, e)
+		mu.DeleteEdgeByID(e)
+		sup[e] = 0
+		removed = append(removed, e)
 	}
+	return removed
+}
+
+// DropBelowSupport removes every edge of mu whose support is below k-2,
+// cascading, without deleting any seed vertices. Used to restore the k-truss
+// property after arbitrary edge deletions. sup must be the current dense
+// support table (indexed by mu's base edge IDs) and is updated in place.
+// Isolated vertices are removed; returns them.
+func DropBelowSupport(mu *graph.Mutable, sup []int32, k int32) []int {
+	base := mu.Base()
+	queue := make([]int32, 0, 16)
+	inQueue := graph.NewBitset(base.M())
+	mu.ForEachLiveEdge(func(e int32, _, _ int) {
+		if sup[e] < k-2 {
+			inQueue.Set(e)
+			queue = append(queue, e)
+		}
+	})
+	cascade(mu, sup, k, queue, inQueue)
 	removed := make([]int, 0)
 	for v := 0; v < mu.NumIDs(); v++ {
 		if mu.Present(v) && mu.Degree(v) == 0 {

@@ -57,7 +57,7 @@ func TestMaintainSupportsStayCorrect(t *testing.T) {
 		}
 		for e, s := range want {
 			if sup[e] != s {
-				t.Fatalf("seed %d: sup%s = %d, want %d", seed, e, sup[e], s)
+				t.Fatalf("seed %d: sup%s = %d, want %d", seed, mu.Base().EdgeKeyOf(int32(e)), sup[e], s)
 			}
 		}
 		if !IsKTruss(mu, 4) {
@@ -97,8 +97,10 @@ func TestMaintainFullCollapse(t *testing.T) {
 	if len(removed) != 4 {
 		t.Fatalf("removed %d vertices, want 4", len(removed))
 	}
-	if len(sup) != 0 {
-		t.Fatalf("support table should be empty, has %d", len(sup))
+	for e, s := range sup {
+		if s != 0 {
+			t.Fatalf("support entry %d should be zeroed after collapse, has %d", e, s)
+		}
 	}
 }
 
@@ -127,10 +129,7 @@ func TestDropBelowSupport(t *testing.T) {
 	// Require a 5-truss (support >= 3): peels everything touching 0 or 1,
 	// leaving K3 on {2,3,4}? K3 edges have support 1 < 3 → total collapse.
 	cp := mu.Clone()
-	supCp := map[graph.EdgeKey]int32{}
-	for k, v := range sup {
-		supCp[k] = v
-	}
+	supCp := append([]int32(nil), sup...)
 	DropBelowSupport(cp, supCp, 5)
 	if cp.M() != 0 {
 		t.Fatalf("5-truss of K5-minus-edge should be empty, M=%d", cp.M())

@@ -22,7 +22,8 @@ import (
 var ErrNoCommunity = errors.New("trussindex: no connected k-truss contains the query vertices")
 
 // Index is the simple truss index: adjacency sorted by edge trussness plus
-// vertex trussness and an edge-trussness hashtable.
+// vertex trussness and a dense edge-trussness array indexed by the graph's
+// edge IDs.
 type Index struct {
 	g *graph.Graph
 	// nbr[v] lists v's neighbors sorted by descending τ(v,u), ties by
@@ -32,7 +33,8 @@ type Index struct {
 	// vertexTruss[v] = τ(v); maxTruss = τ̄(∅).
 	vertexTruss []int32
 	maxTruss    int32
-	edgeTruss   map[graph.EdgeKey]int32
+	// edgeTruss[e] = τ of the edge with ID e in g.
+	edgeTruss []int32
 }
 
 // Build constructs the index for g, running a truss decomposition first.
@@ -49,15 +51,25 @@ func BuildFromDecomposition(g *graph.Graph, d *truss.Decomposition) *Index {
 		nbrTruss:    make([][]int32, g.N()),
 		vertexTruss: d.VertexTruss,
 		maxTruss:    d.MaxTruss,
-		edgeTruss:   d.EdgeTruss,
+	}
+	if d.G == g {
+		ix.edgeTruss = d.Truss
+	} else {
+		// d describes a structurally identical graph with its own edge-ID
+		// space (e.g. a Dynamic snapshot); remap through packed keys.
+		ix.edgeTruss = make([]int32, g.M())
+		for e := int32(0); e < int32(g.M()); e++ {
+			ix.edgeTruss[e] = d.EdgeTrussKey(g.EdgeKeyOf(e))
+		}
 	}
 	for v := 0; v < g.N(); v++ {
 		src := g.Neighbors(v)
+		srcIDs := g.NeighborEdgeIDs(v)
 		nb := make([]int32, len(src))
 		copy(nb, src)
 		ts := make([]int32, len(nb))
-		for i, u := range nb {
-			ts[i] = d.EdgeTruss[graph.Key(v, int(u))]
+		for i := range nb {
+			ts[i] = ix.edgeTruss[srcIDs[i]]
 		}
 		idx := make([]int, len(nb))
 		for i := range idx {
@@ -97,15 +109,31 @@ func (ix *Index) VertexTruss(v int) int32 {
 }
 
 // EdgeTruss returns τ(u,v), or 0 if the edge does not exist.
-func (ix *Index) EdgeTruss(u, v int) int32 { return ix.edgeTruss[graph.Key(u, v)] }
+func (ix *Index) EdgeTruss(u, v int) int32 {
+	e := ix.g.EdgeID(u, v)
+	if e < 0 {
+		return 0
+	}
+	return ix.edgeTruss[e]
+}
 
-// EdgeTrussTable exposes the underlying edge→trussness table (read-only use).
-func (ix *Index) EdgeTrussTable() map[graph.EdgeKey]int32 { return ix.edgeTruss }
+// EdgeTrussTable materializes the edge→trussness table as a map keyed by
+// packed edge keys — a compatibility adapter over the dense array; O(m) per
+// call.
+func (ix *Index) EdgeTrussTable() map[graph.EdgeKey]int32 {
+	out := make(map[graph.EdgeKey]int32, len(ix.edgeTruss))
+	for e, t := range ix.edgeTruss {
+		out[ix.g.EdgeKeyOf(int32(e))] = t
+	}
+	return out
+}
 
-// Decomposition reconstitutes a truss.Decomposition view of the index.
+// Decomposition reconstitutes a truss.Decomposition view of the index. The
+// dense arrays are shared, not copied.
 func (ix *Index) Decomposition() *truss.Decomposition {
 	return &truss.Decomposition{
-		EdgeTruss:   ix.edgeTruss,
+		G:           ix.g,
+		Truss:       ix.edgeTruss,
 		VertexTruss: ix.vertexTruss,
 		MaxTruss:    ix.maxTruss,
 	}
@@ -125,17 +153,24 @@ func (ix *Index) ForEachNeighborAtLeast(v int, k int32, fn func(u int)) {
 }
 
 // Thresholds returns the distinct edge trussness values present in the
-// graph, in descending order.
+// graph, in descending order. One pass over the dense trussness array into a
+// presence table — no per-call hashing or sorting.
 func (ix *Index) Thresholds() []int32 {
-	seen := make(map[int32]bool)
+	if ix.maxTruss == 0 {
+		return nil
+	}
+	seen := make([]bool, ix.maxTruss+1)
 	for _, t := range ix.edgeTruss {
-		seen[t] = true
+		if t >= 0 && t <= ix.maxTruss {
+			seen[t] = true
+		}
 	}
 	out := make([]int32, 0, len(seen))
-	for t := range seen {
-		out = append(out, t)
+	for t := ix.maxTruss; t >= 2; t-- {
+		if seen[t] {
+			out = append(out, t)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
 	return out
 }
 
@@ -213,7 +248,9 @@ func (ix *Index) FindG0(q []int) (*graph.Mutable, int32, error) {
 		}
 	}
 	n := ix.g.N()
-	g0 := graph.NewMutableFromEdges(n, nil)
+	// g0 is assembled purely out of base-graph edges, so it is an edge-
+	// bitset overlay of the indexed graph: AddEdge revives bits, no hashing.
+	g0 := graph.NewMutableShell(ix.g)
 	for _, v := range q {
 		g0.EnsureVertex(v)
 	}
@@ -286,7 +323,7 @@ func (ix *Index) FindKTruss(q []int, k int32) (*graph.Mutable, error) {
 	seen := make([]bool, n)
 	seen[q[0]] = true
 	queue := []int32{int32(q[0])}
-	mu := graph.NewMutableFromEdges(n, nil)
+	mu := graph.NewMutableShell(ix.g)
 	mu.EnsureVertex(q[0])
 	for head := 0; head < len(queue); head++ {
 		v := int(queue[head])

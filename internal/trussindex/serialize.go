@@ -68,9 +68,17 @@ func ReadFrom(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trussindex: reading n: %v", err)
 	}
+	if n64 > graph.MaxVertexID+1 {
+		return nil, fmt.Errorf("trussindex: vertex count %d exceeds MaxVertexID", n64)
+	}
 	maxTruss, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("trussindex: reading maxTruss: %v", err)
+	}
+	// τ̄ is bounded by the largest clique, hence by n; anything bigger is a
+	// corrupt header (and would make Thresholds allocate absurdly).
+	if maxTruss > n64 {
+		return nil, fmt.Errorf("trussindex: max trussness %d exceeds vertex count %d", maxTruss, n64)
 	}
 	n := int(n64)
 	ix := &Index{
@@ -78,7 +86,6 @@ func ReadFrom(r io.Reader) (*Index, error) {
 		nbrTruss:    make([][]int32, n),
 		vertexTruss: make([]int32, n),
 		maxTruss:    int32(maxTruss),
-		edgeTruss:   make(map[graph.EdgeKey]int32),
 	}
 	b := graph.NewBuilder(n, 0)
 	if n > 0 {
@@ -89,8 +96,14 @@ func ReadFrom(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trussindex: vertex %d degree: %v", v, err)
 		}
-		ix.nbr[v] = make([]int32, deg)
-		ix.nbrTruss[v] = make([]int32, deg)
+		// Bounded capacity hint: deg comes from untrusted input, so grow by
+		// append instead of trusting a huge preallocation.
+		capHint := deg
+		if capHint > 1<<16 {
+			capHint = 1 << 16
+		}
+		ix.nbr[v] = make([]int32, 0, capHint)
+		ix.nbrTruss[v] = make([]int32, 0, capHint)
 		for i := 0; i < int(deg); i++ {
 			u, err := binary.ReadUvarint(br)
 			if err != nil {
@@ -100,32 +113,51 @@ func ReadFrom(r io.Reader) (*Index, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trussindex: vertex %d truss: %v", v, err)
 			}
-			ix.nbr[v][i] = int32(u)
-			ix.nbrTruss[v][i] = int32(t)
+			if u >= n64 || int(u) == v {
+				return nil, fmt.Errorf("trussindex: vertex %d: bad neighbor %d", v, u)
+			}
+			ix.nbr[v] = append(ix.nbr[v], int32(u))
+			ix.nbrTruss[v] = append(ix.nbrTruss[v], int32(t))
 			if int(u) > v {
 				b.AddEdge(v, int(u))
 			}
-			ix.edgeTruss[graph.Key(v, int(u))] = int32(t)
 		}
 		if deg > 0 {
 			ix.vertexTruss[v] = ix.nbrTruss[v][0]
 		}
 	}
 	ix.g = b.Build()
+	// Scatter the per-arc trussness into the dense edge-ID array. The graph
+	// was built from the u > v arcs only, so a u < v arc without a matching
+	// edge means the input's adjacency was asymmetric — reject it rather
+	// than hand query paths an index whose lists disagree with its graph.
+	ix.edgeTruss = make([]int32, ix.g.M())
+	for v := 0; v < n; v++ {
+		for i, u := range ix.nbr[v] {
+			e := ix.g.EdgeID(v, int(u))
+			if e < 0 {
+				return nil, fmt.Errorf("trussindex: asymmetric adjacency: %d lists %d but not vice versa", v, u)
+			}
+			if int(u) > v {
+				ix.edgeTruss[e] = ix.nbrTruss[v][i]
+			}
+		}
+	}
 	return ix, nil
 }
 
 // ApproxBytes estimates the in-memory index footprint: 8 bytes per directed
-// arc (neighbor + trussness), 4 per vertex trussness, plus the edge hash at
-// roughly 16 bytes per edge. This is the basis of the Table 3 comparison
-// against Graph.ApproxBytes.
+// arc (neighbor + trussness), 4 per vertex trussness, plus 4 per edge for
+// the dense trussness array (which replaced the seed's ~16-byte/edge hash
+// table). This is the basis of the Table 3 comparison against
+// Graph.ApproxBytes.
 func (ix *Index) ApproxBytes() int64 {
 	var b int64
 	for v := range ix.nbr {
 		b += int64(len(ix.nbr[v])) * 8
 	}
 	b += int64(len(ix.vertexTruss)) * 4
-	b += int64(len(ix.edgeTruss)) * 16
+	b += int64(len(ix.edgeTruss)) * 4
 	return b
 }
 

@@ -1,0 +1,44 @@
+package trussindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func put(buf *bytes.Buffer, x uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], x)
+	buf.Write(b[:n])
+}
+
+func TestReadFromRejectsCorruptHeaders(t *testing.T) {
+	// Huge n.
+	var b1 bytes.Buffer
+	b1.WriteString(magic)
+	put(&b1, 1<<63)
+	put(&b1, 3)
+	if _, err := ReadFrom(&b1); err == nil {
+		t.Fatal("huge n accepted")
+	}
+	// maxTruss > n.
+	var b2 bytes.Buffer
+	b2.WriteString(magic)
+	put(&b2, 4)
+	put(&b2, 1<<31)
+	if _, err := ReadFrom(&b2); err == nil {
+		t.Fatal("huge maxTruss accepted")
+	}
+	// Asymmetric adjacency: vertex 1 lists 0, vertex 0 lists nothing.
+	var b3 bytes.Buffer
+	b3.WriteString(magic)
+	put(&b3, 2) // n
+	put(&b3, 2) // maxTruss
+	put(&b3, 0) // deg(0)
+	put(&b3, 1) // deg(1)
+	put(&b3, 0) // neighbor 0
+	put(&b3, 2) // truss 2
+	if _, err := ReadFrom(&b3); err == nil {
+		t.Fatal("asymmetric adjacency accepted")
+	}
+}
