@@ -5,9 +5,14 @@
 //
 //	ctcbench -exp all
 //	ctcbench -exp t2,t3,fig5,fig12 -queries 20 -seed 7
+//	ctcbench -throughput 8 -throughput-dur 5s
 //
 // Experiment IDs: t2, t3, fig5, fig6, fig7, fig8, fig9, fig10, fig11,
 // fig12, fig13, fig14, fig15, fig16, ablation, ext.
+//
+// -throughput N skips the experiments and instead drives N concurrent
+// worker goroutines of LCTC queries against one shared truss index — the
+// serving scenario — reporting aggregate and per-worker QPS.
 package main
 
 import (
@@ -29,8 +34,18 @@ func main() {
 		basicTO = flag.Duration("basic-timeout", 2*time.Second, "per-run budget for Basic before reporting Inf")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 		csvDir  = flag.String("csv", "", "also write each artifact as CSV into this directory")
+		tpWork  = flag.Int("throughput", 0, "run the concurrent-throughput stress with this many workers instead of experiments")
+		tpDur   = flag.Duration("throughput-dur", 3*time.Second, "duration of the -throughput stress")
+		tpNet   = flag.String("throughput-net", "dblp", "network analogue the -throughput stress queries")
 	)
 	flag.Parse()
+	if *tpWork > 0 {
+		if err := runThroughput(*tpWork, *tpDur, *tpNet, *seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ctcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cfg := exp.Config{
 		QueriesPerPoint: *queries,
 		Seed:            *seed,

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/trussindex"
+)
+
+// runThroughput drives `workers` goroutines of LCTC queries against one
+// shared truss index for `dur`, the many-simultaneous-users serving
+// scenario. Each worker cycles through ground-truth-derived queries; the
+// pooled query workspaces mean the steady state allocates almost nothing,
+// so this doubles as a soak test for the concurrency contract.
+func runThroughput(workers int, dur time.Duration, netName string, seed uint64, out io.Writer) error {
+	nw, err := gen.NetworkByName(netName)
+	if err != nil {
+		return err
+	}
+	g := nw.Graph()
+	fmt.Fprintf(out, "throughput: network %s (n=%d m=%d), building index...\n", netName, g.N(), g.M())
+	t0 := time.Now()
+	ix := trussindex.Build(g)
+	fmt.Fprintf(out, "throughput: index built in %v\n", time.Since(t0))
+	s := core.NewSearcher(ix)
+
+	if seed == 0 {
+		seed = 0x7B
+	}
+	rng := gen.NewRNG(seed)
+	gtq := gen.QueriesFromGroundTruth(rng, nw.GroundTruth(), 64, 2, 4)
+	if len(gtq) == 0 {
+		return fmt.Errorf("network %s has no usable ground-truth queries", netName)
+	}
+	queries := make([][]int, len(gtq))
+	for i, q := range gtq {
+		queries[i] = q.Q
+	}
+
+	var done atomic.Bool
+	counts := make([]int64, workers)
+	failures := make([]int64, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; !done.Load(); i++ {
+				q := queries[i%len(queries)]
+				if _, err := s.LCTC(q, nil); err != nil {
+					failures[w]++
+				}
+				counts[w]++
+			}
+		}(w)
+	}
+	time.Sleep(dur)
+	done.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total, failed int64
+	for w := 0; w < workers; w++ {
+		total += counts[w]
+		failed += failures[w]
+	}
+	qps := float64(total) / elapsed.Seconds()
+	fmt.Fprintf(out, "throughput: %d workers, %v elapsed: %d queries (%d failed), %.1f q/s aggregate, %.1f q/s per worker\n",
+		workers, elapsed.Round(time.Millisecond), total, failed, qps, qps/float64(workers))
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/truss"
+	"repro/internal/trussindex"
 )
 
 // ErrTimeout is returned when a search exceeds its Options.Timeout budget
@@ -32,113 +33,160 @@ const (
 
 const infDist int32 = 1 << 30
 
-// peelState tracks per-vertex distances of one peeling iteration.
+// peelState aliases the workspace buffers one peeling query runs on. All
+// per-vertex state is maintained only for the live vertices, so every
+// iteration costs O(live subgraph), never O(n).
 type peelState struct {
-	maxDist []int32 // dist(v, Q) with Unreachable mapped to infDist
-	sumDist []int64 // Σ_q dist(v, q), for the §5.2 tie preference
-	graphD  int32   // dist(G_l, Q) = max over present vertices
+	ws *trussindex.Workspace
+	// live lists the present vertices of the working graph; livePos (ValC
+	// under StampC) is its inverse. Maintained incrementally as the
+	// maintenance cascade deletes vertices.
+	live []int32
+	// maxDist (ValB) = dist(v, Q) with unreachable mapped to infDist;
+	// sumDist = Σ_q dist(v, q) for the §5.2 tie preference. Both are
+	// rewritten for every live vertex each iteration (write-before-read),
+	// so they need no stamping.
+	maxDist []int32
+	sumDist []int64
+	graphD  int32 // dist(G_l, Q) = max over live vertices
 }
 
-// computeDistances fills the peel state by one BFS per query vertex.
-func computeDistances(mu *graph.Mutable, q []int, st *peelState, dist []int32, queue []int32) []int32 {
-	n := mu.NumIDs()
-	for v := 0; v < n; v++ {
-		st.maxDist[v] = 0
-		st.sumDist[v] = 0
+// computeDistances fills maxDist/sumDist/graphD by one stamped BFS per
+// query vertex, merging over the reached sets only.
+func (st *peelState) computeDistances(work *graph.Mutable, q []int) {
+	ws := st.ws
+	for _, vq := range st.live {
+		st.maxDist[vq] = 0
+		st.sumDist[vq] = 0
 	}
 	for _, src := range q {
-		queue = graph.BFS(mu, src, dist, queue)
-		for v := 0; v < n; v++ {
-			if !mu.Present(v) || st.maxDist[v] == infDist {
+		reach := graph.BFSMarked(work, src, ws.ValA, ws.StampA, ws.QueueA)
+		ws.QueueA = reach
+		// Unreached live vertices get infDist; reached ones accumulate.
+		for _, vq := range st.live {
+			if st.maxDist[vq] == infDist {
 				continue
 			}
-			if dist[v] == graph.Unreachable {
-				st.maxDist[v] = infDist
+			if !ws.StampA.Marked(vq) {
+				st.maxDist[vq] = infDist
 				continue
 			}
-			if dist[v] > st.maxDist[v] {
-				st.maxDist[v] = dist[v]
+			if d := ws.ValA[vq]; d > st.maxDist[vq] {
+				st.maxDist[vq] = d
 			}
-			st.sumDist[v] += int64(dist[v])
+			st.sumDist[vq] += int64(ws.ValA[vq])
 		}
 	}
 	st.graphD = 0
-	for v := 0; v < n; v++ {
-		if mu.Present(v) && st.maxDist[v] > st.graphD {
-			st.graphD = st.maxDist[v]
+	for _, vq := range st.live {
+		if st.maxDist[vq] > st.graphD {
+			st.graphD = st.maxDist[vq]
 		}
 	}
-	return queue
 }
 
 // queriesConnected reports whether all query vertices are present and
-// mutually reachable, judged from a filled peelState (dist(q0, qi) finite
+// mutually reachable, judged from the filled distances (dist(q0, qi) finite
 // for all i is equivalent to mutual reachability in an undirected graph).
-func queriesConnected(mu *graph.Mutable, q []int, st *peelState) bool {
+func (st *peelState) queriesConnected(work *graph.Mutable, q []int) bool {
 	for _, v := range q {
-		if !mu.Present(v) {
+		if !work.Present(v) {
 			return false
 		}
 	}
 	return st.maxDist[q[0]] != infDist
 }
 
+// dropLive removes v from the live list in O(1) by swapping with the tail.
+func (st *peelState) dropLive(v int) {
+	ws := st.ws
+	p := ws.ValC[v]
+	last := int32(len(st.live) - 1)
+	w := st.live[last]
+	st.live[p] = w
+	ws.ValC[w] = p
+	st.live = st.live[:last]
+}
+
 // greedyPeel runs the shared peeling framework on g0 (a connected k-truss
 // containing q) and returns the intermediate graph with the smallest graph
 // query distance, restricted to the component containing q. g0 is not
-// modified.
-func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, deadline time.Time) (*graph.Mutable, error) {
-	work := g0.Clone()
-	// Dense per-edge state, indexed by the base graph's edge IDs: supports
-	// for the maintenance cascade and deletion stamps for the timeline.
-	sup := graph.MutableEdgeSupports(work)
-	isQuery := make(map[int]bool, len(q))
+// modified; all scratch comes from ws, so the steady state allocates only
+// the returned subgraph.
+func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, deadline time.Time, ws *trussindex.Workspace) (*graph.Mutable, error) {
+	work := ws.CloneFor(g0)
+	base := work.Base()
+	_, _, supBuf := ws.EdgeScratch()
+	sup := graph.MutableEdgeSupportsInto(work, supBuf)
+
+	// Query membership marks (StampB) back the peel rules' tie preferences.
+	qEpoch := ws.StampB.Next()
 	for _, v := range q {
-		isQuery[v] = true
+		ws.StampB.Mark[v] = qEpoch
 	}
-	n := work.NumIDs()
-	st := &peelState{maxDist: make([]int32, n), sumDist: make([]int64, n)}
-	dist := make([]int32, n)
-	var queue []int32
+
+	st := &peelState{ws: ws, maxDist: ws.ValB, sumDist: ws.SumDist64()}
+	// The live list starts as the component of q[0] — all of g0, which is
+	// connected by construction — plus any isolated query vertices.
+	reach := graph.BFSMarked(work, q[0], ws.ValA, ws.StampA, ws.QueueA)
+	ws.QueueA = reach
+	st.live = append(ws.QueueB[:0], reach...)
+	for _, v := range q {
+		if work.Present(v) && !ws.StampA.Marked(int32(v)) {
+			st.live = append(st.live, int32(v))
+		}
+	}
+	posEpoch := ws.StampC.Next()
+	for i, vq := range st.live {
+		ws.StampC.Mark[vq] = posEpoch
+		ws.ValC[vq] = int32(i)
+	}
 
 	// edgeStamp[e] = iteration during whose transition the edge was removed;
-	// -1 for edges never removed. e ∈ G_l iff edgeStamp[e] < 0 or >= l.
+	// unmarked edges were never removed. e ∈ G_l iff unmarked or stamp >= l.
 	// Edge-level stamping is essential: the truss-maintenance cascade can
 	// delete an edge while both endpoints survive, so intermediate graphs
 	// are not induced subgraphs.
-	edgeStamp := make([]int32, g0.Base().M())
-	for i := range edgeStamp {
-		edgeStamp[i] = -1
-	}
-	var qdHist []int32
+	edgeStamp, edgeVal, _ := ws.EdgeScratch()
+	edgeEpoch := edgeStamp.Next()
+
+	qdHist := ws.Hist[:0]
 	d := infDist // running minimum for the bulk rules
 	for iter := int32(0); ; iter++ {
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			ws.Hist = qdHist
+			ws.QueueB = st.live[:0]
 			return nil, ErrTimeout
 		}
-		queue = computeDistances(work, q, st, dist, queue)
+		st.computeDistances(work, q)
 		// The query set is mutually connected iff every query vertex is
 		// present and reaches q[0] — read off the distances just computed
 		// instead of running a separate BFS.
-		if !queriesConnected(work, q, st) {
+		if !st.queriesConnected(work, q) {
 			break
 		}
 		qdHist = append(qdHist, st.graphD)
 		if st.graphD < d {
 			d = st.graphD
 		}
-		victims := selectVictims(work, st, isQuery, rule, d)
+		victims := selectVictims(st, rule, d)
 		if len(victims) == 0 {
 			break // every vertex is a query vertex at distance < d-1
 		}
-		_, removedEdges := truss.MaintainKTruss(work, sup, k, victims)
+		removedVerts, removedEdges := truss.MaintainKTrussScratch(work, sup, k, victims, &ws.Maintain)
 		if len(removedEdges) == 0 {
 			break // defensive: no progress
 		}
 		for _, e := range removedEdges {
-			edgeStamp[e] = iter
+			edgeStamp.Mark[e] = edgeEpoch
+			edgeVal[e] = iter
+		}
+		for _, v := range removedVerts {
+			st.dropLive(v)
 		}
 	}
+	ws.Hist = qdHist
+	ws.QueueB = st.live[:0]
 	if len(qdHist) == 0 {
 		return nil, errors.New("core: no feasible intermediate graph")
 	}
@@ -148,32 +196,47 @@ func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, deadline tim
 			best = int32(l)
 		}
 	}
-	sub := graph.NewMutableShell(g0.Base())
+	// Reconstruct G_best from the deletion timeline, then hand back its
+	// q-component as a fresh overlay the caller owns.
+	sub := ws.ShellFor(base)
 	g0.ForEachLiveEdge(func(e int32, _, _ int) {
-		if edgeStamp[e] < 0 || edgeStamp[e] >= best {
+		if edgeStamp.Mark[e] != edgeEpoch || edgeVal[e] >= best {
 			sub.AddEdgeByID(e)
 		}
 	})
 	for _, v := range q {
 		sub.EnsureVertex(v)
 	}
-	comp := graph.Component(sub, q[0])
-	return graph.InducedMutable(sub, comp), nil
+	comp := graph.BFSMarked(sub, q[0], ws.ValA, ws.StampA, ws.QueueA)
+	ws.QueueA = comp
+	out := graph.NewMutableShell(base)
+	for _, vq := range comp {
+		v := int(vq)
+		sub.ForEachIncidentEdge(v, func(e int32, w int) {
+			if w > v {
+				out.AddEdgeByID(e)
+			}
+		})
+	}
+	for _, v := range q {
+		out.EnsureVertex(v)
+	}
+	return out, nil
 }
 
-// selectVictims applies the rule to choose this iteration's deletions.
-func selectVictims(mu *graph.Mutable, st *peelState, isQuery map[int]bool, rule peelRule, d int32) []int {
-	n := mu.NumIDs()
+// selectVictims applies the rule to choose this iteration's deletions,
+// writing into the workspace's victim buffer.
+func selectVictims(st *peelState, rule peelRule, d int32) []int {
+	ws := st.ws
+	isQuery := func(v int32) bool { return ws.StampB.Marked(v) }
+	victims := ws.Victims[:0]
 	switch rule {
 	case peelSingle:
-		// One argmax vertex; prefer non-query vertices on ties so the walk
-		// continues as long as possible, then the smallest ID for
-		// determinism.
-		pick := -1
-		for v := 0; v < n; v++ {
-			if !mu.Present(v) {
-				continue
-			}
+		// One argmax vertex under the total order (maxDist desc, non-query
+		// before query, smallest ID) — the same vertex the seed's ascending
+		// ID scan picked, computed order-independently over the live list.
+		pick := int32(-1)
+		for _, v := range st.live {
 			if pick < 0 {
 				pick = v
 				continue
@@ -182,44 +245,49 @@ func selectVictims(mu *graph.Mutable, st *peelState, isQuery map[int]bool, rule 
 			switch {
 			case dv > dp:
 				pick = v
-			case dv == dp && isQuery[pick] && !isQuery[v]:
-				pick = v
+			case dv == dp:
+				qv, qp := isQuery(v), isQuery(pick)
+				if (qp && !qv) || (qv == qp && v < pick) {
+					pick = v
+				}
 			}
 		}
 		if pick < 0 || st.maxDist[pick] == 0 {
 			return nil // a single query vertex remains
 		}
-		return []int{pick}
+		victims = append(victims, int(pick))
+		ws.Victims = victims
+		return victims
 
 	case peelBulk:
-		var victims []int
-		for v := 0; v < n; v++ {
-			if mu.Present(v) && st.maxDist[v] >= d-1 {
-				victims = append(victims, v)
+		for _, v := range st.live {
+			if st.maxDist[v] >= d-1 {
+				victims = append(victims, int(v))
 			}
 		}
+		ws.Victims = victims
 		return victims
 
 	case peelBulkExact:
 		// L' = furthest vertices only; among them keep those with the
 		// largest total distance to Q.
 		var best int64 = -1
-		for v := 0; v < n; v++ {
-			if mu.Present(v) && st.maxDist[v] >= d && st.maxDist[v] != 0 {
-				if st.sumDist[v] > best && st.maxDist[v] != infDist {
+		for _, v := range st.live {
+			if st.maxDist[v] >= d && st.maxDist[v] != 0 && st.maxDist[v] != infDist {
+				if st.sumDist[v] > best {
 					best = st.sumDist[v]
 				}
 			}
 		}
-		var victims []int
-		for v := 0; v < n; v++ {
-			if !mu.Present(v) || st.maxDist[v] < d || st.maxDist[v] == 0 {
+		for _, v := range st.live {
+			if st.maxDist[v] < d || st.maxDist[v] == 0 {
 				continue
 			}
 			if st.maxDist[v] == infDist || st.sumDist[v] >= best {
-				victims = append(victims, v)
+				victims = append(victims, int(v))
 			}
 		}
+		ws.Victims = victims
 		return victims
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 )
 
 var (
+	peelBenchIx *trussindex.Index
 	peelBenchG0 *graph.Mutable
 	peelBenchK  int32
 	peelBenchQ  []int
@@ -24,6 +25,7 @@ func peelBenchSetup(b *testing.B) (*graph.Mutable, int32, []int) {
 			Hubs: 5, HubDegree: 110, PlantedClique: 22, Seed: 0x50C1,
 		})
 		ix := trussindex.Build(g)
+		peelBenchIx = ix
 		// Query: three members of the largest planted community, so G0 is a
 		// substantial subgraph and the peel has real work to do.
 		best := truth[0]
@@ -45,10 +47,12 @@ func peelBenchSetup(b *testing.B) (*graph.Mutable, int32, []int) {
 func BenchmarkGreedyPeel(b *testing.B) {
 	g0, k, q := peelBenchSetup(b)
 	b.Logf("g0: n=%d m=%d k=%d", g0.N(), g0.M(), k)
+	ws := peelBenchIx.AcquireWorkspace()
+	defer ws.Release()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := greedyPeel(g0, k, q, peelBulk, time.Time{}); err != nil {
+		if _, err := greedyPeel(g0, k, q, peelBulk, time.Time{}, ws); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -56,10 +60,12 @@ func BenchmarkGreedyPeel(b *testing.B) {
 
 func BenchmarkGreedyPeelExact(b *testing.B) {
 	g0, k, q := peelBenchSetup(b)
+	ws := peelBenchIx.AcquireWorkspace()
+	defer ws.Release()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := greedyPeel(g0, k, q, peelBulkExact, time.Time{}); err != nil {
+		if _, err := greedyPeel(g0, k, q, peelBulkExact, time.Time{}, ws); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+// searchBenchSetup reuses the peel benchmark's graph/index/query (the shared
+// 59k-edge workload of BENCH_pr1.json) but returns a Searcher for the
+// end-to-end query benchmarks.
+var searchBenchS *Searcher
+
+func searchBenchSetup(b *testing.B) (*Searcher, []int) {
+	b.Helper()
+	peelBenchSetup(b)
+	if searchBenchS == nil {
+		searchBenchS = NewSearcher(peelBenchIx)
+	}
+	return searchBenchS, peelBenchQ
+}
+
+func BenchmarkLCTC(b *testing.B) {
+	s, q := searchBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := s.LCTC(q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.N() == 0 {
+			b.Fatal("empty community")
+		}
+	}
+}
+
+func BenchmarkBasic(b *testing.B) {
+	s, q := searchBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := s.Basic(q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.N() == 0 {
+			b.Fatal("empty community")
+		}
+	}
+}
+
+// BenchmarkSearchThroughputParallel drives many simultaneous LCTC queries
+// against one shared Index — the concurrent-serving scenario. Run with -race
+// to exercise the pooled-workspace concurrency contract.
+func BenchmarkSearchThroughputParallel(b *testing.B) {
+	s, q := searchBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c, err := s.LCTC(q, nil)
+			// b.Fatal must not run on a RunParallel worker goroutine;
+			// b.Error marks the failure and we bail out of this worker.
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if c.N() == 0 {
+				b.Error("empty community")
+				return
+			}
+		}
+	})
+}

@@ -65,6 +65,9 @@ func (o *Options) fixedK() int32 {
 func (o *Options) verify() bool { return o != nil && o.Verify }
 
 // Searcher runs closest-truss-community searches against a truss index.
+// A Searcher is stateless apart from the shared immutable index: every
+// query checks a workspace out of the index's pool for its scratch, so one
+// Searcher safely serves any number of concurrent queries.
 type Searcher struct {
 	ix *trussindex.Index
 }
@@ -77,19 +80,21 @@ func (s *Searcher) Index() *trussindex.Index { return s.ix }
 
 // findG0 resolves the starting graph: the maximal connected k-truss with
 // the largest k (or the fixed k requested).
-func (s *Searcher) findG0(q []int, opt *Options) (*graph.Mutable, int32, error) {
+func (s *Searcher) findG0(q []int, opt *Options, ws *trussindex.Workspace) (*graph.Mutable, int32, error) {
 	if k := opt.fixedK(); k > 0 {
-		mu, err := s.ix.FindKTruss(q, k)
+		mu, err := s.ix.FindKTrussW(q, k, ws)
 		return mu, k, err
 	}
-	return s.ix.FindG0(q)
+	return s.ix.FindG0W(q, ws)
 }
 
 // TrussOnly implements the "Truss" baseline: it returns G0 itself, the
 // maximal connected k-truss containing Q with the largest k, with no
 // free-rider elimination (Algorithm 2 output).
 func (s *Searcher) TrussOnly(q []int, opt *Options) (*Community, error) {
-	g0, k, err := s.findG0(q, opt)
+	ws := s.ix.AcquireWorkspace()
+	defer ws.Release()
+	g0, k, err := s.findG0(q, opt, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -101,11 +106,13 @@ func (s *Searcher) TrussOnly(q []int, opt *Options) (*Community, error) {
 // intermediate graph with minimum query distance. 2-approximation on the
 // diameter (Theorem 3).
 func (s *Searcher) Basic(q []int, opt *Options) (*Community, error) {
-	g0, k, err := s.findG0(q, opt)
+	ws := s.ix.AcquireWorkspace()
+	defer ws.Release()
+	g0, k, err := s.findG0(q, opt, ws)
 	if err != nil {
 		return nil, err
 	}
-	best, err := greedyPeel(g0, k, q, peelSingle, opt.deadline())
+	best, err := greedyPeel(g0, k, q, peelSingle, opt.deadline(), ws)
 	if err != nil {
 		return nil, fmt.Errorf("core: Basic: %w", err)
 	}
@@ -116,11 +123,13 @@ func (s *Searcher) Basic(q []int, opt *Options) (*Community, error) {
 // L = {u : dist(u,Q) >= d-1} per iteration, terminating in O(n'/k)
 // iterations (Lemma 6) with a (2+ε)-approximation (Theorem 6).
 func (s *Searcher) BulkDelete(q []int, opt *Options) (*Community, error) {
-	g0, k, err := s.findG0(q, opt)
+	ws := s.ix.AcquireWorkspace()
+	defer ws.Release()
+	g0, k, err := s.findG0(q, opt, ws)
 	if err != nil {
 		return nil, err
 	}
-	best, err := greedyPeel(g0, k, q, peelBulk, opt.deadline())
+	best, err := greedyPeel(g0, k, q, peelBulk, opt.deadline(), ws)
 	if err != nil {
 		return nil, fmt.Errorf("core: BulkDelete: %w", err)
 	}
@@ -133,7 +142,9 @@ func (s *Searcher) BulkDelete(q []int, opt *Options) (*Community, error) {
 // expansion, and shrink it with the exact-distance bulk rule
 // L' = {u : dist(u,Q) >= d}.
 func (s *Searcher) LCTC(q []int, opt *Options) (*Community, error) {
-	tree, err := steiner.Build(s.ix, q, opt.gamma())
+	ws := s.ix.AcquireWorkspace()
+	defer ws.Release()
+	tree, err := steiner.BuildW(s.ix, q, opt.gamma(), ws)
 	if err != nil {
 		return nil, fmt.Errorf("core: LCTC Steiner seed: %w", err)
 	}
@@ -144,15 +155,15 @@ func (s *Searcher) LCTC(q []int, opt *Options) (*Community, error) {
 	if kt < 2 {
 		kt = 2
 	}
-	gt := s.expand(tree.Vertices, kt, opt.eta())
+	gt := s.expand(tree.Vertices, kt, opt.eta(), ws)
 	// Truss-decompose the expansion and find the largest k <= kt such that
 	// a connected k-truss containing Q survives inside Gt.
 	dec := truss.DecomposeMutable(gt)
-	ht, k, err := bestKTrussWithin(dec, q, kt)
+	ht, k, err := bestKTrussWithin(dec, q, kt, ws)
 	if err != nil {
 		return nil, fmt.Errorf("core: LCTC extraction: %w", err)
 	}
-	best, err := greedyPeel(ht, k, q, peelBulkExact, opt.deadline())
+	best, err := greedyPeel(ht, k, q, peelBulkExact, opt.deadline(), ws)
 	if err != nil {
 		return nil, fmt.Errorf("core: LCTC: %w", err)
 	}
@@ -162,63 +173,132 @@ func (s *Searcher) LCTC(q []int, opt *Options) (*Community, error) {
 // expand grows the vertex set from the Steiner tree through edges of
 // trussness >= kt, BFS order, stopping once the budget is reached, and
 // returns the induced subgraph on the collected vertices restricted to
-// edges of trussness >= kt.
-func (s *Searcher) expand(seed []int, kt int32, eta int) *graph.Mutable {
-	n := s.ix.Graph().N()
-	in := make([]bool, n)
-	var frontier []int32
+// edges of trussness >= kt — as a workspace shell, valid until the shell is
+// next requested.
+func (s *Searcher) expand(seed []int, kt int32, eta int, ws *trussindex.Workspace) *graph.Mutable {
+	in := ws.StampA
+	in.Next()
+	frontier := ws.QueueA[:0]
 	count := 0
 	for _, v := range seed {
-		if !in[v] {
-			in[v] = true
+		if in.Visit(int32(v)) {
 			count++
 			frontier = append(frontier, int32(v))
 		}
 	}
 	for head := 0; head < len(frontier) && count < eta; head++ {
 		v := int(frontier[head])
-		s.ix.ForEachNeighborAtLeast(v, kt, func(u int) {
-			if !in[u] && count < eta {
-				in[u] = true
+		nbrs, _ := s.ix.NeighborsAtLeast(v, kt)
+		for _, u := range nbrs {
+			if count >= eta {
+				break
+			}
+			if in.Visit(u) {
 				count++
-				frontier = append(frontier, int32(u))
+				frontier = append(frontier, u)
 			}
-		})
-	}
-	// The expansion contains only indexed-graph edges, so build it as an
-	// edge-bitset overlay of the base graph.
-	gt := graph.NewMutableShell(s.ix.Graph())
-	for v := 0; v < n; v++ {
-		if !in[v] {
-			continue
 		}
+	}
+	ws.QueueA = frontier
+	// The expansion contains only indexed-graph edges, so build it as an
+	// edge-bitset overlay of the base graph, each edge inserted once from
+	// its smaller endpoint.
+	gt := ws.Shell()
+	for _, vq := range frontier {
+		v := int(vq)
 		gt.EnsureVertex(v)
-		s.ix.ForEachNeighborAtLeast(v, kt, func(u int) {
-			if u > v && in[u] {
-				gt.AddEdge(v, u)
+		nbrs, eids := s.ix.NeighborsAtLeast(v, kt)
+		for i, u := range nbrs {
+			if int(u) > v && in.Marked(u) {
+				gt.AddEdgeByID(eids[i])
 			}
-		})
+		}
 	}
 	return gt
 }
 
 // bestKTrussWithin finds the maximum k <= cap such that the subgraph of the
 // decomposed expansion restricted to edges of local trussness >= k connects
-// q, and returns the q-component of that subgraph.
-func bestKTrussWithin(dec *truss.Decomposition, q []int, capK int32) (*graph.Mutable, int32, error) {
+// q, and returns the q-component of that subgraph (freshly allocated). The
+// candidate subgraphs are built incrementally: edges enter a resettable
+// overlay in descending trussness order, so scanning k from the Lemma-1
+// bound downward inserts each edge at most once.
+func bestKTrussWithin(dec *truss.Decomposition, q []int, capK int32, ws *trussindex.Workspace) (*graph.Mutable, int32, error) {
 	hi := dec.QueryUpperBound(q)
 	if hi > capK {
 		hi = capK
 	}
+	if hi < 2 {
+		return nil, 0, truss.ErrNoCommunity
+	}
+	m := dec.G.M()
+	// Counting sort of edge IDs by descending trussness.
+	cnt := ws.CountBuf(int(dec.MaxTruss) + 2)
+	for _, t := range dec.Truss {
+		cnt[t]++
+	}
+	for t := dec.MaxTruss - 1; t >= 0; t-- {
+		cnt[t] += cnt[t+1]
+	}
+	order := ws.QueueB
+	if cap(order) < m {
+		order = make([]int32, m)
+	}
+	order = order[:m]
+	for e := int32(0); e < int32(m); e++ {
+		t := dec.Truss[e]
+		cnt[t]--
+		order[cnt[t]] = e
+	}
+	ws.QueueB = order
+	mu := ws.ShellFor(dec.G)
+	pos := 0
 	for k := hi; k >= 2; k-- {
-		mu := dec.MutableAtLeast(k)
-		if !graph.Connected(mu, q) {
+		for pos < m && dec.Truss[order[pos]] >= k {
+			mu.AddEdgeByID(order[pos])
+			pos++
+		}
+		if !connectedOn(mu, q, ws) {
 			continue
 		}
-		comp := graph.Component(mu, q[0])
-		return graph.InducedMutable(mu, comp), k, nil
+		comp := graph.BFSMarked(mu, q[0], ws.ValA, ws.StampA, ws.QueueA)
+		ws.QueueA = comp
+		ht := graph.NewMutableShell(dec.G)
+		for _, vq := range comp {
+			v := int(vq)
+			mu.ForEachIncidentEdge(v, func(e int32, w int) {
+				if w > v {
+					ht.AddEdgeByID(e)
+				}
+			})
+		}
+		for _, v := range q {
+			ht.EnsureVertex(v)
+		}
+		return ht, k, nil
 	}
 	return nil, 0, truss.ErrNoCommunity
+}
+
+// connectedOn reports whether all of q is present and mutually reachable in
+// mu, using stamped BFS scratch.
+func connectedOn(mu *graph.Mutable, q []int, ws *trussindex.Workspace) bool {
+	for _, v := range q {
+		if !mu.Present(v) {
+			return false
+		}
+	}
+	if len(q) <= 1 {
+		return true
+	}
+	reach := graph.BFSMarked(mu, q[0], ws.ValA, ws.StampA, ws.QueueA)
+	ws.QueueA = reach
+	for _, v := range q[1:] {
+		if !ws.StampA.Marked(int32(v)) {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Searcher) finish(algo string, sub *graph.Mutable, k int32, q []int, opt *Options) (*Community, error) {

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // Mutable is a destructively editable subgraph of a base Graph. It shares
 // the base graph's vertex ID space and CSR adjacency: the edge set is
@@ -25,6 +28,15 @@ type Mutable struct {
 	// foreign AddEdge. Unsorted, both directions mirrored.
 	extra  [][]int32
 	extraM int
+	// Touched-state tracking for resettable shells (NewResettableShell):
+	// touchedWords lists the alive-bitset words that have held a set bit
+	// since the last reset (deduped via wordSeen, which is indexed by word),
+	// and touchedVerts lists every vertex that became present. ResetShell
+	// restores the empty state in O(touched) instead of O(n + m).
+	tracked      bool
+	touchedWords []int32
+	wordSeen     Bitset
+	touchedVerts []int32
 }
 
 func newOverlay(g *Graph) *Mutable {
@@ -76,6 +88,64 @@ func NewMutable(g *Graph, vertices []int) *Mutable {
 // assembling a subgraph out of base-graph edges, e.g. in FindG0.
 func NewMutableShell(g *Graph) *Mutable { return newOverlay(g) }
 
+// NewResettableShell returns an empty shell like NewMutableShell that
+// additionally tracks which bitset words and vertices it touches, so
+// ResetShell can restore the empty state in time proportional to the
+// touched subgraph. This is the storage behind pooled query workspaces: one
+// resettable shell serves an unbounded stream of queries without
+// reallocating or scanning O(n + m) between them.
+func NewResettableShell(g *Graph) *Mutable {
+	mu := newOverlay(g)
+	mu.tracked = true
+	mu.wordSeen = NewBitset(len(mu.alive))
+	return mu
+}
+
+// ResetShell empties a resettable shell (no vertices present, no edges
+// alive) in O(touched). Panics if the Mutable was not created with
+// NewResettableShell.
+func (mu *Mutable) ResetShell() {
+	if !mu.tracked {
+		panic("graph: ResetShell requires a Mutable from NewResettableShell")
+	}
+	for _, wi := range mu.touchedWords {
+		mu.alive[wi] = 0
+		mu.wordSeen.Clear(wi)
+	}
+	mu.touchedWords = mu.touchedWords[:0]
+	for _, v := range mu.touchedVerts {
+		mu.present[v] = false
+		mu.deg[v] = 0
+		if mu.extra != nil {
+			mu.extra[v] = mu.extra[v][:0]
+		}
+	}
+	mu.touchedVerts = mu.touchedVerts[:0]
+	mu.n = 0
+	mu.aliveM = 0
+	mu.extraM = 0
+}
+
+// ForEachTouchedLiveEdge calls fn(e, u, v) with u < v for every live base
+// edge of a resettable shell, visiting only the bitset words the shell has
+// touched since its last reset — O(touched), not O(m). Within a word edges
+// come in ascending ID order; across words the order follows touch order.
+func (mu *Mutable) ForEachTouchedLiveEdge(fn func(e int32, u, v int)) {
+	if !mu.tracked {
+		panic("graph: ForEachTouchedLiveEdge requires a Mutable from NewResettableShell")
+	}
+	for _, wi := range mu.touchedWords {
+		word := mu.alive[wi]
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			word &^= 1 << uint(t)
+			e := wi<<6 + int32(t)
+			u, v := mu.base.EdgeEndpoints(e)
+			fn(e, u, v)
+		}
+	}
+}
+
 // NewMutableFromEdges builds a Mutable over an ID space of size n containing
 // exactly the given edges (and their endpoints). The edges become the
 // Mutable's base graph.
@@ -117,7 +187,8 @@ func (mu *Mutable) requirePure(op string) {
 	}
 }
 
-// Clone returns a deep copy. The immutable base graph is shared.
+// Clone returns a deep copy. The immutable base graph is shared; a clone of
+// a resettable shell is a plain (untracked) Mutable.
 func (mu *Mutable) Clone() *Mutable {
 	cp := &Mutable{
 		base:    mu.base,
@@ -137,6 +208,26 @@ func (mu *Mutable) Clone() *Mutable {
 		}
 	}
 	return cp
+}
+
+// CloneInto copies mu's full state into dst, reusing dst's storage — the
+// pooled-workspace alternative to Clone for the peeling loops. Both
+// Mutables must wrap the same base graph, be overlay-pure, and dst must be
+// untracked (its touched lists could not survive a wholesale overwrite).
+func (mu *Mutable) CloneInto(dst *Mutable) {
+	if dst.base != mu.base {
+		panic("graph: CloneInto requires Mutables over the same base graph")
+	}
+	if dst.tracked {
+		panic("graph: CloneInto target must not be a resettable shell")
+	}
+	mu.requirePure("CloneInto")
+	dst.requirePure("CloneInto")
+	copy(dst.alive, mu.alive)
+	copy(dst.deg, mu.deg)
+	copy(dst.present, mu.present)
+	dst.n = mu.n
+	dst.aliveM = mu.aliveM
 }
 
 // NumIDs implements Adjacency.
@@ -253,6 +344,12 @@ func (mu *Mutable) AddEdgeByID(e int32) bool {
 	if mu.alive.Get(e) {
 		return false
 	}
+	if mu.tracked {
+		if wi := e >> 6; !mu.wordSeen.Get(wi) {
+			mu.wordSeen.Set(wi)
+			mu.touchedWords = append(mu.touchedWords, wi)
+		}
+	}
 	mu.alive.Set(e)
 	mu.aliveM++
 	u, v := mu.base.EdgeEndpoints(e)
@@ -274,7 +371,21 @@ func (mu *Mutable) addVertex(v int) {
 	if !mu.present[v] {
 		mu.present[v] = true
 		mu.n++
+		if mu.tracked {
+			mu.touchedVerts = append(mu.touchedVerts, int32(v))
+		}
 	}
+}
+
+// TouchedVertices returns the vertices a resettable shell has made present
+// since its last reset, in touch order. Vertices deleted again remain
+// listed (check Present); the slice is shared and valid until the next
+// mutation or reset.
+func (mu *Mutable) TouchedVertices() []int32 {
+	if !mu.tracked {
+		panic("graph: TouchedVertices requires a Mutable from NewResettableShell")
+	}
+	return mu.touchedVerts
 }
 
 // DeleteEdge removes the edge (u, v) if present. Endpoints remain present

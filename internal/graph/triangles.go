@@ -104,8 +104,16 @@ func TriangleCount(g *Graph) int64 {
 // overlay-pure Mutable subgraph. The result is indexed by the base graph's
 // edge IDs; entries of dead edges are zero.
 func MutableEdgeSupports(mu *Mutable) []int32 {
+	return MutableEdgeSupportsInto(mu, make([]int32, mu.base.M()))
+}
+
+// MutableEdgeSupportsInto is MutableEdgeSupports writing into a caller
+// (typically workspace-pooled) buffer of length >= mu.Base().M(). Only the
+// entries of live edges are written; entries of dead edges keep whatever
+// stale values the buffer held, which the maintenance cascade never reads.
+func MutableEdgeSupportsInto(mu *Mutable, sup []int32) []int32 {
 	mu.requirePure("MutableEdgeSupports")
-	sup := make([]int32, mu.base.M())
+	sup = sup[:mu.base.M()]
 	mu.ForEachLiveEdge(func(e int32, u, v int) {
 		c := int32(0)
 		mu.commonNeighborsMerged(u, v, func(_, _, _ int32) { c++ })

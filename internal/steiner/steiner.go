@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -39,6 +40,14 @@ var ErrDisconnected = errors.New("steiner: terminals are not connected")
 //
 // With gamma = 0 this is a plain hop-count Steiner approximation.
 func Build(ix *trussindex.Index, q []int, gamma float64) (*Tree, error) {
+	ws := ix.AcquireWorkspace()
+	defer ws.Release()
+	return BuildW(ix, q, gamma, ws)
+}
+
+// BuildW is Build running on an explicit workspace of ix, so a query
+// pipeline that already holds one (e.g. LCTC) does not round-trip the pool.
+func BuildW(ix *trussindex.Index, q []int, gamma float64, ws *trussindex.Workspace) (*Tree, error) {
 	if len(q) == 0 {
 		return nil, errors.New("steiner: no terminals")
 	}
@@ -59,11 +68,15 @@ func Build(ix *trussindex.Index, q []int, gamma float64) (*Tree, error) {
 	}
 	metric := NewMetric(ix, gamma)
 	// Pairwise truss distances and realizing thresholds from each terminal.
+	// The r output arrays are alive simultaneously, so they cannot come from
+	// the (fixed-size) workspace; everything inside distancesInto does.
 	r := len(uniq)
 	dist := make([][]float64, r)
 	thr := make([][]int32, r)
 	for i, v := range uniq {
-		d, t := metric.DistancesFrom(v)
+		d := make([]float64, g.N())
+		t := make([]int32, g.N())
+		metric.distancesInto(v, d, t, ws)
 		dist[i] = d
 		thr[i] = t
 	}
@@ -112,15 +125,15 @@ func Build(ix *trussindex.Index, q []int, gamma float64) (*Tree, error) {
 	}
 	// Expand MST edges into actual paths at their realizing thresholds. The
 	// paths consist of indexed-graph edges, so the union is a bitset overlay.
-	union := graph.NewMutableShell(g)
+	union := ws.Shell()
 	for _, e := range mst {
 		src, dst := uniq[e.from], uniq[e.to]
 		t := thr[e.from][dst]
-		path := metric.PathAtThreshold(src, dst, t)
+		path := metric.pathAtThreshold(src, dst, t, ws)
 		if path == nil {
 			// The threshold subgraph should contain the path by
 			// construction; fall back to any connecting threshold.
-			path = metric.PathAtThreshold(src, dst, 2)
+			path = metric.pathAtThreshold(src, dst, 2, ws)
 		}
 		if path == nil {
 			return nil, ErrDisconnected
@@ -132,74 +145,91 @@ func Build(ix *trussindex.Index, q []int, gamma float64) (*Tree, error) {
 	for _, v := range uniq {
 		union.EnsureVertex(v)
 	}
-	return treeFromUnion(ix, union, uniq, totalWeight)
+	return treeFromUnion(ix, union, uniq, totalWeight, ws)
 }
 
 // treeFromUnion extracts a BFS spanning tree of the union subgraph and
-// repeatedly prunes non-terminal leaves.
-func treeFromUnion(ix *trussindex.Index, union *graph.Mutable, terminals []int, weight float64) (*Tree, error) {
-	isTerminal := make(map[int]bool, len(terminals))
+// repeatedly prunes non-terminal leaves. union must be a workspace shell of
+// the indexed graph; the returned Tree holds fresh copies of everything.
+func treeFromUnion(ix *trussindex.Index, union *graph.Mutable, terminals []int, weight float64, ws *trussindex.Workspace) (*Tree, error) {
+	termEpoch := ws.StampB.Next()
 	for _, v := range terminals {
-		isTerminal[v] = true
+		ws.StampB.Mark[v] = termEpoch
 	}
-	// BFS spanning tree from the first terminal.
-	n := union.NumIDs()
-	parent := make([]int32, n)
-	for i := range parent {
-		parent[i] = -2
-	}
+	// BFS spanning tree from the first terminal, carrying base edge IDs so
+	// tree edges revive bits without per-edge lookups.
 	root := terminals[0]
-	parent[root] = -1
-	queue := []int32{int32(root)}
+	tree := ws.Shell()
+	tree.EnsureVertex(root)
+	seen := ws.StampA
+	seen.Next()
+	seen.Set(int32(root))
+	queue := ws.QueueA[:0]
+	queue = append(queue, int32(root))
 	for head := 0; head < len(queue); head++ {
 		v := int(queue[head])
-		union.ForEachNeighbor(v, func(u int) {
-			if parent[u] == -2 {
-				parent[u] = int32(v)
+		union.ForEachIncidentEdge(v, func(e int32, u int) {
+			if seen.Visit(int32(u)) {
+				tree.AddEdgeByID(e)
 				queue = append(queue, int32(u))
 			}
 		})
 	}
-	tree := graph.NewMutableShell(union.Base())
-	for _, vq := range queue {
-		v := int(vq)
-		if parent[v] >= 0 {
-			tree.AddEdge(v, int(parent[v]))
-		}
-	}
-	tree.EnsureVertex(root)
+	ws.QueueA = queue
 	for _, v := range terminals {
 		if !tree.Present(v) {
 			return nil, ErrDisconnected
 		}
 	}
-	// Prune non-terminal leaves until fixpoint.
-	for {
-		pruned := false
-		for _, v := range tree.Vertices() {
-			if tree.Degree(v) <= 1 && !isTerminal[v] {
-				tree.DeleteVertex(v)
-				pruned = true
-			}
+	// Prune non-terminal leaves until fixpoint: seed the candidate queue
+	// with the tree's touched vertices, then chase each deletion's
+	// neighbor, so pruning costs O(tree), not passes over Vertices().
+	cand := ws.QueueB[:0]
+	for _, vq := range tree.TouchedVertices() {
+		cand = append(cand, vq)
+	}
+	for head := 0; head < len(cand); head++ {
+		v := int(cand[head])
+		if !tree.Present(v) || tree.Degree(v) > 1 || ws.StampB.Mark[v] == termEpoch {
+			continue
 		}
-		if !pruned {
-			break
+		next := -1
+		tree.ForEachIncidentEdge(v, func(_ int32, u int) { next = u })
+		tree.DeleteVertex(v)
+		if next >= 0 {
+			cand = append(cand, int32(next))
 		}
 	}
-	edges := tree.EdgeKeys()
-	minTruss := int32(math.MaxInt32)
-	for _, e := range edges {
-		u, v := e.Endpoints()
-		if t := ix.EdgeTruss(u, v); t < minTruss {
+	ws.QueueB = cand
+	// Materialize the result (fresh storage: the shells are reused by the
+	// next query).
+	var (
+		edges    []graph.EdgeKey
+		minTruss = int32(math.MaxInt32)
+	)
+	tree.ForEachTouchedLiveEdge(func(e int32, _, _ int) {
+		edges = append(edges, ix.Graph().EdgeKeyOf(e))
+		if t := ix.EdgeTrussByID(e); t < minTruss {
 			minTruss = t
 		}
-	}
+	})
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
 	if len(edges) == 0 {
 		minTruss = ix.VertexTruss(terminals[0])
 	}
+	verts := make([]int, 0, len(edges)+1)
+	for _, vq := range tree.TouchedVertices() {
+		if tree.Present(int(vq)) {
+			verts = append(verts, int(vq))
+		}
+	}
+	sort.Ints(verts)
+	// Touched-vertex lists can repeat a vertex that was deleted and
+	// re-added, so dedupe after sorting.
+	verts = slices.Compact(verts)
 	return &Tree{
 		Terminals: append([]int(nil), terminals...),
-		Vertices:  tree.Vertices(),
+		Vertices:  verts,
 		Edges:     edges,
 		MinTruss:  minTruss,
 		Weight:    weight,

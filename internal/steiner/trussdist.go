@@ -26,12 +26,13 @@ type Metric struct {
 }
 
 // NewMetric builds a Metric with penalty weight gamma >= 0. gamma = 0
-// degenerates to plain hop distance.
+// degenerates to plain hop distance. The threshold list is shared with the
+// index, so construction is allocation-free.
 func NewMetric(ix *trussindex.Index, gamma float64) *Metric {
 	if gamma < 0 {
 		gamma = 0
 	}
-	return &Metric{ix: ix, gamma: gamma, thresholds: ix.Thresholds()}
+	return &Metric{ix: ix, gamma: gamma, thresholds: ix.ThresholdsShared()}
 }
 
 // Gamma returns the penalty weight.
@@ -41,83 +42,100 @@ func (m *Metric) Gamma() float64 { return m.gamma }
 // for each v the threshold t achieving it (0 when unreachable). Unreachable
 // vertices get Inf.
 func (m *Metric) DistancesFrom(src int) (dist []float64, bestT []int32) {
+	ws := m.ix.AcquireWorkspace()
+	defer ws.Release()
 	n := m.ix.Graph().N()
 	dist = make([]float64, n)
 	bestT = make([]int32, n)
+	m.distancesInto(src, dist, bestT, ws)
+	return dist, bestT
+}
+
+// distancesInto fills caller-owned output arrays (length n) using workspace
+// scratch. Per threshold, only the BFS-reached subgraph is traversed and
+// merged — the whole-graph work is the one-time Inf fill of the outputs.
+func (m *Metric) distancesInto(src int, dist []float64, bestT []int32, ws *trussindex.Workspace) {
 	for i := range dist {
 		dist[i] = Inf
+		bestT[i] = 0
 	}
-	if src < 0 || src >= n {
-		return dist, bestT
+	if src < 0 || src >= len(dist) {
+		return
 	}
 	dist[src] = 0
 	if len(m.thresholds) > 0 {
 		bestT[src] = m.thresholds[0]
 	}
-	hop := make([]int32, n)
-	var queue []int32
+	hop, st := ws.ValA, ws.StampA
+	queue := ws.QueueA
 	maxT := float64(m.ix.MaxTruss())
 	for _, t := range m.thresholds {
 		penalty := m.gamma * (maxT - float64(t))
-		m.bfsAtLeast(src, t, hop, &queue)
-		for v := 0; v < n; v++ {
-			if hop[v] < 0 {
-				continue
+		// Stamped BFS over edges with τ >= t.
+		st.Next()
+		st.Set(int32(src))
+		hop[src] = 0
+		queue = queue[:0]
+		queue = append(queue, int32(src))
+		for head := 0; head < len(queue); head++ {
+			v := int(queue[head])
+			hv := hop[v]
+			nbrs, _ := m.ix.NeighborsAtLeast(v, t)
+			for _, u := range nbrs {
+				if st.Visit(u) {
+					hop[u] = hv + 1
+					queue = append(queue, u)
+				}
 			}
-			if d := float64(hop[v]) + penalty; d < dist[v] {
-				dist[v] = d
-				bestT[v] = t
+		}
+		// Merge over the reached set only.
+		for _, vq := range queue {
+			if d := float64(hop[vq]) + penalty; d < dist[vq] {
+				dist[vq] = d
+				bestT[vq] = t
 			}
 		}
 	}
-	return dist, bestT
-}
-
-// bfsAtLeast fills hop with BFS hop counts from src using only edges with
-// trussness >= t (-1 for unreachable).
-func (m *Metric) bfsAtLeast(src int, t int32, hop []int32, queue *[]int32) {
-	for i := range hop {
-		hop[i] = -1
-	}
-	hop[src] = 0
-	q := (*queue)[:0]
-	q = append(q, int32(src))
-	for head := 0; head < len(q); head++ {
-		v := int(q[head])
-		hv := hop[v]
-		m.ix.ForEachNeighborAtLeast(v, t, func(u int) {
-			if hop[u] < 0 {
-				hop[u] = hv + 1
-				q = append(q, int32(u))
-			}
-		})
-	}
-	*queue = q
+	ws.QueueA = queue
 }
 
 // PathAtThreshold returns a shortest path (as a vertex sequence src..dst) in
 // the subgraph of edges with trussness >= t, or nil if dst is unreachable.
 func (m *Metric) PathAtThreshold(src, dst int, t int32) []int {
+	ws := m.ix.AcquireWorkspace()
+	defer ws.Release()
+	return m.pathAtThreshold(src, dst, t, ws)
+}
+
+// pathAtThreshold is PathAtThreshold on workspace scratch: parent pointers
+// live in ValB under StampB (unmarked = undiscovered), so only the
+// traversed subgraph is touched. The returned path is freshly allocated.
+func (m *Metric) pathAtThreshold(src, dst int, t int32, ws *trussindex.Workspace) []int {
 	n := m.ix.Graph().N()
-	parent := make([]int32, n)
-	for i := range parent {
-		parent[i] = -2
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil
 	}
+	parent, st := ws.ValB, ws.StampB
+	st.Next()
+	st.Set(int32(src))
 	parent[src] = -1
-	queue := []int32{int32(src)}
+	queue := ws.QueueB[:0]
+	queue = append(queue, int32(src))
 	for head := 0; head < len(queue); head++ {
 		v := int(queue[head])
 		if v == dst {
 			break
 		}
-		m.ix.ForEachNeighborAtLeast(v, t, func(u int) {
-			if parent[u] == -2 {
+		nbrs, _ := m.ix.NeighborsAtLeast(v, t)
+		for _, u := range nbrs {
+			if st.Visit(u) {
 				parent[u] = int32(v)
-				queue = append(queue, int32(u))
+				queue = append(queue, u)
 			}
-		})
+		}
 	}
-	if parent[dst] == -2 {
+	ws.QueueB = queue
+	if !st.Marked(int32(dst)) {
 		return nil
 	}
 	var rev []int

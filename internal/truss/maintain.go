@@ -20,40 +20,94 @@ import (
 // exact deletion timeline (edge-level: an intermediate graph is not induced,
 // since the cascade can drop an edge while both endpoints survive).
 func MaintainKTruss(mu *graph.Mutable, sup []int32, k int32, vd []int) (removedVerts []int, removedEdges []int32) {
+	return MaintainKTrussScratch(mu, sup, k, vd, new(MaintainScratch))
+}
+
+// MaintainScratch holds the reusable state of the maintenance cascade: the
+// doomed-edge queue, its membership bitset (cleared by walking the queue, so
+// reuse is O(touched)), and the result buffers. A zero MaintainScratch is
+// ready to use; pooled query workspaces keep one per worker so steady-state
+// peeling iterations allocate nothing.
+type MaintainScratch struct {
+	queue        []int32
+	inQueue      graph.Bitset
+	removedVerts []int
+}
+
+func (s *MaintainScratch) grow(m int) {
+	if need := (m + 63) / 64; len(s.inQueue) < need {
+		s.inQueue = make(graph.Bitset, need)
+	}
+}
+
+// MaintainKTrussScratch is MaintainKTruss running on reusable scratch. The
+// returned slices alias the scratch and are valid until its next use.
+//
+// Isolated-vertex detection inspects only the deletion candidates — vd and
+// the endpoints of removed edges — rather than scanning every vertex, so a
+// vertex that was already isolated on entry (which the search pipelines
+// never produce: every subgraph they peel is an edge-connected component
+// plus query vertices) is not reported.
+func MaintainKTrussScratch(mu *graph.Mutable, sup []int32, k int32, vd []int, s *MaintainScratch) (removedVerts []int, removedEdges []int32) {
+	if !mu.OverlayPure() {
+		panic("truss: MaintainKTruss requires an overlay-pure Mutable")
+	}
 	base := mu.Base()
-	queue := make([]int32, 0, 16)
-	inQueue := graph.NewBitset(base.M())
-	// Seed the removal queue with all edges incident to vd.
+	s.grow(base.M())
+	queue := s.queue[:0]
+	// Seed the removal queue with all edges incident to vd, iterating the
+	// base CSR directly (a closure here would be re-boxed every call — this
+	// runs once per peeling iteration).
 	for _, v := range vd {
 		if !mu.Present(v) {
 			continue
 		}
-		mu.ForEachIncidentEdge(v, func(e int32, _ int) {
-			if !inQueue.Get(e) {
-				inQueue.Set(e)
+		for _, e := range base.NeighborEdgeIDs(v) {
+			if mu.EdgeAlive(e) && !s.inQueue.Get(e) {
+				s.inQueue.Set(e)
 				queue = append(queue, e)
 			}
-		})
+		}
 	}
-	removedEdges = cascade(mu, sup, k, queue, inQueue)
-	// Line 10: remove isolated vertices. Vertices of vd are isolated by now.
-	removedVerts = make([]int, 0, len(vd))
-	for v := 0; v < mu.NumIDs(); v++ {
+	removedEdges = cascade(mu, sup, k, queue, s.inQueue)
+	s.queue = removedEdges // keep the grown backing array for reuse
+	// Line 10: remove isolated vertices. Only vd and endpoints of removed
+	// edges can have lost their last edge.
+	removedVerts = s.removedVerts[:0]
+	for _, v := range vd {
 		if mu.Present(v) && mu.Degree(v) == 0 {
 			mu.DeleteVertex(v)
 			removedVerts = append(removedVerts, v)
 		}
 	}
+	for _, e := range removedEdges {
+		u, v := base.EdgeEndpoints(e)
+		if mu.Present(u) && mu.Degree(u) == 0 {
+			mu.DeleteVertex(u)
+			removedVerts = append(removedVerts, u)
+		}
+		if mu.Present(v) && mu.Degree(v) == 0 {
+			mu.DeleteVertex(v)
+			removedVerts = append(removedVerts, v)
+		}
+	}
+	s.removedVerts = removedVerts
 	return removedVerts, removedEdges
 }
 
 // cascade drains the queue of doomed edges: removing an edge decrements the
 // support of the other two edges of each triangle it participated in; any
-// edge falling below k-2 joins the queue (lines 4-9 of Algorithm 3).
+// edge falling below k-2 joins the queue (lines 4-9 of Algorithm 3). It
+// returns the removed edges compacted in place over the queue's storage
+// (allocation-free apart from queue growth) and clears each drained edge's
+// membership bit, leaving inQueue all-zero on return — safe because dead
+// edges never reappear as triangle wings, so a cleared edge cannot be
+// re-enqueued.
 func cascade(mu *graph.Mutable, sup []int32, k int32, queue []int32, inQueue graph.Bitset) []int32 {
-	var removed []int32
+	w := 0
 	for head := 0; head < len(queue); head++ {
 		e := queue[head]
+		inQueue.Clear(e)
 		if !mu.EdgeAlive(e) {
 			continue
 		}
@@ -76,9 +130,10 @@ func cascade(mu *graph.Mutable, sup []int32, k int32, queue []int32, inQueue gra
 		})
 		mu.DeleteEdgeByID(e)
 		sup[e] = 0
-		removed = append(removed, e)
+		queue[w] = e
+		w++
 	}
-	return removed
+	return queue[:w]
 }
 
 // DropBelowSupport removes every edge of mu whose support is below k-2,

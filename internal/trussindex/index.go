@@ -3,15 +3,20 @@
 // maximal connected k-truss containing a query with the largest k in
 // O(|E(G0)|) time.
 //
-// The index stores, per vertex, the neighbor list sorted by descending edge
-// trussness (with a parallel trussness array standing in for the paper's
-// "level marks"), the vertex trussness, and an edge→trussness hash table.
+// The index is a true CSR structure: one flat arc array per attribute
+// (neighbor, trussness, base edge ID) with a shared offset table, each
+// vertex's run sorted by descending edge trussness (the paper's "level
+// marks"), plus the vertex trussness and a dense edge→trussness array
+// indexed by the base graph's edge IDs.
 package trussindex
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/truss"
@@ -21,20 +26,30 @@ import (
 // in any single connected k-truss for k >= 2.
 var ErrNoCommunity = errors.New("trussindex: no connected k-truss contains the query vertices")
 
-// Index is the simple truss index: adjacency sorted by edge trussness plus
+// Index is the simple truss index: trussness-sorted CSR adjacency plus
 // vertex trussness and a dense edge-trussness array indexed by the graph's
-// edge IDs.
+// edge IDs. An Index is immutable after construction and safe for
+// concurrent queries; per-query scratch lives in pooled Workspaces.
 type Index struct {
 	g *graph.Graph
-	// nbr[v] lists v's neighbors sorted by descending τ(v,u), ties by
-	// ascending neighbor ID; nbrTruss[v][i] = τ(v, nbr[v][i]).
-	nbr      [][]int32
-	nbrTruss [][]int32
+	// off[v]..off[v+1] bounds v's run in the flat arc arrays below. The runs
+	// coincide with the base graph's CSR runs (same degrees), but each run is
+	// re-sorted by descending τ(v,u), ties by ascending neighbor ID.
+	off []int32
+	// nbr[i] is the neighbor of the arc at i; nbrTruss[i] = τ of that edge;
+	// nbrEID[i] = the base graph's dense edge ID of that edge.
+	nbr      []int32
+	nbrTruss []int32
+	nbrEID   []int32
 	// vertexTruss[v] = τ(v); maxTruss = τ̄(∅).
 	vertexTruss []int32
 	maxTruss    int32
 	// edgeTruss[e] = τ of the edge with ID e in g.
 	edgeTruss []int32
+	// thresholds caches the distinct trussness values, descending.
+	thresholds []int32
+
+	pool sync.Pool // *Workspace
 }
 
 // Build constructs the index for g, running a truss decomposition first.
@@ -47,8 +62,6 @@ func Build(g *graph.Graph) *Index {
 func BuildFromDecomposition(g *graph.Graph, d *truss.Decomposition) *Index {
 	ix := &Index{
 		g:           g,
-		nbr:         make([][]int32, g.N()),
-		nbrTruss:    make([][]int32, g.N()),
 		vertexTruss: d.VertexTruss,
 		maxTruss:    d.MaxTruss,
 	}
@@ -56,43 +69,137 @@ func BuildFromDecomposition(g *graph.Graph, d *truss.Decomposition) *Index {
 		ix.edgeTruss = d.Truss
 	} else {
 		// d describes a structurally identical graph with its own edge-ID
-		// space (e.g. a Dynamic snapshot); remap through packed keys.
+		// space (e.g. a Dynamic snapshot). Both graphs assign edge IDs in
+		// ascending (min, max) key order, so when the edge sets match the ID
+		// spaces coincide and one dense pass suffices; per-edge key lookups
+		// are only the fallback for a foreign decomposition whose edge set
+		// diverged.
 		ix.edgeTruss = make([]int32, g.M())
-		for e := int32(0); e < int32(g.M()); e++ {
-			ix.edgeTruss[e] = d.EdgeTrussKey(g.EdgeKeyOf(e))
-		}
-	}
-	for v := 0; v < g.N(); v++ {
-		src := g.Neighbors(v)
-		srcIDs := g.NeighborEdgeIDs(v)
-		nb := make([]int32, len(src))
-		copy(nb, src)
-		ts := make([]int32, len(nb))
-		for i := range nb {
-			ts[i] = ix.edgeTruss[srcIDs[i]]
-		}
-		idx := make([]int, len(nb))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool {
-			ia, ib := idx[a], idx[b]
-			if ts[ia] != ts[ib] {
-				return ts[ia] > ts[ib]
+		identical := d.G.M() == g.M()
+		if identical {
+			for e := int32(0); e < int32(g.M()); e++ {
+				if g.EdgeKeyOf(e) != d.G.EdgeKeyOf(e) {
+					identical = false
+					break
+				}
 			}
-			return nb[ia] < nb[ib]
-		})
-		sortedNb := make([]int32, len(nb))
-		sortedTs := make([]int32, len(nb))
-		for i, j := range idx {
-			sortedNb[i] = nb[j]
-			sortedTs[i] = ts[j]
 		}
-		ix.nbr[v] = sortedNb
-		ix.nbrTruss[v] = sortedTs
+		if identical {
+			copy(ix.edgeTruss, d.Truss)
+		} else {
+			for e := int32(0); e < int32(g.M()); e++ {
+				ix.edgeTruss[e] = d.EdgeTrussKey(g.EdgeKeyOf(e))
+			}
+		}
 	}
+	ix.buildArcs()
+	ix.thresholds = ix.computeThresholds()
 	return ix
 }
+
+// buildArcs fills off/nbr/nbrTruss/nbrEID from the base CSR and edgeTruss: a
+// per-vertex counting sort by trussness (descending, ties ascending neighbor
+// — the base runs are already neighbor-sorted and the sort is stable), O(m)
+// overall instead of the comparison sort's O(m log Δ). Vertex blocks are
+// sharded over goroutines for large graphs, like graph.EdgeSupportsParallel.
+func (ix *Index) buildArcs() {
+	g := ix.g
+	n := g.N()
+	ix.off = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		ix.off[v+1] = ix.off[v] + int32(g.Degree(v))
+	}
+	arcs := int(ix.off[n])
+	ix.nbr = make([]int32, arcs)
+	ix.nbrTruss = make([]int32, arcs)
+	ix.nbrEID = make([]int32, arcs)
+	if arcs == 0 {
+		return
+	}
+	if arcs < parallelBuildThreshold {
+		ix.buildArcRange(0, n, make([]int32, ix.maxTruss+1))
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	const block = 256
+	nblocks := (n + block - 1) / block
+	if workers > nblocks {
+		workers = nblocks
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cnt := make([]int32, ix.maxTruss+1)
+			for {
+				bi := int(atomic.AddInt64(&next, 1))
+				if bi >= nblocks {
+					return
+				}
+				lo := bi * block
+				hi := lo + block
+				if hi > n {
+					hi = n
+				}
+				ix.buildArcRange(lo, hi, cnt)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelBuildThreshold is the arc count below which the goroutine fan-out
+// of buildArcs costs more than it saves.
+const parallelBuildThreshold = 1 << 15
+
+// buildArcRange counting-sorts the arc runs of vertices [lo, hi). cnt is a
+// scratch array of length maxTruss+1; only entries the vertex's trussness
+// range touches are used and re-zeroed, so a worker reuses one allocation.
+func (ix *Index) buildArcRange(lo, hi int, cnt []int32) {
+	g := ix.g
+	for v := lo; v < hi; v++ {
+		nbrs := g.Neighbors(v)
+		if len(nbrs) == 0 {
+			continue
+		}
+		eids := g.NeighborEdgeIDs(v)
+		mn, mx := int32(len(cnt)), int32(0)
+		for _, e := range eids {
+			t := ix.edgeTruss[e]
+			cnt[t]++
+			if t < mn {
+				mn = t
+			}
+			if t > mx {
+				mx = t
+			}
+		}
+		// Turn counts into bucket start positions, highest trussness first.
+		s := ix.off[v]
+		for t := mx; t >= mn; t-- {
+			c := cnt[t]
+			cnt[t] = s
+			s += c
+		}
+		for i, u := range nbrs {
+			e := eids[i]
+			t := ix.edgeTruss[e]
+			d := cnt[t]
+			cnt[t]++
+			ix.nbr[d] = u
+			ix.nbrTruss[d] = t
+			ix.nbrEID[d] = e
+		}
+		for t := mx; t >= mn; t-- {
+			cnt[t] = 0
+		}
+	}
+}
+
+// arcRange returns the bounds of v's run in the flat arc arrays.
+func (ix *Index) arcRange(v int) (lo, hi int32) { return ix.off[v], ix.off[v+1] }
 
 // Graph returns the indexed graph.
 func (ix *Index) Graph() *graph.Graph { return ix.g }
@@ -117,9 +224,15 @@ func (ix *Index) EdgeTruss(u, v int) int32 {
 	return ix.edgeTruss[e]
 }
 
+// EdgeTrussByID returns τ of the edge with dense ID e in the indexed graph.
+func (ix *Index) EdgeTrussByID(e int32) int32 { return ix.edgeTruss[e] }
+
 // EdgeTrussTable materializes the edge→trussness table as a map keyed by
-// packed edge keys — a compatibility adapter over the dense array; O(m) per
-// call.
+// packed edge keys.
+//
+// Deprecated: this is an O(m) compatibility adapter over the dense
+// edge-ID-indexed array and allocates the whole table on every call. New
+// code should use EdgeTruss or index Decomposition().Truss by edge ID.
 func (ix *Index) EdgeTrussTable() map[graph.EdgeKey]int32 {
 	out := make(map[graph.EdgeKey]int32, len(ix.edgeTruss))
 	for e, t := range ix.edgeTruss {
@@ -139,23 +252,45 @@ func (ix *Index) Decomposition() *truss.Decomposition {
 	}
 }
 
+// NeighborsAtLeast returns the prefix of v's trussness-sorted adjacency with
+// τ(v,u) >= k, as parallel neighbor and base-edge-ID slices. The slices are
+// shared with the index and must not be modified. The prefix boundary is
+// found by binary search on the descending trussness run.
+func (ix *Index) NeighborsAtLeast(v int, k int32) (nbrs, eids []int32) {
+	if v < 0 || v+1 >= len(ix.off) {
+		return nil, nil
+	}
+	lo, hi := ix.off[v], ix.off[v+1]
+	ts := ix.nbrTruss[lo:hi]
+	end := sort.Search(len(ts), func(i int) bool { return ts[i] < k })
+	return ix.nbr[lo : lo+int32(end)], ix.nbrEID[lo : lo+int32(end)]
+}
+
 // ForEachNeighborAtLeast calls fn for every neighbor u of v with
 // τ(v,u) >= k. Thanks to the trussness-sorted adjacency this touches only
 // the qualifying prefix.
 func (ix *Index) ForEachNeighborAtLeast(v int, k int32, fn func(u int)) {
-	if v < 0 || v >= len(ix.nbr) {
+	if v < 0 || v+1 >= len(ix.off) {
 		return
 	}
-	nb, ts := ix.nbr[v], ix.nbrTruss[v]
-	for i := 0; i < len(nb) && ts[i] >= k; i++ {
-		fn(int(nb[i]))
+	lo, hi := ix.off[v], ix.off[v+1]
+	for i := lo; i < hi && ix.nbrTruss[i] >= k; i++ {
+		fn(int(ix.nbr[i]))
 	}
 }
 
 // Thresholds returns the distinct edge trussness values present in the
-// graph, in descending order. One pass over the dense trussness array into a
-// presence table — no per-call hashing or sorting.
+// graph, in descending order. The slice is a fresh copy.
 func (ix *Index) Thresholds() []int32 {
+	return append([]int32(nil), ix.thresholds...)
+}
+
+// ThresholdsShared returns the cached distinct trussness values, descending.
+// The slice is shared with the index and must not be modified; it exists so
+// per-query metric construction does not allocate.
+func (ix *Index) ThresholdsShared() []int32 { return ix.thresholds }
+
+func (ix *Index) computeThresholds() []int32 {
 	if ix.maxTruss == 0 {
 		return nil
 	}
@@ -174,62 +309,24 @@ func (ix *Index) Thresholds() []int32 {
 	return out
 }
 
-// dsu is a union-find over vertex IDs used to check query connectivity
-// incrementally while FindG0 inserts edges.
-type dsu struct {
-	parent []int32
-	rank   []int8
-}
-
-func newDSU(n int) *dsu {
-	d := &dsu{parent: make([]int32, n), rank: make([]int8, n)}
-	for i := range d.parent {
-		d.parent[i] = int32(i)
-	}
-	return d
-}
-
-func (d *dsu) find(x int32) int32 {
-	for d.parent[x] != x {
-		d.parent[x] = d.parent[d.parent[x]]
-		x = d.parent[x]
-	}
-	return x
-}
-
-func (d *dsu) union(a, b int32) {
-	ra, rb := d.find(a), d.find(b)
-	if ra == rb {
-		return
-	}
-	if d.rank[ra] < d.rank[rb] {
-		ra, rb = rb, ra
-	}
-	d.parent[rb] = ra
-	if d.rank[ra] == d.rank[rb] {
-		d.rank[ra]++
-	}
-}
-
-func (d *dsu) sameSet(q []int) bool {
-	if len(q) == 0 {
-		return true
-	}
-	r := d.find(int32(q[0]))
-	for _, v := range q[1:] {
-		if d.find(int32(v)) != r {
-			return false
-		}
-	}
-	return true
-}
-
 // FindG0 implements Algorithm 2: starting from the Lemma-1 level
 // k = min_q τ(q), it inserts edges in decreasing order of trussness,
 // expanding BFS-style from the query vertices, and stops at the first level
 // where the query vertices become connected. It returns the connected
 // component containing Q of the accumulated k-truss, together with k.
+//
+// The returned Mutable is freshly allocated and owned by the caller; all
+// intermediate scratch comes from the index's workspace pool, so the steady
+// state allocates only the result.
 func (ix *Index) FindG0(q []int) (*graph.Mutable, int32, error) {
+	ws := ix.AcquireWorkspace()
+	defer ws.Release()
+	return ix.FindG0W(q, ws)
+}
+
+// FindG0W is FindG0 running on an explicit workspace (which must belong to
+// this index).
+func (ix *Index) FindG0W(q []int, ws *Workspace) (*graph.Mutable, int32, error) {
 	if len(q) == 0 {
 		return nil, 0, errors.New("trussindex: empty query")
 	}
@@ -247,27 +344,22 @@ func (ix *Index) FindG0(q []int) (*graph.Mutable, int32, error) {
 			k = t
 		}
 	}
-	n := ix.g.N()
-	// g0 is assembled purely out of base-graph edges, so it is an edge-
-	// bitset overlay of the indexed graph: AddEdge revives bits, no hashing.
-	g0 := graph.NewMutableShell(ix.g)
-	for _, v := range q {
-		g0.EnsureVertex(v)
-	}
-	uf := newDSU(n)
-	// pos[v]: how many of v's trussness-sorted edges have been inserted.
-	pos := make([]int32, n)
-	// levels[l] holds vertices scheduled for processing at level l;
-	// scheduledAt[v] dedups scheduling (levels strictly decrease per vertex).
-	levels := make([][]int32, k+1)
-	scheduledAt := make([]int32, n)
-	for i := range scheduledAt {
-		scheduledAt[i] = -1
-	}
+	// g0 is assembled purely out of base-graph edges, so it is an edge-bitset
+	// overlay of the indexed graph: AddEdgeByID revives bits, no hashing. The
+	// shell is pooled and reset by touched-word tracking on Release.
+	g0 := ws.Shell()
+	uf := ws.dsuReset()
+	// pos[v]: how many of v's trussness-sorted arcs have been consumed.
+	pos, posStamp := ws.ValA, ws.StampA.Next()
+	// scheduledAt[v] dedups level scheduling (levels strictly decrease per
+	// vertex); levels[l] holds vertices scheduled for processing at level l.
+	scheduledAt, schedStamp := ws.ValB, ws.StampB.Next()
+	levels := ws.levelQueues(k)
 	schedule := func(v int, l int32) {
-		if l < 2 || scheduledAt[v] == l {
+		if l < 2 || (ws.StampB.Mark[v] == schedStamp && scheduledAt[v] == l) {
 			return
 		}
+		ws.StampB.Mark[v] = schedStamp
 		scheduledAt[v] = l
 		levels[l] = append(levels[l], int32(v))
 	}
@@ -278,38 +370,75 @@ func (ix *Index) FindG0(q []int) (*graph.Mutable, int32, error) {
 		// BFS within the level: processing a vertex may append newly
 		// discovered vertices to the same level's queue.
 		queue := levels[k]
-		levels[k] = nil
 		for head := 0; head < len(queue); head++ {
 			v := int(queue[head])
-			nb, ts := ix.nbr[v], ix.nbrTruss[v]
-			for pos[v] < int32(len(nb)) && ts[pos[v]] >= k {
-				u := int(nb[pos[v]])
-				pos[v]++
-				if g0.AddEdge(v, u) {
+			lo, hi := ix.arcRange(v)
+			p := lo
+			if ws.StampA.Mark[v] == posStamp {
+				p = pos[v]
+			}
+			for p < hi && ix.nbrTruss[p] >= k {
+				u := int(ix.nbr[p])
+				e := ix.nbrEID[p]
+				p++
+				if g0.AddEdgeByID(e) {
 					uf.union(int32(v), int32(u))
 				}
-				if scheduledAt[u] != k {
+				if !(ws.StampB.Mark[u] == schedStamp && scheduledAt[u] == k) {
+					ws.StampB.Mark[u] = schedStamp
 					scheduledAt[u] = k
 					queue = append(queue, int32(u))
 				}
 			}
+			ws.StampA.Mark[v] = posStamp
+			pos[v] = p
 			// Line 12-13: remember the next level at which v has edges.
-			if pos[v] < int32(len(nb)) {
-				schedule(v, ts[pos[v]])
+			if p < hi {
+				schedule(v, ix.nbrTruss[p])
 			}
 		}
+		levels[k] = queue[:0] // keep the grown capacity for future queries
 		if uf.sameSet(q) {
-			comp := graph.Component(g0, q[0])
-			return graph.InducedMutable(g0, comp), k, nil
+			return ix.extractComponent(g0, uf, q), k, nil
 		}
 	}
 	return nil, 0, ErrNoCommunity
+}
+
+// extractComponent builds the caller-owned result: the connected component
+// of q[0] in the accumulated overlay g0. The DSU already knows the
+// components (it was union-ed exactly on g0's edges), so the component test
+// is a find() per touched edge — no BFS, no O(n) scan.
+func (ix *Index) extractComponent(g0 *graph.Mutable, uf *stampedDSU, q []int) *graph.Mutable {
+	out := graph.NewMutableShell(ix.g)
+	root := uf.find(int32(q[0]))
+	g0.ForEachTouchedLiveEdge(func(e int32, u, _ int) {
+		if uf.find(int32(u)) == root {
+			out.AddEdgeByID(e)
+		}
+	})
+	for _, v := range q {
+		out.EnsureVertex(v)
+	}
+	return out
 }
 
 // FindKTruss returns the connected component containing Q of the maximal
 // k-truss for the given fixed k (used by the Exp-5 fixed-trussness variant),
 // or ErrNoCommunity if Q is not contained in one.
 func (ix *Index) FindKTruss(q []int, k int32) (*graph.Mutable, error) {
+	ws := ix.AcquireWorkspace()
+	defer ws.Release()
+	return ix.FindKTrussW(q, k, ws)
+}
+
+// FindKTrussW is FindKTruss running on an explicit workspace. The BFS runs
+// in two phases: a connectivity phase that stops as soon as every query
+// vertex has been reached (so an unsatisfiable query fails after exploring
+// only q[0]'s component, without building any subgraph), then a completion
+// phase that finishes the component and materializes each undirected edge
+// exactly once by its base edge ID.
+func (ix *Index) FindKTrussW(q []int, k int32, ws *Workspace) (*graph.Mutable, error) {
 	if len(q) == 0 {
 		return nil, errors.New("trussindex: empty query")
 	}
@@ -318,29 +447,69 @@ func (ix *Index) FindKTruss(q []int, k int32) (*graph.Mutable, error) {
 			return nil, fmt.Errorf("%w (k=%d)", ErrNoCommunity, k)
 		}
 	}
-	// BFS from q[0] using only edges with trussness >= k.
-	n := ix.g.N()
-	seen := make([]bool, n)
-	seen[q[0]] = true
-	queue := []int32{int32(q[0])}
-	mu := graph.NewMutableShell(ix.g)
-	mu.EnsureVertex(q[0])
-	for head := 0; head < len(queue); head++ {
+	// qmark marks distinct query vertices; remaining counts those not yet
+	// reached by the BFS (q may hold duplicates).
+	qmark := ws.StampB.Next()
+	remaining := 0
+	for _, v := range q {
+		if ws.StampB.Mark[v] != qmark {
+			ws.StampB.Mark[v] = qmark
+			remaining++
+		}
+	}
+	seen := ws.StampA.Next()
+	mark := ws.StampA.Mark
+	mark[q[0]] = seen
+	remaining--
+	queue := ws.QueueA[:0]
+	queue = append(queue, int32(q[0]))
+	head := 0
+	// Phase 1: connectivity. Stop as soon as every query vertex is reached;
+	// if the queue drains first, Q spans multiple k-truss components and we
+	// fail having built nothing.
+	for head < len(queue) && remaining > 0 {
 		v := int(queue[head])
-		nb, ts := ix.nbr[v], ix.nbrTruss[v]
-		for i := 0; i < len(nb) && ts[i] >= k; i++ {
-			u := int(nb[i])
-			mu.AddEdge(v, u)
-			if !seen[u] {
-				seen[u] = true
-				queue = append(queue, int32(u))
+		head++
+		nbrs, _ := ix.NeighborsAtLeast(v, k)
+		for _, u := range nbrs {
+			if mark[u] != seen {
+				mark[u] = seen
+				if ws.StampB.Mark[u] == qmark {
+					remaining--
+				}
+				queue = append(queue, u)
 			}
 		}
 	}
-	for _, v := range q[1:] {
-		if !seen[v] {
-			return nil, fmt.Errorf("%w (k=%d)", ErrNoCommunity, k)
+	if remaining > 0 {
+		ws.QueueA = queue
+		return nil, fmt.Errorf("%w (k=%d)", ErrNoCommunity, k)
+	}
+	// Phase 2: complete the component (the result must be the whole
+	// q-component of the maximal k-truss, not just enough to connect Q).
+	for ; head < len(queue); head++ {
+		v := int(queue[head])
+		nbrs, _ := ix.NeighborsAtLeast(v, k)
+		for _, u := range nbrs {
+			if mark[u] != seen {
+				mark[u] = seen
+				queue = append(queue, u)
+			}
 		}
 	}
+	ws.QueueA = queue
+	// Phase 3: materialize. Every component vertex is in queue; inserting
+	// arcs only from their smaller endpoint adds each edge once.
+	mu := graph.NewMutableShell(ix.g)
+	for _, vq := range queue {
+		v := int(vq)
+		nbrs, eids := ix.NeighborsAtLeast(v, k)
+		for i, u := range nbrs {
+			if int(u) > v {
+				mu.AddEdgeByID(eids[i])
+			}
+		}
+	}
+	mu.EnsureVertex(q[0])
 	return mu, nil
 }

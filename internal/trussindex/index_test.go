@@ -79,14 +79,30 @@ func TestIndexAdjacencySortedByTruss(t *testing.T) {
 	g := paperGraph()
 	ix := Build(g)
 	for v := 0; v < g.N(); v++ {
-		ts := ix.nbrTruss[v]
+		lo, hi := ix.arcRange(v)
+		ts := ix.nbrTruss[lo:hi]
+		nb := ix.nbr[lo:hi]
 		for i := 1; i < len(ts); i++ {
 			if ts[i] > ts[i-1] {
 				t.Fatalf("vertex %d adjacency not sorted by descending trussness: %v", v, ts)
 			}
+			if ts[i] == ts[i-1] && nb[i] <= nb[i-1] {
+				t.Fatalf("vertex %d: equal-trussness neighbors not ascending: %v / %v", v, nb, ts)
+			}
 		}
 		if len(ts) > 0 && ts[0] != ix.VertexTruss(v) {
 			t.Fatalf("vertex %d: first edge τ=%d != vertex τ=%d", v, ts[0], ix.VertexTruss(v))
+		}
+		// The arc metadata must agree with the graph: nbrEID[i] really is
+		// the edge (v, nbr[i]) and nbrTruss matches the dense table.
+		for i := range nb {
+			e := ix.nbrEID[lo+int32(i)]
+			if g.EdgeID(v, int(nb[i])) != e {
+				t.Fatalf("vertex %d arc %d: eid %d != EdgeID(%d,%d)", v, i, e, v, nb[i])
+			}
+			if ix.edgeTruss[e] != ts[i] {
+				t.Fatalf("vertex %d arc %d: τ %d != edgeTruss[%d]=%d", v, i, ts[i], e, ix.edgeTruss[e])
+			}
 		}
 	}
 }

@@ -1,0 +1,126 @@
+package trussindex
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// The query benchmarks run on the same generated 59k-edge workload as the
+// decomposition/peeling benchmarks (BENCH_pr1.json), so the BENCH_pr*.json
+// trajectory stays comparable across PRs.
+var (
+	queryBenchIx *Index
+	queryBenchG  *graph.Graph
+	queryBenchQ  []int
+)
+
+func queryBenchSetup(b *testing.B) (*Index, []int) {
+	b.Helper()
+	if queryBenchIx == nil {
+		g, truth := gen.CommunityGraph(gen.CommunityParams{
+			N: 9000, NumCommunities: 550, MinSize: 5, MaxSize: 32,
+			Overlap: 0.3, PIntra: 0.5, BackgroundEdges: 4500,
+			Hubs: 5, HubDegree: 110, PlantedClique: 22, Seed: 0x50C1,
+		})
+		best := truth[0]
+		for _, c := range truth {
+			if len(c) > len(best) {
+				best = c
+			}
+		}
+		queryBenchG = g
+		queryBenchIx = Build(g)
+		queryBenchQ = []int{best[0], best[len(best)/2], best[len(best)-1]}
+	}
+	return queryBenchIx, queryBenchQ
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	ix, _ := queryBenchSetup(b)
+	g, d := ix.Graph(), ix.Decomposition()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildFromDecomposition(g, d)
+	}
+}
+
+// BenchmarkBuildIndexSortSlice measures the seed's per-vertex
+// sort.Slice-with-closures build strategy (reimplemented here as the
+// reference) against the counting-sort build above.
+func BenchmarkBuildIndexSortSlice(b *testing.B) {
+	ix, _ := queryBenchSetup(b)
+	g, d := ix.Graph(), ix.Decomposition()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nbrOut := make([][]int32, g.N())
+		tsOut := make([][]int32, g.N())
+		for v := 0; v < g.N(); v++ {
+			src := g.Neighbors(v)
+			srcIDs := g.NeighborEdgeIDs(v)
+			nb := make([]int32, len(src))
+			copy(nb, src)
+			ts := make([]int32, len(nb))
+			for i := range nb {
+				ts[i] = d.Truss[srcIDs[i]]
+			}
+			idx := make([]int, len(nb))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, c int) bool {
+				ia, ic := idx[a], idx[c]
+				if ts[ia] != ts[ic] {
+					return ts[ia] > ts[ic]
+				}
+				return nb[ia] < nb[ic]
+			})
+			sortedNb := make([]int32, len(nb))
+			sortedTs := make([]int32, len(nb))
+			for i, j := range idx {
+				sortedNb[i] = nb[j]
+				sortedTs[i] = ts[j]
+			}
+			nbrOut[v] = sortedNb
+			tsOut[v] = sortedTs
+		}
+		benchSink = nbrOut
+		benchSink2 = tsOut
+	}
+}
+
+var benchSink, benchSink2 [][]int32
+
+func BenchmarkFindG0(b *testing.B) {
+	ix, q := queryBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu, _, err := ix.FindG0(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mu.N() == 0 {
+			b.Fatal("empty G0")
+		}
+	}
+}
+
+func BenchmarkFindKTruss(b *testing.B) {
+	ix, q := queryBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu, err := ix.FindKTruss(q, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mu.N() == 0 {
+			b.Fatal("empty k-truss")
+		}
+	}
+}

@@ -39,14 +39,15 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	for v := 0; v < ix.g.N(); v++ {
-		if err := putUvarint(uint64(len(ix.nbr[v]))); err != nil {
+		lo, hi := ix.arcRange(v)
+		if err := putUvarint(uint64(hi - lo)); err != nil {
 			return cw.n, err
 		}
-		for i, u := range ix.nbr[v] {
-			if err := putUvarint(uint64(u)); err != nil {
+		for i := lo; i < hi; i++ {
+			if err := putUvarint(uint64(ix.nbr[i])); err != nil {
 				return cw.n, err
 			}
-			if err := putUvarint(uint64(ix.nbrTruss[v][i])); err != nil {
+			if err := putUvarint(uint64(ix.nbrTruss[i])); err != nil {
 				return cw.n, err
 			}
 		}
@@ -82,8 +83,7 @@ func ReadFrom(r io.Reader) (*Index, error) {
 	}
 	n := int(n64)
 	ix := &Index{
-		nbr:         make([][]int32, n),
-		nbrTruss:    make([][]int32, n),
+		off:         make([]int32, n+1),
 		vertexTruss: make([]int32, n),
 		maxTruss:    int32(maxTruss),
 	}
@@ -96,14 +96,8 @@ func ReadFrom(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trussindex: vertex %d degree: %v", v, err)
 		}
-		// Bounded capacity hint: deg comes from untrusted input, so grow by
-		// append instead of trusting a huge preallocation.
-		capHint := deg
-		if capHint > 1<<16 {
-			capHint = 1 << 16
-		}
-		ix.nbr[v] = make([]int32, 0, capHint)
-		ix.nbrTruss[v] = make([]int32, 0, capHint)
+		// The flat arrays grow by append: deg comes from untrusted input, so
+		// never trust it as a preallocation size.
 		for i := 0; i < int(deg); i++ {
 			u, err := binary.ReadUvarint(br)
 			if err != nil {
@@ -116,46 +110,52 @@ func ReadFrom(r io.Reader) (*Index, error) {
 			if u >= n64 || int(u) == v {
 				return nil, fmt.Errorf("trussindex: vertex %d: bad neighbor %d", v, u)
 			}
-			ix.nbr[v] = append(ix.nbr[v], int32(u))
-			ix.nbrTruss[v] = append(ix.nbrTruss[v], int32(t))
+			ix.nbr = append(ix.nbr, int32(u))
+			ix.nbrTruss = append(ix.nbrTruss, int32(t))
 			if int(u) > v {
 				b.AddEdge(v, int(u))
 			}
 		}
+		ix.off[v+1] = int32(len(ix.nbr))
 		if deg > 0 {
-			ix.vertexTruss[v] = ix.nbrTruss[v][0]
+			ix.vertexTruss[v] = ix.nbrTruss[ix.off[v]]
 		}
 	}
 	ix.g = b.Build()
-	// Scatter the per-arc trussness into the dense edge-ID array. The graph
-	// was built from the u > v arcs only, so a u < v arc without a matching
-	// edge means the input's adjacency was asymmetric — reject it rather
-	// than hand query paths an index whose lists disagree with its graph.
+	// Scatter the per-arc trussness into the dense edge-ID array and record
+	// each arc's edge ID. The graph was built from the u > v arcs only, so a
+	// u < v arc without a matching edge means the input's adjacency was
+	// asymmetric — reject it rather than hand query paths an index whose
+	// lists disagree with its graph.
 	ix.edgeTruss = make([]int32, ix.g.M())
+	ix.nbrEID = make([]int32, len(ix.nbr))
 	for v := 0; v < n; v++ {
-		for i, u := range ix.nbr[v] {
-			e := ix.g.EdgeID(v, int(u))
+		for i := ix.off[v]; i < ix.off[v+1]; i++ {
+			u := int(ix.nbr[i])
+			e := ix.g.EdgeID(v, u)
 			if e < 0 {
 				return nil, fmt.Errorf("trussindex: asymmetric adjacency: %d lists %d but not vice versa", v, u)
 			}
-			if int(u) > v {
-				ix.edgeTruss[e] = ix.nbrTruss[v][i]
+			ix.nbrEID[i] = e
+			if u > v {
+				ix.edgeTruss[e] = ix.nbrTruss[i]
 			}
 		}
 	}
+	ix.thresholds = ix.computeThresholds()
 	return ix, nil
 }
 
-// ApproxBytes estimates the in-memory index footprint: 8 bytes per directed
-// arc (neighbor + trussness), 4 per vertex trussness, plus 4 per edge for
-// the dense trussness array (which replaced the seed's ~16-byte/edge hash
+// ApproxBytes estimates the in-memory index footprint: 12 bytes per
+// directed arc (neighbor + trussness + edge ID), 4 per vertex for the
+// offset table and 4 for the vertex trussness, plus 4 per edge for the
+// dense trussness array (which replaced the seed's ~16-byte/edge hash
 // table). This is the basis of the Table 3 comparison against
 // Graph.ApproxBytes.
 func (ix *Index) ApproxBytes() int64 {
 	var b int64
-	for v := range ix.nbr {
-		b += int64(len(ix.nbr[v])) * 8
-	}
+	b += int64(len(ix.nbr)) * 12
+	b += int64(len(ix.off)) * 4
 	b += int64(len(ix.vertexTruss)) * 4
 	b += int64(len(ix.edgeTruss)) * 4
 	return b

@@ -1,0 +1,260 @@
+package trussindex
+
+import (
+	"repro/internal/graph"
+	"repro/internal/truss"
+)
+
+// Workspace is the pooled per-query scratch of an Index: epoch-stamped
+// visit marks and value arrays, a stamped union-find, reusable BFS queues
+// and level buckets, resettable shell overlays of the indexed graph, and
+// the dense per-edge buffers of the peeling loops. All resets are
+// O(touched) — an epoch bump for the stamps, touched-word clearing for the
+// shells — so steady-state queries neither allocate nor scan O(n + m).
+//
+// Ownership rules:
+//   - A Workspace belongs to the Index that created it and must only be
+//     passed to that index's methods (and to core/steiner helpers running a
+//     query against it).
+//   - A Workspace serves one query at a time; concurrent queries each
+//     acquire their own (AcquireWorkspace is cheap after warm-up).
+//   - Query results never alias workspace storage: anything returned to the
+//     caller is freshly allocated, so releasing the workspace — or issuing
+//     the next query — cannot corrupt earlier results.
+//   - Release returns the workspace to the pool; using it afterwards is a
+//     data race.
+type Workspace struct {
+	ix *Index
+
+	// StampA/StampB/StampC are independent vertex-indexed stamps. Query code
+	// pairs them with ValA/ValB/ValC: the value at v is meaningful iff the
+	// paired stamp marks v in its current epoch. Three suffice because no
+	// query path needs more than three simultaneous vertex maps (e.g.
+	// greedyPeel: BFS distances + query membership + live-list positions).
+	StampA, StampB, StampC *graph.Stamp
+	ValA, ValB, ValC       []int32
+
+	// QueueA/QueueB are reusable vertex queues (BFS frontiers, victim
+	// lists). Code that grows them must store the grown slice back.
+	QueueA, QueueB []int32
+
+	// Victims and Hist are the peeling loop's per-iteration victim list and
+	// per-level query-distance history.
+	Victims []int
+	Hist    []int32
+
+	// SumDist backs the §5.2 peeling tie-break (Σ_q dist(v, q)).
+	SumDist []int64
+
+	// Sup is the dense per-edge support buffer of the peeling loops and
+	// EdgeVal the per-edge deletion-stamp buffer, both indexed by base edge
+	// IDs and paired with EdgeStamp.
+	EdgeStamp *graph.Stamp
+	EdgeVal   []int32
+	Sup       []int32
+
+	// Maintain is the reusable scratch of the k-truss maintenance cascade.
+	Maintain truss.MaintainScratch
+
+	// dsu is the stamped union-find of FindG0.
+	dsu stampedDSU
+
+	// levels holds FindG0's per-trussness schedule buckets.
+	levels [][]int32
+
+	// shells are resettable edge-bitset overlays of the indexed graph,
+	// handed out round-robin by Shell().
+	shells   [2]*graph.Mutable
+	shellCur int
+
+	// cloneBuf backs CloneFor: a plain overlay of the indexed graph reused
+	// as the destructive working copy of the peeling loops.
+	cloneBuf *graph.Mutable
+
+	// countBuf backs CountBuf.
+	countBuf []int32
+}
+
+// AcquireWorkspace returns a workspace for this index, creating one if the
+// pool is empty. Pair it with Release.
+func (ix *Index) AcquireWorkspace() *Workspace {
+	if ws, ok := ix.pool.Get().(*Workspace); ok {
+		return ws
+	}
+	n := ix.g.N()
+	return &Workspace{
+		ix:     ix,
+		StampA: graph.NewStamp(n),
+		StampB: graph.NewStamp(n),
+		StampC: graph.NewStamp(n),
+		ValA:   make([]int32, n),
+		ValB:   make([]int32, n),
+		ValC:   make([]int32, n),
+	}
+}
+
+// Release returns the workspace to its index's pool.
+func (ws *Workspace) Release() { ws.ix.pool.Put(ws) }
+
+// Index returns the owning index.
+func (ws *Workspace) Index() *Index { return ws.ix }
+
+// SumDist64 returns the pooled n-sized int64 buffer, allocating it on first
+// use.
+func (ws *Workspace) SumDist64() []int64 {
+	if ws.SumDist == nil {
+		ws.SumDist = make([]int64, ws.ix.g.N())
+	}
+	return ws.SumDist
+}
+
+// EdgeScratch returns the pooled per-edge stamp, value and support buffers
+// (each sized to the index's edge count), allocating them on first use.
+func (ws *Workspace) EdgeScratch() (*graph.Stamp, []int32, []int32) {
+	if ws.EdgeStamp == nil {
+		m := ws.ix.g.M()
+		ws.EdgeStamp = graph.NewStamp(m)
+		ws.EdgeVal = make([]int32, m)
+		ws.Sup = make([]int32, m)
+	}
+	return ws.EdgeStamp, ws.EdgeVal, ws.Sup
+}
+
+// Shell returns an empty resettable edge-bitset overlay of the indexed
+// graph. Two shells are kept and handed out alternately, matching the worst
+// simultaneous need of the query paths (e.g. greedyPeel's reconstruction
+// overlay while FindG0's accumulator is still parked); a third concurrent
+// request would reset the oldest shell, so callers must not hold more than
+// two at once.
+func (ws *Workspace) Shell() *graph.Mutable {
+	i := ws.shellCur & 1
+	ws.shellCur++
+	if ws.shells[i] == nil {
+		ws.shells[i] = graph.NewResettableShell(ws.ix.g)
+		return ws.shells[i]
+	}
+	sh := ws.shells[i]
+	sh.ResetShell()
+	return sh
+}
+
+// ShellFor returns an empty resettable overlay shell of the given base
+// graph: the pooled shell when base is the indexed graph, or a fresh one
+// otherwise (LCTC peels subgraphs of a per-query frozen expansion, whose
+// overlays cannot outlive the query).
+func (ws *Workspace) ShellFor(base *graph.Graph) *graph.Mutable {
+	if base == ws.ix.g {
+		return ws.Shell()
+	}
+	return graph.NewResettableShell(base)
+}
+
+// CloneFor returns a destructive working copy of mu: into the pooled clone
+// buffer when mu wraps the indexed graph, or a fresh Clone otherwise.
+func (ws *Workspace) CloneFor(mu *graph.Mutable) *graph.Mutable {
+	if mu.Base() != ws.ix.g {
+		return mu.Clone()
+	}
+	if ws.cloneBuf == nil {
+		ws.cloneBuf = graph.NewMutableShell(ws.ix.g)
+	}
+	mu.CloneInto(ws.cloneBuf)
+	return ws.cloneBuf
+}
+
+// CountBuf returns a zeroed int32 buffer of the given length, reused
+// across queries (counting-sort buckets and similar small scratch).
+func (ws *Workspace) CountBuf(n int) []int32 {
+	if cap(ws.countBuf) < n {
+		ws.countBuf = make([]int32, n)
+		return ws.countBuf
+	}
+	buf := ws.countBuf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// levelQueues returns the per-level schedule buckets for levels [0, k],
+// each truncated to empty. Buckets above k may hold stale leftovers from an
+// earlier query that descended past its stopping level; they are truncated
+// lazily the next time a larger k needs them.
+func (ws *Workspace) levelQueues(k int32) [][]int32 {
+	if int(k)+1 > len(ws.levels) {
+		grown := make([][]int32, k+1)
+		copy(grown, ws.levels)
+		ws.levels = grown
+	}
+	for l := int32(0); l <= k; l++ {
+		if ws.levels[l] != nil {
+			ws.levels[l] = ws.levels[l][:0]
+		}
+	}
+	return ws.levels[:k+1]
+}
+
+// dsuReset returns the stamped union-find, all singletons.
+func (ws *Workspace) dsuReset() *stampedDSU {
+	d := &ws.dsu
+	if d.stamp == nil {
+		n := ws.ix.g.N()
+		d.stamp = graph.NewStamp(n)
+		d.parent = make([]int32, n)
+		d.rank = make([]int8, n)
+	}
+	d.stamp.Next()
+	return d
+}
+
+// stampedDSU is a union-find over vertex IDs whose "all singletons" reset
+// is an epoch bump: a vertex not marked in the current epoch is implicitly
+// its own root with rank zero.
+type stampedDSU struct {
+	stamp  *graph.Stamp
+	parent []int32
+	rank   []int8
+}
+
+func (d *stampedDSU) ensure(x int32) {
+	if d.stamp.Visit(x) {
+		d.parent[x] = x
+		d.rank[x] = 0
+	}
+}
+
+func (d *stampedDSU) find(x int32) int32 {
+	d.ensure(x)
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *stampedDSU) union(a, b int32) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+}
+
+func (d *stampedDSU) sameSet(q []int) bool {
+	if len(q) == 0 {
+		return true
+	}
+	r := d.find(int32(q[0]))
+	for _, v := range q[1:] {
+		if d.find(int32(v)) != r {
+			return false
+		}
+	}
+	return true
+}
