@@ -6,13 +6,20 @@
 //	ctcbench -exp all
 //	ctcbench -exp t2,t3,fig5,fig12 -queries 20 -seed 7
 //	ctcbench -throughput 8 -throughput-dur 5s
+//	ctcbench -mixed 8 -mixed-dur 10s -mixed-rate 500 -bench-out BENCH_pr3.json
 //
 // Experiment IDs: t2, t3, fig5, fig6, fig7, fig8, fig9, fig10, fig11,
 // fig12, fig13, fig14, fig15, fig16, ablation, ext.
 //
 // -throughput N skips the experiments and instead drives N concurrent
 // worker goroutines of LCTC queries against one shared truss index — the
-// serving scenario — reporting aggregate and per-worker QPS.
+// read-only serving scenario — reporting aggregate and per-worker QPS.
+//
+// -mixed N drives the live-serving scenario instead: N query workers
+// against a serve.Manager while one updater streams edge deletions and
+// re-insertions at -mixed-rate updates/second; reports query latency
+// percentiles under sustained update load and, with -bench-out, records
+// them as a JSON artifact.
 package main
 
 import (
@@ -37,8 +44,20 @@ func main() {
 		tpWork  = flag.Int("throughput", 0, "run the concurrent-throughput stress with this many workers instead of experiments")
 		tpDur   = flag.Duration("throughput-dur", 3*time.Second, "duration of the -throughput stress")
 		tpNet   = flag.String("throughput-net", "dblp", "network analogue the -throughput stress queries")
+		mxWork  = flag.Int("mixed", 0, "run the mixed read/write serving stress with this many query workers instead of experiments")
+		mxDur   = flag.Duration("mixed-dur", 5*time.Second, "duration of the -mixed stress")
+		mxNet   = flag.String("mixed-net", "dblp", "network analogue the -mixed stress serves")
+		mxRate  = flag.Int("mixed-rate", 500, "target updates/second for the -mixed stress")
+		mxOut   = flag.String("bench-out", "", "write the -mixed result as a JSON benchmark artifact")
 	)
 	flag.Parse()
+	if *mxWork > 0 {
+		if err := runMixed(*mxWork, *mxDur, *mxNet, *mxRate, *seed, *mxOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ctcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *tpWork > 0 {
 		if err := runThroughput(*tpWork, *tpDur, *tpNet, *seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ctcbench:", err)

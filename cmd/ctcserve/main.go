@@ -1,0 +1,132 @@
+// Command ctcserve is the live closest-truss-community query server: it
+// keeps a truss index of an evolving graph behind an epoch-snapshot index
+// manager and serves lock-free queries while streaming edge updates are
+// ingested and batched in the background.
+//
+// Usage:
+//
+//	ctcserve -net dblp -addr :8080
+//	ctcserve -load index.ctc -addr :8080 -save index.ctc
+//
+// Endpoints:
+//
+//	POST /query   {"q":[1,2],"algo":"lctc|basic|bulk|truss","k":0}
+//	POST /update  {"op":"add","u":1,"v":2}  or  {"edges":[...],"flush":true}
+//	GET  /stats   epoch, dirty count, snapshot age, queue depth, counters
+//	GET  /healthz liveness plus current epoch
+//
+// With -save, the final snapshot is persisted (versioned trussindex format)
+// on clean shutdown (SIGINT/SIGTERM) and can be reloaded with -load,
+// skipping the startup decomposition.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/serve"
+	"repro/internal/trussindex"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		netName  = flag.String("net", "dblp", "network analogue to serve (ignored with -load)")
+		loadPath = flag.String("load", "", "load a serialized truss index instead of generating a network")
+		savePath = flag.String("save", "", "persist the final snapshot here on shutdown")
+		dirty    = flag.Int("publish-dirty", 64, "publish a snapshot after this many applied updates")
+		interval = flag.Duration("publish-interval", 200*time.Millisecond, "publish deadline for partial batches")
+		queue    = flag.Int("queue", 1024, "bounded update-queue size")
+	)
+	flag.Parse()
+	if err := run(*addr, *netName, *loadPath, *savePath, serve.Options{
+		QueueSize:       *queue,
+		PublishDirty:    *dirty,
+		PublishInterval: *interval,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "ctcserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, netName, loadPath, savePath string, opts serve.Options) error {
+	var mgr *serve.Manager
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return err
+		}
+		ix, err := trussindex.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", loadPath, err)
+		}
+		fmt.Printf("ctcserve: loaded index %s (n=%d m=%d maxTruss=%d)\n",
+			loadPath, ix.Graph().N(), ix.Graph().M(), ix.MaxTruss())
+		mgr = serve.NewManagerFromIndex(ix, opts)
+	} else {
+		nw, err := gen.NetworkByName(netName)
+		if err != nil {
+			return err
+		}
+		g := nw.Graph()
+		fmt.Printf("ctcserve: network %s (n=%d m=%d), decomposing...\n", netName, g.N(), g.M())
+		t0 := time.Now()
+		mgr = serve.NewManager(g, opts)
+		fmt.Printf("ctcserve: epoch 1 published in %v\n", time.Since(t0))
+	}
+	defer mgr.Close()
+
+	srv := &http.Server{Addr: addr, Handler: newServer(mgr)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("ctcserve: listening on %s\n", addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("ctcserve: %v, shutting down\n", sig)
+		// Drain in-flight requests (bounded) before persisting the snapshot.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close()
+		}
+		cancel()
+	}
+	if savePath != "" {
+		if err := saveSnapshot(mgr, savePath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// saveSnapshot flushes pending updates and persists the resulting epoch.
+func saveSnapshot(mgr *serve.Manager, path string) error {
+	_ = mgr.Flush()
+	snap := mgr.Acquire()
+	defer snap.Release()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, err := snap.Index().WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("saving %s: %w", path, err)
+	}
+	fmt.Printf("ctcserve: saved epoch %d to %s (%d bytes)\n", snap.Epoch(), path, n)
+	return nil
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/serve"
+	"repro/internal/trussindex"
+)
+
+func testManager(t *testing.T) *serve.Manager {
+	t.Helper()
+	g, _ := gen.CommunityGraph(gen.CommunityParams{
+		N: 200, NumCommunities: 10, MinSize: 8, MaxSize: 24,
+		Overlap: 0.3, PIntra: 0.5, BackgroundEdges: 150, Seed: 0x5E17E,
+	})
+	m := serve.NewManager(g, serve.Options{
+		PublishDirty:    16,
+		PublishInterval: 20 * time.Millisecond,
+	})
+	t.Cleanup(m.Close)
+	return m
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerSmoke is the CI smoke: start the server over real HTTP, run a
+// query, stream updates, and assert the answers change and the /stats epoch
+// advances.
+func TestServerSmoke(t *testing.T) {
+	mgr := testManager(t)
+	ts := httptest.NewServer(newServer(mgr))
+	defer ts.Close()
+	c := ts.Client()
+
+	// Health and initial stats.
+	resp, err := c.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	var st0 statsResponse
+	resp, err = c.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st0); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st0.Epoch < 1 {
+		t.Fatalf("initial epoch %d", st0.Epoch)
+	}
+
+	// A fresh clique on new vertex IDs, flushed so the next query sees it.
+	base := st0.Vertices
+	var edges []updateOp
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, updateOp{Op: "add", U: base + i, V: base + j})
+		}
+	}
+	var ur updateResponse
+	if code := postJSON(t, c, ts.URL+"/update", updateRequest{Edges: edges, Flush: true}, &ur); code != 200 {
+		t.Fatalf("/update status %d", code)
+	}
+	if ur.Enqueued != len(edges) || !ur.Flushed {
+		t.Fatalf("update response %+v", ur)
+	}
+	if ur.Epoch <= st0.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", st0.Epoch, ur.Epoch)
+	}
+
+	// Query the clique across algorithms.
+	for _, algo := range []string{"truss", "basic", "bulk", "lctc"} {
+		var qr queryResponse
+		if code := postJSON(t, c, ts.URL+"/query", queryRequest{Q: []int{base, base + 4}, Algo: algo}, &qr); code != 200 {
+			t.Fatalf("/query %s status %d", algo, code)
+		}
+		if qr.K != 5 || qr.N != 5 {
+			t.Fatalf("%s on fresh clique: k=%d n=%d, want 5/5", algo, qr.K, qr.N)
+		}
+		if qr.Epoch < ur.Epoch {
+			t.Fatalf("%s answered from epoch %d, update published %d", algo, qr.Epoch, ur.Epoch)
+		}
+	}
+
+	// Delete the clique again; the same query must now 404.
+	var dels []updateOp
+	for _, e := range edges {
+		dels = append(dels, updateOp{Op: "remove", U: e.U, V: e.V})
+	}
+	if code := postJSON(t, c, ts.URL+"/update", updateRequest{Edges: dels, Flush: true}, &ur); code != 200 {
+		t.Fatalf("/update status %d", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/query", queryRequest{Q: []int{base, base + 4}}, nil); code != http.StatusNotFound {
+		t.Fatalf("query after delete: status %d, want 404", code)
+	}
+
+	// Stats reflect the applied stream.
+	var st1 statsResponse
+	resp, err = c.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st1); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st1.Epoch <= st0.Epoch {
+		t.Fatalf("stats epoch did not advance: %d -> %d", st0.Epoch, st1.Epoch)
+	}
+	if st1.Adds != int64(len(edges)) || st1.Removes != int64(len(dels)) {
+		t.Fatalf("stats adds=%d removes=%d, want %d/%d", st1.Adds, st1.Removes, len(edges), len(dels))
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	mgr := testManager(t)
+	ts := httptest.NewServer(newServer(mgr))
+	defer ts.Close()
+	c := ts.Client()
+
+	if code := postJSON(t, c, ts.URL+"/query", queryRequest{}, nil); code != 400 {
+		t.Fatalf("empty query: %d", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/query", queryRequest{Q: []int{0, 1}, Algo: "nope"}, nil); code != 400 {
+		t.Fatalf("bad algo: %d", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/update", updateRequest{}, nil); code != 400 {
+		t.Fatalf("empty update: %d", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/update", updateRequest{updateOp: updateOp{Op: "frob", U: 0, V: 1}}, nil); code != 400 {
+		t.Fatalf("bad op: %d", code)
+	}
+	resp, err := c.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("truncated body: %d", resp.StatusCode)
+	}
+}
+
+// TestSaveLoadRoundTrip persists a snapshot through saveSnapshot and
+// resumes a manager from it, exercising the versioned format end to end.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	mgr := testManager(t)
+	path := filepath.Join(t.TempDir(), "index.ctc")
+	if err := saveSnapshot(mgr, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ix, err := trussindex.ReadFrom(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := mgr.Acquire()
+	defer orig.Release()
+	if ix.Graph().M() != orig.Graph().M() || ix.MaxTruss() != orig.Index().MaxTruss() {
+		t.Fatal("persisted snapshot does not match")
+	}
+	m2 := serve.NewManagerFromIndex(ix, serve.Options{})
+	defer m2.Close()
+	if got := m2.Stats().Edges; got != orig.Graph().M() {
+		t.Fatalf("resumed manager has %d edges, want %d", got, orig.Graph().M())
+	}
+}

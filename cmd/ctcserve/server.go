@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/steiner"
+	"repro/internal/truss"
+	"repro/internal/trussindex"
+)
+
+// server wires the serve.Manager to the HTTP API. Query handlers acquire a
+// snapshot reference, run against that epoch's immutable index, and release;
+// they never touch the writer, so query latency is independent of update
+// load.
+type server struct {
+	mgr   *serve.Manager
+	start time.Time
+}
+
+func newServer(mgr *serve.Manager) http.Handler {
+	s := &server{mgr: mgr, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type queryRequest struct {
+	// Q holds the query vertex IDs.
+	Q []int `json:"q"`
+	// Algo selects the search algorithm: "lctc" (default), "basic", "bulk",
+	// or "truss" (G0 without free-rider removal).
+	Algo string `json:"algo"`
+	// K, when > 0, requests a fixed-trussness community instead of the
+	// maximum (the paper's Exp-5 variant).
+	K int32 `json:"k"`
+}
+
+type queryResponse struct {
+	Algo      string  `json:"algo"`
+	Epoch     int64   `json:"epoch"`
+	K         int32   `json:"k"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	QueryDist int     `json:"query_dist"`
+	Density   float64 `json:"density"`
+	Vertices  []int   `json:"vertices,omitempty"`
+	ElapsedUS int64   `json:"elapsed_us"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Q) == 0 {
+		httpError(w, http.StatusBadRequest, "empty query vertex set")
+		return
+	}
+	snap := s.mgr.Acquire()
+	defer snap.Release()
+	sr := core.NewSearcher(snap.Index())
+	opt := &core.Options{FixedK: req.K}
+	t0 := time.Now()
+	var c *core.Community
+	var err error
+	switch req.Algo {
+	case "", "lctc":
+		c, err = sr.LCTC(req.Q, opt)
+	case "basic":
+		c, err = sr.Basic(req.Q, opt)
+	case "bulk":
+		c, err = sr.BulkDelete(req.Q, opt)
+	case "truss":
+		c, err = sr.TrussOnly(req.Q, opt)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown algo %q (want lctc, basic, bulk or truss)", req.Algo)
+		return
+	}
+	elapsed := time.Since(t0)
+	if err != nil {
+		// All three "no such community" shapes map to 404: the index's
+		// sentinel, the truss package's (LCTC extraction), and a Steiner
+		// seed that cannot connect the terminals.
+		if errors.Is(err, trussindex.ErrNoCommunity) ||
+			errors.Is(err, truss.ErrNoCommunity) ||
+			errors.Is(err, steiner.ErrDisconnected) {
+			httpError(w, http.StatusNotFound, "%v", err)
+		} else {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, queryResponse{
+		Algo:      c.Algorithm,
+		Epoch:     snap.Epoch(),
+		K:         c.K,
+		N:         c.N(),
+		M:         c.M(),
+		QueryDist: c.QueryDist(),
+		Density:   c.Density(),
+		Vertices:  c.Vertices(),
+		ElapsedUS: elapsed.Microseconds(),
+	})
+}
+
+type updateOp struct {
+	// Op is "add" or "remove".
+	Op string `json:"op"`
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+type updateRequest struct {
+	// Either a single inline op...
+	updateOp
+	// ...or a batch.
+	Edges []updateOp `json:"edges"`
+	// Flush forces the batch to be applied and published before the
+	// response is written (the response epoch then reflects it).
+	Flush bool `json:"flush"`
+}
+
+type updateResponse struct {
+	Enqueued int   `json:"enqueued"`
+	Epoch    int64 `json:"epoch"`
+	Flushed  bool  `json:"flushed"`
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ops := req.Edges
+	if req.Op != "" {
+		ops = append([]updateOp{req.updateOp}, ops...)
+	}
+	if len(ops) == 0 {
+		httpError(w, http.StatusBadRequest, "no update ops")
+		return
+	}
+	// Validate the whole batch before enqueueing anything, so a 400 never
+	// leaves a partially applied batch behind.
+	ups := make([]serve.Update, 0, len(ops))
+	for _, op := range ops {
+		switch op.Op {
+		case "add":
+			ups = append(ups, serve.Update{Op: serve.OpAdd, U: op.U, V: op.V})
+		case "remove":
+			ups = append(ups, serve.Update{Op: serve.OpRemove, U: op.U, V: op.V})
+		default:
+			httpError(w, http.StatusBadRequest, "unknown op %q (want add or remove)", op.Op)
+			return
+		}
+	}
+	enqueued := 0
+	for _, up := range ups {
+		if err := s.mgr.Apply(up); err != nil {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		enqueued++
+	}
+	if req.Flush {
+		if err := s.mgr.Flush(); err != nil {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+	}
+	writeJSON(w, updateResponse{
+		Enqueued: enqueued,
+		Epoch:    s.mgr.Stats().Epoch,
+		Flushed:  req.Flush,
+	})
+}
+
+type statsResponse struct {
+	serve.Stats
+	SnapshotAgeMS float64 `json:"snapshot_age_ms"`
+	UptimeS       float64 `json:"uptime_s"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	writeJSON(w, statsResponse{
+		Stats:         st,
+		SnapshotAgeMS: float64(st.SnapshotAge.Microseconds()) / 1000,
+		UptimeS:       time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.mgr.Acquire()
+	defer snap.Release()
+	fmt.Fprintf(w, "ok epoch=%d\n", snap.Epoch())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,109 @@
+// Example live streams edge updates into the serving subsystem and watches
+// the closest truss community of a fixed query set evolve across published
+// epochs: the initial snapshot, a weakening phase that deletes edges inside
+// the queried community (its trussness drops), and a strengthening phase
+// that plants a fresh clique around the query vertices (its trussness
+// rises above the original). Run with:
+//
+//	go run ./examples/live
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/serve"
+)
+
+func main() {
+	// A small planted-community network; the query vertices are two members
+	// of the same ground-truth community.
+	g, truth := gen.CommunityGraph(gen.CommunityParams{
+		N: 600, NumCommunities: 20, MinSize: 12, MaxSize: 30,
+		Overlap: 0.25, PIntra: 0.55, BackgroundEdges: 500, Seed: 0x11FE,
+	})
+	comm := truth[0]
+	q := []int{comm[0], comm[1]}
+
+	mgr := serve.NewManager(g, serve.Options{
+		PublishDirty:    16,
+		PublishInterval: 50 * time.Millisecond,
+	})
+	defer mgr.Close()
+	fmt.Printf("serving n=%d m=%d; query Q=%v (community of %d members)\n\n",
+		g.N(), g.M(), q, len(comm))
+
+	report := func(phase string) {
+		snap := mgr.Acquire()
+		defer snap.Release()
+		s := core.NewSearcher(snap.Index())
+		c, err := s.LCTC(q, nil)
+		if err != nil {
+			fmt.Printf("epoch %2d  %-28s no community: %v\n", snap.Epoch(), phase, err)
+			return
+		}
+		fmt.Printf("epoch %2d  %-28s k=%-2d |H|=%-3d edges=%-4d dist(Q)=%d\n",
+			snap.Epoch(), phase, c.K, c.N(), c.M(), c.QueryDist())
+	}
+	apply := func(up serve.Update) {
+		if err := mgr.Apply(up); err != nil {
+			log.Fatal(err)
+		}
+	}
+	flush := func() {
+		if err := mgr.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	report("initial snapshot")
+
+	// Phase 1: weaken — delete intra-community edges not touching Q, a few
+	// at a time, re-querying between flushes.
+	deleted := 0
+	for i := 2; i < len(comm) && deleted < 40; i++ {
+		for j := i + 1; j < len(comm) && deleted < 40; j++ {
+			if g.HasEdge(comm[i], comm[j]) {
+				apply(serve.Update{Op: serve.OpRemove, U: comm[i], V: comm[j]})
+				deleted++
+				if deleted%10 == 0 {
+					flush()
+					report(fmt.Sprintf("weakened (-%d edges)", deleted))
+				}
+			}
+		}
+	}
+
+	// Phase 2: strengthen — plant an 8-clique over Q and six brand-new
+	// vertices (growing the graph), a corner of the network that did not
+	// exist at epoch 1.
+	clique := []int{q[0], q[1]}
+	for i := 0; i < 6; i++ {
+		clique = append(clique, g.N()+i)
+	}
+	added := 0
+	for i := 0; i < len(clique); i++ {
+		for j := i + 1; j < len(clique); j++ {
+			apply(serve.Update{Op: serve.OpAdd, U: clique[i], V: clique[j]})
+			added++
+		}
+	}
+	flush()
+	report(fmt.Sprintf("planted 8-clique (+%d edges)", added))
+
+	// Phase 3: tear the clique down again.
+	for i := 2; i < len(clique); i++ {
+		for j := i + 1; j < len(clique); j++ {
+			apply(serve.Update{Op: serve.OpRemove, U: clique[i], V: clique[j]})
+		}
+	}
+	flush()
+	report("clique torn down")
+
+	st := mgr.Stats()
+	fmt.Printf("\nfinal: epoch %d, %d adds + %d removes applied, %d snapshots published, %d retired\n",
+		st.Epoch, st.Adds, st.Removes, st.Publishes, st.Retired)
+}

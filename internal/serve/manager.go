@@ -1,0 +1,499 @@
+// Package serve is the live serving subsystem: a concurrency-safe index
+// manager that ingests a stream of edge insertions and deletions while
+// queries keep running, HTAP-style. A single writer goroutine owns the live
+// graph and applies incremental truss maintenance (the dense relax-down
+// cascade for deletions, localized shell re-decomposition for insertions);
+// immutable trussindex snapshots are published through an epoch/RCU-style
+// atomic pointer with refcounted retirement, so the query path never takes
+// a lock and never observes a half-applied batch. The publisher re-freezes
+// only when the dirty-edge count crosses a threshold or a deadline fires,
+// amortizing index construction over update batches.
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/truss"
+	"repro/internal/trussindex"
+)
+
+// ErrClosed is returned by update entry points after Close.
+var ErrClosed = errors.New("serve: manager closed")
+
+// Op selects the kind of an Update.
+type Op uint8
+
+const (
+	// OpAdd inserts an undirected edge (idempotent).
+	OpAdd Op = iota
+	// OpRemove deletes an undirected edge (idempotent).
+	OpRemove
+)
+
+// Update is one streamed edge mutation.
+type Update struct {
+	Op   Op
+	U, V int
+}
+
+// Options tunes the manager. The zero value selects the defaults.
+type Options struct {
+	// QueueSize bounds the update queue; Apply blocks (backpressure) when
+	// it is full. Default 1024.
+	QueueSize int
+	// MaxBatch caps how many queued updates the writer applies before it
+	// re-checks the publish conditions. Default 256.
+	MaxBatch int
+	// PublishDirty publishes a new snapshot once at least this many updates
+	// have been applied since the last epoch. Default 64.
+	PublishDirty int
+	// PublishInterval is the staleness deadline: a snapshot is published at
+	// the next tick whenever any update is pending, even below
+	// PublishDirty. Default 200ms.
+	PublishInterval time.Duration
+	// RebuildFraction: when a rebase (foreign edges forced a new base
+	// graph) carries more new edges than this fraction of the edge count,
+	// the publisher falls back to a full re-decomposition instead of
+	// inserting them one at a time into the incremental labels.
+	// Default 0.2.
+	RebuildFraction float64
+	// OnPublish, when set, is called synchronously by the writer goroutine
+	// after each epoch handoff, with the new snapshot still referenced by
+	// the manager. Meant for tests and instrumentation; it must not call
+	// Flush or Close.
+	OnPublish func(*Snapshot)
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 1024
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.PublishDirty <= 0 {
+		o.PublishDirty = 64
+	}
+	if o.PublishInterval <= 0 {
+		o.PublishInterval = 200 * time.Millisecond
+	}
+	if o.RebuildFraction <= 0 {
+		o.RebuildFraction = 0.2
+	}
+	return o
+}
+
+// Stats is a point-in-time view of the manager, cheap enough for a /stats
+// endpoint polled under load.
+type Stats struct {
+	Epoch         int64         `json:"epoch"`
+	SnapshotAge   time.Duration `json:"snapshot_age"`
+	FullRebuild   bool          `json:"snapshot_full_rebuild"`
+	Vertices      int           `json:"n"`
+	Edges         int           `json:"m"`
+	MaxTruss      int32         `json:"max_truss"`
+	Dirty         int64         `json:"dirty"`
+	QueueLen      int           `json:"queue_len"`
+	Publishes     int64         `json:"publishes"`
+	FullRebuilds  int64         `json:"full_rebuilds"`
+	LiveSnapshots int64         `json:"live_snapshots"`
+	Retired       int64         `json:"retired_snapshots"`
+	Adds          int64         `json:"applied_adds"`
+	Removes       int64         `json:"applied_removes"`
+	Rejected      int64         `json:"rejected_ops"`
+}
+
+type msg struct {
+	up    Update
+	flush chan struct{}
+}
+
+// Manager owns the live graph and publishes query snapshots. Create with
+// NewManager or NewManagerFromIndex, feed updates through Apply, read with
+// Acquire/Release, and Close when done (the last snapshot stays queryable).
+type Manager struct {
+	opts Options
+	cur  atomic.Pointer[Snapshot]
+
+	msgs chan msg
+	quit chan struct{}
+	done chan struct{}
+
+	// sendMu serializes enqueueing against Close: senders hold the read
+	// side, Close takes the write side before closing quit, so an update
+	// acknowledged by Apply/Offer/Flush is guaranteed to be drained by the
+	// writer (never stranded in the channel). This lock is on the update
+	// path only — queries go through Acquire, which stays lock-free.
+	sendMu sync.RWMutex
+	closed bool // guarded by sendMu
+
+	// Writer-goroutine state: the incremental decomposition over the
+	// current base graph, inserts that fall outside its edge-ID space
+	// (applied at the next rebase), and the count of applied-but-
+	// unpublished updates.
+	inc     *truss.Incremental
+	pending map[graph.EdgeKey]bool
+	dirty   int
+
+	// Counters shared with readers.
+	dirtyGauge atomic.Int64
+	publishes  atomic.Int64
+	fulls      atomic.Int64
+	adds       atomic.Int64
+	removes    atomic.Int64
+	rejected   atomic.Int64
+	retired    atomic.Int64
+	liveSnaps  atomic.Int64
+}
+
+// NewManager builds the epoch-1 snapshot from g (running a full truss
+// decomposition) and starts the writer goroutine.
+func NewManager(g *graph.Graph, opts Options) *Manager {
+	return newManager(truss.NewIncremental(g), nil, opts)
+}
+
+// NewManagerFromIndex starts from a prebuilt (e.g. deserialized) index
+// without re-decomposing: the index's graph and labels seed both the
+// epoch-1 snapshot and the live state.
+func NewManagerFromIndex(ix *trussindex.Index, opts Options) *Manager {
+	d := ix.Decomposition()
+	inc := truss.ResumeIncremental(
+		graph.NewMutable(ix.Graph(), nil),
+		append([]int32(nil), d.Truss...),
+	)
+	return newManager(inc, ix, opts)
+}
+
+// newManager wires the writer state and installs epoch 1: the provided
+// index when resuming from one, otherwise a fresh build of inc's state.
+func newManager(inc *truss.Incremental, ix0 *trussindex.Index, opts Options) *Manager {
+	m := &Manager{
+		opts:    opts.withDefaults(),
+		inc:     inc,
+		pending: make(map[graph.EdgeKey]bool),
+	}
+	m.msgs = make(chan msg, m.opts.QueueSize)
+	m.quit = make(chan struct{})
+	m.done = make(chan struct{})
+	if ix0 != nil {
+		m.install(ix0, ix0.Graph(), false)
+	} else {
+		m.publish()
+	}
+	go m.run()
+	return m
+}
+
+// send enqueues mg unless the manager is closed. A true return guarantees
+// the writer will drain the message (the close sequence waits out in-flight
+// senders before stopping).
+func (m *Manager) send(mg msg) bool {
+	m.sendMu.RLock()
+	defer m.sendMu.RUnlock()
+	if m.closed {
+		return false
+	}
+	m.msgs <- mg
+	return true
+}
+
+// Apply enqueues one update, blocking while the bounded queue is full.
+func (m *Manager) Apply(up Update) error {
+	if !m.send(msg{up: up}) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Offer enqueues one update without blocking; reports false if the queue is
+// full or the manager is closed (load-shedding entry point).
+func (m *Manager) Offer(up Update) bool {
+	m.sendMu.RLock()
+	defer m.sendMu.RUnlock()
+	if m.closed {
+		return false
+	}
+	select {
+	case m.msgs <- msg{up: up}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Flush blocks until every update enqueued before the call has been applied
+// and, if any state changed, a fresh snapshot has been published.
+func (m *Manager) Flush() error {
+	ack := make(chan struct{})
+	if !m.send(msg{flush: ack}) {
+		return ErrClosed
+	}
+	<-ack
+	return nil
+}
+
+// Close stops the writer after draining the queue and publishing any
+// remaining changes. The final snapshot remains acquirable; updates after
+// Close fail with ErrClosed. Safe to call more than once.
+func (m *Manager) Close() {
+	m.sendMu.Lock()
+	already := m.closed
+	m.closed = true
+	m.sendMu.Unlock()
+	if !already {
+		close(m.quit)
+	}
+	<-m.done
+}
+
+// Stats assembles the current counters and snapshot dimensions.
+func (m *Manager) Stats() Stats {
+	s := m.Acquire()
+	defer s.Release()
+	return Stats{
+		Epoch:         s.epoch,
+		SnapshotAge:   time.Since(s.created),
+		FullRebuild:   s.full,
+		Vertices:      s.g.N(),
+		Edges:         s.g.M(),
+		MaxTruss:      s.ix.MaxTruss(),
+		Dirty:         m.dirtyGauge.Load(),
+		QueueLen:      len(m.msgs),
+		Publishes:     m.publishes.Load(),
+		FullRebuilds:  m.fulls.Load(),
+		LiveSnapshots: m.liveSnaps.Load(),
+		Retired:       m.retired.Load(),
+		Adds:          m.adds.Load(),
+		Removes:       m.removes.Load(),
+		Rejected:      m.rejected.Load(),
+	}
+}
+
+// run is the writer goroutine: it drains the update queue in batches,
+// maintains the incremental decomposition, and publishes snapshots when the
+// dirty threshold or the staleness deadline is hit.
+func (m *Manager) run() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.opts.PublishInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.quit:
+			m.drainOnClose()
+			return
+		case mg := <-m.msgs:
+			flushes := m.applyBatch(mg)
+			if len(flushes) > 0 {
+				if m.dirty > 0 {
+					m.publish()
+				}
+				for _, ch := range flushes {
+					close(ch)
+				}
+			} else if m.dirty >= m.opts.PublishDirty {
+				m.publish()
+			}
+		case <-ticker.C:
+			if m.dirty > 0 {
+				m.publish()
+			}
+		}
+	}
+}
+
+// applyBatch applies the first message plus up to MaxBatch-1 more that are
+// already queued, preserving order. Flush markers encountered are collected
+// and acknowledged by the caller after the publish decision.
+func (m *Manager) applyBatch(first msg) (flushes []chan struct{}) {
+	mg := first
+	for n := 0; ; {
+		if mg.flush != nil {
+			flushes = append(flushes, mg.flush)
+			// Order guarantees every earlier update is applied; stop here
+			// so the flush acknowledgment is not delayed by later traffic.
+			return flushes
+		}
+		m.applyUpdate(mg.up)
+		if n++; n >= m.opts.MaxBatch {
+			return flushes
+		}
+		select {
+		case mg = <-m.msgs:
+		default:
+			return flushes
+		}
+	}
+}
+
+// drainOnClose applies everything still queued, publishes once if anything
+// changed, and acknowledges pending flushes.
+func (m *Manager) drainOnClose() {
+	var flushes []chan struct{}
+	for {
+		select {
+		case mg := <-m.msgs:
+			if mg.flush != nil {
+				flushes = append(flushes, mg.flush)
+			} else {
+				m.applyUpdate(mg.up)
+			}
+		default:
+			if m.dirty > 0 {
+				m.publish()
+			}
+			for _, ch := range flushes {
+				close(ch)
+			}
+			return
+		}
+	}
+}
+
+func (m *Manager) markDirty() {
+	m.dirty++
+	m.dirtyGauge.Store(int64(m.dirty))
+}
+
+// applyUpdate routes one update into the incremental decomposition (base
+// edges) or the pending-foreign set (edges outside the current base's
+// edge-ID space, merged at the next rebase). Idempotent duplicates are
+// dropped silently; structurally invalid ops count as rejected.
+func (m *Manager) applyUpdate(up Update) {
+	u, v := up.U, up.V
+	if u == v || u < 0 || v < 0 || u > graph.MaxVertexID || v > graph.MaxVertexID {
+		m.rejected.Add(1)
+		return
+	}
+	base := m.inc.Graph().Base()
+	key := graph.Key(u, v)
+	switch up.Op {
+	case OpAdd:
+		if e := base.EdgeID(u, v); e >= 0 {
+			if m.inc.InsertEdgeByID(e) {
+				m.adds.Add(1)
+				m.markDirty()
+			}
+		} else if !m.pending[key] {
+			m.pending[key] = true
+			m.adds.Add(1)
+			m.markDirty()
+		}
+	case OpRemove:
+		if m.pending[key] {
+			delete(m.pending, key)
+			m.removes.Add(1)
+			m.markDirty()
+		} else if m.inc.DeleteEdge(u, v) {
+			m.removes.Add(1)
+			m.markDirty()
+		}
+	default:
+		m.rejected.Add(1)
+	}
+}
+
+// publish freezes the live state into an immutable snapshot and installs it
+// as the new epoch. Runs on the writer goroutine only (and once from
+// newManager before the goroutine starts).
+func (m *Manager) publish() {
+	full := false
+	if len(m.pending) > 0 {
+		full = m.rebase()
+	}
+	d := m.inc.Snapshot()
+	m.install(trussindex.BuildFromDecomposition(d.G, d), d.G, full)
+}
+
+// install makes (ix, g) the new epoch and releases the manager's reference
+// on the previous one.
+func (m *Manager) install(ix *trussindex.Index, g *graph.Graph, full bool) {
+	prev := m.cur.Load()
+	epoch := int64(1)
+	if prev != nil {
+		epoch = prev.epoch + 1
+	}
+	snap := &Snapshot{
+		epoch:   epoch,
+		ix:      ix,
+		g:       g,
+		created: time.Now(),
+		full:    full,
+		mgr:     m,
+	}
+	snap.refs.Store(1) // the manager's own reference
+	m.liveSnaps.Add(1)
+	m.cur.Store(snap)
+	m.dirty = 0
+	m.dirtyGauge.Store(0)
+	m.publishes.Add(1)
+	if full {
+		m.fulls.Add(1)
+	}
+	if m.opts.OnPublish != nil {
+		m.opts.OnPublish(snap)
+	}
+	if prev != nil {
+		prev.Release()
+	}
+}
+
+// rebase folds the pending foreign edges into a new base graph (growing the
+// vertex-ID space just enough for the *currently* pending endpoints — a
+// cancelled pending add must not inflate it) and rebuilds the incremental
+// state over it: old labels are carried over by edge key and each foreign
+// edge is then inserted through the localized shell re-decomposition —
+// unless the batch is large relative to the graph, in which case a full
+// decomposition is cheaper. Reports whether the full path ran.
+func (m *Manager) rebase() (full bool) {
+	live := m.inc.Graph()
+	base := live.Base()
+	needN := base.N()
+	for key := range m.pending {
+		if _, v := key.Endpoints(); v >= needN {
+			needN = v + 1 // v is the larger endpoint
+		}
+	}
+	b := graph.NewBuilder(needN, live.M()+len(m.pending))
+	if needN > 0 {
+		b.EnsureVertex(needN - 1)
+	}
+	live.ForEachLiveEdge(func(_ int32, u, v int) { b.AddEdge(u, v) })
+	foreign := make([]graph.EdgeKey, 0, len(m.pending))
+	for key := range m.pending {
+		u, v := key.Endpoints()
+		b.AddEdge(u, v)
+		foreign = append(foreign, key)
+	}
+	ng := b.Build()
+	full = float64(len(foreign)) > m.opts.RebuildFraction*float64(ng.M())
+	if full || live.M() == 0 {
+		m.inc = truss.NewIncremental(ng)
+		full = true
+	} else {
+		// Start with the foreign edges dead and the old labels mapped onto
+		// the new edge-ID space — an exact decomposition of that state —
+		// then insert the foreign edges one at a time.
+		mu := graph.NewMutable(ng, nil)
+		tau := make([]int32, ng.M())
+		for e := int32(0); e < int32(ng.M()); e++ {
+			u, v := ng.EdgeEndpoints(e)
+			if old := base.EdgeID(u, v); old >= 0 && live.EdgeAlive(old) {
+				tau[e] = m.inc.EdgeTau(old)
+			} else {
+				mu.DeleteEdgeByID(e)
+			}
+		}
+		inc := truss.ResumeIncremental(mu, tau)
+		for _, key := range foreign {
+			u, v := key.Endpoints()
+			inc.InsertEdgeByID(ng.EdgeID(u, v))
+		}
+		m.inc = inc
+	}
+	clear(m.pending)
+	return full
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/trussindex"
+)
+
+// Snapshot is one published epoch of the index manager: an immutable frozen
+// graph plus its truss index, shared by any number of concurrent queries.
+//
+// Lifetime follows an RCU-style refcount. The publisher creates a snapshot
+// with one reference (its own), installs it in the manager's atomic pointer,
+// and releases its reference on the *previous* snapshot; queries acquire a
+// reference before use and release it after. The count can therefore reach
+// zero only once the snapshot has been unpublished and its last reader has
+// finished — and it never resurrects: Acquire refuses a zero count and
+// re-reads the current pointer instead, so retirement is a one-way door.
+type Snapshot struct {
+	epoch   int64
+	ix      *trussindex.Index
+	g       *graph.Graph
+	created time.Time
+	full    bool // built by full re-decomposition rather than label patching
+
+	refs atomic.Int64
+	mgr  *Manager
+}
+
+// Epoch returns the snapshot's publish sequence number (1 = initial build).
+func (s *Snapshot) Epoch() int64 { return s.epoch }
+
+// Index returns the immutable truss index of this epoch.
+func (s *Snapshot) Index() *trussindex.Index { return s.ix }
+
+// Graph returns the frozen graph this epoch was built from.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Created returns the publish time.
+func (s *Snapshot) Created() time.Time { return s.created }
+
+// FullRebuild reports whether this epoch required a full re-decomposition
+// (foreign-edge rebase past the incremental threshold) rather than an
+// incremental label patch.
+func (s *Snapshot) FullRebuild() bool { return s.full }
+
+// tryRef acquires a reference unless the snapshot is already retired
+// (refcount zero). The CAS loop guarantees the count never moves 0 → 1.
+func (s *Snapshot) tryRef() bool {
+	for {
+		r := s.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference. The snapshot retires when the count reaches
+// zero, which can only happen after a newer epoch has been published.
+func (s *Snapshot) Release() {
+	if r := s.refs.Add(-1); r == 0 {
+		s.mgr.retired.Add(1)
+		s.mgr.liveSnaps.Add(-1)
+	} else if r < 0 {
+		panic("serve: Snapshot.Release without matching acquire")
+	}
+}
+
+// Acquire returns the latest published snapshot with a reference held; pair
+// it with Release. It is lock-free: a load of the epoch pointer plus a CAS
+// on the refcount, retried only in the rare race where the loaded snapshot
+// retired between the load and the CAS (in which case the pointer has
+// already moved on).
+func (m *Manager) Acquire() *Snapshot {
+	for {
+		s := m.cur.Load()
+		if s.tryRef() {
+			return s
+		}
+	}
+}

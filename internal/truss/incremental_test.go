@@ -1,0 +1,152 @@
+package truss
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// checkIncremental compares the maintained labels against a from-scratch
+// decomposition of the current live graph.
+func checkIncremental(t *testing.T, inc *Incremental, step string) {
+	t.Helper()
+	d := DecomposeMutable(inc.Graph())
+	base := inc.Graph().Base()
+	inc.Graph().ForEachLiveEdge(func(e int32, u, v int) {
+		want := d.EdgeTrussOf(u, v)
+		if got := inc.EdgeTau(e); got != want {
+			t.Fatalf("%s: τ(%d,%d) = %d, want %d", step, u, v, got, want)
+		}
+	})
+	_ = base
+}
+
+func incrementalTestGraphs() []*graph.Graph {
+	var gs []*graph.Graph
+	for seed := uint64(1); seed <= 6; seed++ {
+		gs = append(gs,
+			gen.ErdosRenyi(45, 0.18, seed),
+			gen.BarabasiAlbert(50, 4, seed),
+			gen.WattsStrogatz(48, 6, 0.2, seed),
+		)
+	}
+	return gs
+}
+
+func TestIncrementalDeletionStream(t *testing.T) {
+	for gi, g := range incrementalTestGraphs() {
+		inc := NewIncremental(g)
+		rng := gen.NewRNG(uint64(gi)*977 + 11)
+		live := make([]int32, g.M())
+		for e := range live {
+			live[e] = int32(e)
+		}
+		for step := 0; step < 12 && len(live) > 0; step++ {
+			i := rng.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if !inc.DeleteEdgeByID(e) {
+				t.Fatalf("graph %d: edge %d reported dead", gi, e)
+			}
+			checkIncremental(t, inc, "after delete")
+		}
+	}
+}
+
+func TestIncrementalMixedStream(t *testing.T) {
+	for gi, g := range incrementalTestGraphs() {
+		inc := NewIncremental(g)
+		rng := gen.NewRNG(uint64(gi)*31337 + 7)
+		var dead []int32
+		for step := 0; step < 24; step++ {
+			if len(dead) > 0 && rng.Intn(2) == 0 {
+				// Revive a random dead edge.
+				i := rng.Intn(len(dead))
+				e := dead[i]
+				dead[i] = dead[len(dead)-1]
+				dead = dead[:len(dead)-1]
+				if !inc.InsertEdgeByID(e) {
+					t.Fatalf("graph %d: edge %d reported alive", gi, e)
+				}
+			} else {
+				e := int32(rng.Intn(g.M()))
+				if !inc.Graph().EdgeAlive(e) {
+					continue
+				}
+				inc.DeleteEdgeByID(e)
+				dead = append(dead, e)
+			}
+			checkIncremental(t, inc, "after update")
+		}
+	}
+}
+
+// TestIncrementalSnapshot checks both snapshot paths: the base-shared fast
+// path (nothing dead) and the freeze-and-remap path, and that a snapshot is
+// detached from later mutation.
+func TestIncrementalSnapshot(t *testing.T) {
+	g := gen.ErdosRenyi(40, 0.25, 5)
+	inc := NewIncremental(g)
+
+	d0 := inc.Snapshot()
+	if d0.G != g {
+		t.Fatal("fully-alive snapshot should share the base graph")
+	}
+	ref := Decompose(g)
+	for e := range ref.Truss {
+		if d0.Truss[e] != ref.Truss[e] {
+			t.Fatalf("snapshot τ[%d] = %d, want %d", e, d0.Truss[e], ref.Truss[e])
+		}
+	}
+
+	inc.DeleteEdgeByID(0)
+	inc.DeleteEdgeByID(7)
+	d1 := inc.Snapshot()
+	if d1.G == g {
+		t.Fatal("partial snapshot must freeze a new graph")
+	}
+	if d1.G.M() != g.M()-2 {
+		t.Fatalf("snapshot has %d edges, want %d", d1.G.M(), g.M()-2)
+	}
+	refD := Decompose(d1.G)
+	for e := range refD.Truss {
+		if d1.Truss[e] != refD.Truss[e] {
+			t.Fatalf("snapshot τ[%d] = %d, want %d", e, d1.Truss[e], refD.Truss[e])
+		}
+	}
+	// Mutating the incremental must not alter the taken snapshot.
+	before := append([]int32(nil), d1.Truss...)
+	for e := int32(10); e < 25; e++ {
+		inc.DeleteEdgeByID(e)
+	}
+	for e := range before {
+		if d1.Truss[e] != before[e] {
+			t.Fatal("snapshot labels mutated by later updates")
+		}
+	}
+}
+
+func TestResumeIncrementalRejectsBadState(t *testing.T) {
+	g := gen.ErdosRenyi(20, 0.3, 1)
+	mu := graph.NewMutable(g, nil)
+	// Find a non-edge of g and add it, making mu overlay-impure.
+	for u := 0; u < g.N() && mu.OverlayPure(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if !g.HasEdge(u, v) {
+				mu.AddEdge(u, v)
+				break
+			}
+		}
+	}
+	if mu.OverlayPure() {
+		t.Fatal("complete graph: cannot manufacture an overflow edge")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResumeIncremental accepted an impure Mutable")
+		}
+	}()
+	ResumeIncremental(mu, make([]int32, g.M()))
+}

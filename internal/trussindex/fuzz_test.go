@@ -24,6 +24,8 @@ func FuzzReadFrom(f *testing.F) {
 		f.Add(flipped)
 	}
 	f.Add([]byte("CTCIDX1\n"))
+	f.Add([]byte("CTCIDX2\n"))
+	f.Add([]byte("CTCIDX9\n"))
 	f.Add([]byte("garbage"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ix, err := ReadFrom(bytes.NewReader(data))

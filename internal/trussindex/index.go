@@ -227,20 +227,6 @@ func (ix *Index) EdgeTruss(u, v int) int32 {
 // EdgeTrussByID returns τ of the edge with dense ID e in the indexed graph.
 func (ix *Index) EdgeTrussByID(e int32) int32 { return ix.edgeTruss[e] }
 
-// EdgeTrussTable materializes the edge→trussness table as a map keyed by
-// packed edge keys.
-//
-// Deprecated: this is an O(m) compatibility adapter over the dense
-// edge-ID-indexed array and allocates the whole table on every call. New
-// code should use EdgeTruss or index Decomposition().Truss by edge ID.
-func (ix *Index) EdgeTrussTable() map[graph.EdgeKey]int32 {
-	out := make(map[graph.EdgeKey]int32, len(ix.edgeTruss))
-	for e, t := range ix.edgeTruss {
-		out[ix.g.EdgeKeyOf(int32(e))] = t
-	}
-	return out
-}
-
 // Decomposition reconstitutes a truss.Decomposition view of the index. The
 // dense arrays are shared, not copied.
 func (ix *Index) Decomposition() *truss.Decomposition {

@@ -9,21 +9,36 @@ import (
 	"repro/internal/graph"
 )
 
-// serialization format (little-endian varints):
-//   magic "CTCIDX1\n"
-//   n (uvarint), maxTruss (uvarint)
-//   per vertex v: deg (uvarint), then deg pairs (neighbor uvarint, τ uvarint)
+// Serialization format. The 8-byte header is "CTCIDX" + an ASCII format
+// version digit + '\n', so a snapshot file identifies both the format and
+// its revision; readers accept every version they know how to decode and
+// reject unknown ones with a clear error (the ctcserve persistence path
+// relies on this to load snapshots across releases).
+//
+// Version 2 (current), little-endian varints after the header:
+//
+//	n (uvarint), maxTruss (uvarint), m (uvarint)
+//	per vertex v: deg (uvarint), then deg pairs (neighbor uvarint, τ uvarint)
+//
 // The adjacency is stored in index order (descending trussness), so decoding
 // rebuilds the exact index without re-sorting. Vertex trussness is implied
-// by the first pair.
+// by the first pair. Version 1 is identical minus the m field; it remains
+// readable.
 
-const magic = "CTCIDX1\n"
+const (
+	magicPrefix = "CTCIDX"
+	// formatV1 is the legacy header without the edge-count field.
+	formatV1 = magicPrefix + "1\n"
+	// formatV2 is the current header.
+	formatV2 = magicPrefix + "2\n"
+)
 
-// WriteTo serializes the index. It returns the number of bytes written,
-// which is the "Index Size" figure reported in Table 3.
+// WriteTo serializes the index in the current format version. It returns
+// the number of bytes written, which is the "Index Size" figure reported in
+// Table 3.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: bufio.NewWriter(w)}
-	if _, err := cw.Write([]byte(magic)); err != nil {
+	if _, err := cw.Write([]byte(formatV2)); err != nil {
 		return cw.n, err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -36,6 +51,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	if err := putUvarint(uint64(ix.maxTruss)); err != nil {
+		return cw.n, err
+	}
+	if err := putUvarint(uint64(ix.g.M())); err != nil {
 		return cw.n, err
 	}
 	for v := 0; v < ix.g.N(); v++ {
@@ -55,14 +73,24 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, cw.w.(*bufio.Writer).Flush()
 }
 
-// ReadFrom deserializes an index previously written with WriteTo.
+// ReadFrom deserializes an index previously written with WriteTo, accepting
+// any known format version.
 func ReadFrom(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
+	head := make([]byte, len(formatV2))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trussindex: reading magic: %v", err)
 	}
-	if string(head) != magic {
+	var version int
+	switch string(head) {
+	case formatV1:
+		version = 1
+	case formatV2:
+		version = 2
+	default:
+		if string(head[:len(magicPrefix)]) == magicPrefix && head[len(head)-1] == '\n' {
+			return nil, fmt.Errorf("trussindex: unsupported index format version %q (supported: 1, 2)", head[len(magicPrefix):len(head)-1])
+		}
 		return nil, fmt.Errorf("trussindex: bad magic %q", head)
 	}
 	n64, err := binary.ReadUvarint(br)
@@ -80,6 +108,24 @@ func ReadFrom(r io.Reader) (*Index, error) {
 	// corrupt header (and would make Thresholds allocate absurdly).
 	if maxTruss > n64 {
 		return nil, fmt.Errorf("trussindex: max trussness %d exceeds vertex count %d", maxTruss, n64)
+	}
+	declaredM := int64(-1)
+	if version >= 2 {
+		m64, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trussindex: reading m: %v", err)
+		}
+		// Each vertex has fewer neighbors than there are vertices. n64 is
+		// already bounded by MaxVertexID+1, so the product cannot overflow,
+		// and an n=0 file must declare m=0 (the unsigned n64-1 would wrap).
+		var maxM uint64
+		if n64 > 0 {
+			maxM = n64 * (n64 - 1) / 2
+		}
+		if m64 > maxM {
+			return nil, fmt.Errorf("trussindex: edge count %d impossible for %d vertices", m64, n64)
+		}
+		declaredM = int64(m64)
 	}
 	n := int(n64)
 	ix := &Index{
@@ -122,6 +168,9 @@ func ReadFrom(r io.Reader) (*Index, error) {
 		}
 	}
 	ix.g = b.Build()
+	if declaredM >= 0 && int64(ix.g.M()) != declaredM {
+		return nil, fmt.Errorf("trussindex: header declares %d edges, adjacency holds %d", declaredM, ix.g.M())
+	}
 	// Scatter the per-arc trussness into the dense edge-ID array and record
 	// each arc's edge ID. The graph was built from the u > v arcs only, so a
 	// u < v arc without a matching edge means the input's adjacency was

@@ -3,6 +3,7 @@ package trussindex
 import (
 	"bytes"
 	"encoding/binary"
+	"strings"
 	"testing"
 )
 
@@ -15,7 +16,7 @@ func put(buf *bytes.Buffer, x uint64) {
 func TestReadFromRejectsCorruptHeaders(t *testing.T) {
 	// Huge n.
 	var b1 bytes.Buffer
-	b1.WriteString(magic)
+	b1.WriteString(formatV2)
 	put(&b1, 1<<63)
 	put(&b1, 3)
 	if _, err := ReadFrom(&b1); err == nil {
@@ -23,22 +24,112 @@ func TestReadFromRejectsCorruptHeaders(t *testing.T) {
 	}
 	// maxTruss > n.
 	var b2 bytes.Buffer
-	b2.WriteString(magic)
+	b2.WriteString(formatV2)
 	put(&b2, 4)
 	put(&b2, 1<<31)
 	if _, err := ReadFrom(&b2); err == nil {
 		t.Fatal("huge maxTruss accepted")
 	}
-	// Asymmetric adjacency: vertex 1 lists 0, vertex 0 lists nothing.
+	// m impossible for n.
 	var b3 bytes.Buffer
-	b3.WriteString(magic)
-	put(&b3, 2) // n
+	b3.WriteString(formatV2)
+	put(&b3, 4) // n
 	put(&b3, 2) // maxTruss
-	put(&b3, 0) // deg(0)
-	put(&b3, 1) // deg(1)
-	put(&b3, 0) // neighbor 0
-	put(&b3, 2) // truss 2
+	put(&b3, 7) // m > 4*3/2
 	if _, err := ReadFrom(&b3); err == nil {
+		t.Fatal("impossible edge count accepted")
+	}
+	// n=0 with a huge m: must be rejected, not wrap negative and skip the
+	// consistency check.
+	var b3b bytes.Buffer
+	b3b.WriteString(formatV2)
+	put(&b3b, 0)     // n
+	put(&b3b, 0)     // maxTruss
+	put(&b3b, 1<<63) // m
+	if _, err := ReadFrom(&b3b); err == nil {
+		t.Fatal("n=0 with nonzero edge count accepted")
+	}
+	// Declared m disagreeing with the adjacency.
+	var b4 bytes.Buffer
+	b4.WriteString(formatV2)
+	put(&b4, 2) // n
+	put(&b4, 2) // maxTruss
+	put(&b4, 0) // m: claims empty, adjacency below has one edge
+	put(&b4, 1) // deg(0)
+	put(&b4, 1) // neighbor 1
+	put(&b4, 2) // truss 2
+	put(&b4, 1) // deg(1)
+	put(&b4, 0) // neighbor 0
+	put(&b4, 2) // truss 2
+	if _, err := ReadFrom(&b4); err == nil {
+		t.Fatal("edge-count mismatch accepted")
+	}
+	// Asymmetric adjacency: vertex 1 lists 0, vertex 0 lists nothing.
+	var b5 bytes.Buffer
+	b5.WriteString(formatV2)
+	put(&b5, 2) // n
+	put(&b5, 2) // maxTruss
+	put(&b5, 1) // m
+	put(&b5, 0) // deg(0)
+	put(&b5, 1) // deg(1)
+	put(&b5, 0) // neighbor 0
+	put(&b5, 2) // truss 2
+	if _, err := ReadFrom(&b5); err == nil {
 		t.Fatal("asymmetric adjacency accepted")
+	}
+}
+
+// TestReadFromVersions pins the version dispatch: v1 payloads (no edge
+// count) stay readable, unknown versions are rejected with a version error
+// rather than a generic bad-magic one, and non-CTCIDX input is bad magic.
+func TestReadFromVersions(t *testing.T) {
+	// A valid two-triangle v1 serialization: 4 vertices, edges (0,1) (0,2)
+	// (1,2) (1,3) (2,3), all trussness 3.
+	ix := Build(paperGraph())
+	var v2 bytes.Buffer
+	if _, err := ix.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v2 bytes as v1: swap the header and drop the m varint.
+	raw := v2.Bytes()
+	if string(raw[:len(formatV2)]) != formatV2 {
+		t.Fatalf("WriteTo emitted header %q", raw[:len(formatV2)])
+	}
+	rest := raw[len(formatV2):]
+	// Skip n and maxTruss, then drop the m varint that follows.
+	br := bytes.NewReader(rest)
+	n, _ := binary.ReadUvarint(br)
+	mt, _ := binary.ReadUvarint(br)
+	m, _ := binary.ReadUvarint(br)
+	var v1 bytes.Buffer
+	v1.WriteString(formatV1)
+	put(&v1, n)
+	put(&v1, mt)
+	v1.Write(rest[len(rest)-br.Len():])
+	if int(m) != ix.Graph().M() {
+		t.Fatalf("decoded m=%d, index has %d", m, ix.Graph().M())
+	}
+	back, err := ReadFrom(&v1)
+	if err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	if back.Graph().M() != ix.Graph().M() || back.MaxTruss() != ix.MaxTruss() {
+		t.Fatal("v1 round-trip mismatch")
+	}
+
+	// Unknown future version: clear version error.
+	var future bytes.Buffer
+	future.WriteString("CTCIDX9\n")
+	put(&future, 0)
+	put(&future, 0)
+	_, err = ReadFrom(&future)
+	if err == nil || !strings.Contains(err.Error(), "unsupported index format version") {
+		t.Fatalf("future version error = %v, want unsupported-version", err)
+	}
+
+	// Garbage: bad magic.
+	_, err = ReadFrom(strings.NewReader("NOTANIDX........"))
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("garbage error = %v, want bad magic", err)
 	}
 }
