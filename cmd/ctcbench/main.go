@@ -20,17 +20,24 @@
 // re-insertions at -mixed-rate updates/second; reports query latency
 // percentiles under sustained update load and, with -bench-out, records
 // them as a JSON artifact.
+//
+// -decomp par|serial selects the cold-build truss decomposition for every
+// index built by the run: the level-synchronous parallel peel (default,
+// engaging above truss.ParallelThreshold edges) or the serial bucket-queue
+// peel, for before/after comparisons (see BENCH_pr4.json).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/exp"
 	"repro/internal/gen"
+	"repro/internal/truss"
 )
 
 func main() {
@@ -49,8 +56,18 @@ func main() {
 		mxNet   = flag.String("mixed-net", "dblp", "network analogue the -mixed stress serves")
 		mxRate  = flag.Int("mixed-rate", 500, "target updates/second for the -mixed stress")
 		mxOut   = flag.String("bench-out", "", "write the -mixed result as a JSON benchmark artifact")
+		decomp  = flag.String("decomp", "par", "cold-build truss decomposition: par (level-synchronous parallel above truss.ParallelThreshold) or serial (bucket-queue peel)")
 	)
 	flag.Parse()
+	switch strings.ToLower(*decomp) {
+	case "par", "parallel":
+		// Default: DecomposeParallel engages above truss.ParallelThreshold.
+	case "serial":
+		truss.ParallelThreshold = math.MaxInt // every cold build takes the serial peel
+	default:
+		fmt.Fprintf(os.Stderr, "ctcbench: unknown -decomp %q (want par or serial)\n", *decomp)
+		os.Exit(1)
+	}
 	if *mxWork > 0 {
 		if err := runMixed(*mxWork, *mxDur, *mxNet, *mxRate, *seed, *mxOut, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ctcbench:", err)

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -37,13 +38,16 @@ func main() {
 		verify    = flag.Bool("v", false, "verify the result is a connected k-truss containing Q")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *network, *queryStr, *algo, *fixedK, *eta, *gamma, *timeout, *members, *verify, *dotPath); err != nil {
+	if err := run(os.Stdout, *graphPath, *network, *queryStr, *algo, *fixedK, *eta, *gamma, *timeout, *members, *verify, *dotPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ctcsearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, network, queryStr, algo string, fixedK, eta int, gamma float64,
+// run executes one search and writes the human-readable report to out (an
+// explicit writer so the end-to-end golden test can capture and normalize
+// the CLI's output).
+func run(out io.Writer, graphPath, network, queryStr, algo string, fixedK, eta int, gamma float64,
 	timeout time.Duration, members, verify bool, dotPath string) error {
 	q, err := parseQuery(queryStr)
 	if err != nil {
@@ -53,10 +57,10 @@ func run(graphPath, network, queryStr, algo string, fixedK, eta int, gamma float
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
+	fmt.Fprintf(out, "graph: %d vertices, %d edges\n", g.N(), g.M())
 	start := time.Now()
 	client := repro.Open(g)
-	fmt.Printf("truss index built in %v (max trussness %d)\n", time.Since(start).Round(time.Millisecond), client.MaxTrussness())
+	fmt.Fprintf(out, "truss index built in %v (max trussness %d)\n", time.Since(start).Round(time.Millisecond), client.MaxTrussness())
 	opt := &repro.Options{FixedK: int32(fixedK), Eta: eta, Gamma: gamma, Verify: verify, Timeout: timeout}
 	var search func([]int, *repro.Options) (*repro.Community, error)
 	switch strings.ToLower(algo) {
@@ -77,14 +81,14 @@ func run(graphPath, network, queryStr, algo string, fixedK, eta int, gamma float
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%s found a %d-truss community in %v\n", c.Algorithm, c.K, elapsed.Round(time.Microsecond))
-	fmt.Printf("  vertices:       %d\n", c.N())
-	fmt.Printf("  edges:          %d\n", c.M())
-	fmt.Printf("  density:        %.3f\n", c.Density())
-	fmt.Printf("  query distance: %d\n", c.QueryDist())
-	fmt.Printf("  diameter:       %d\n", c.Diameter())
+	fmt.Fprintf(out, "%s found a %d-truss community in %v\n", c.Algorithm, c.K, elapsed.Round(time.Microsecond))
+	fmt.Fprintf(out, "  vertices:       %d\n", c.N())
+	fmt.Fprintf(out, "  edges:          %d\n", c.M())
+	fmt.Fprintf(out, "  density:        %.3f\n", c.Density())
+	fmt.Fprintf(out, "  query distance: %d\n", c.QueryDist())
+	fmt.Fprintf(out, "  diameter:       %d\n", c.Diameter())
 	if members {
-		fmt.Printf("  members:        %v\n", c.Vertices())
+		fmt.Fprintf(out, "  members:        %v\n", c.Vertices())
 	}
 	if dotPath != "" {
 		f, err := os.Create(dotPath)
@@ -102,7 +106,7 @@ func run(graphPath, network, queryStr, algo string, fixedK, eta int, gamma float
 		if err := repro.WriteDOT(f, c.Subgraph(), highlight); err != nil {
 			return err
 		}
-		fmt.Printf("  wrote %s\n", dotPath)
+		fmt.Fprintf(out, "  wrote %s\n", dotPath)
 	}
 	return nil
 }

@@ -79,9 +79,15 @@ func NewSearcher(ix *trussindex.Index) *Searcher { return &Searcher{ix: ix} }
 func (s *Searcher) Index() *trussindex.Index { return s.ix }
 
 // findG0 resolves the starting graph: the maximal connected k-truss with
-// the largest k (or the fixed k requested).
+// the largest k (or the fixed k requested). A fixed k below 2 is clamped to
+// 2 to mirror FindKTrussW's contract — the clamp must happen here too so the
+// downstream maintenance cascade enforces support >= k-2 = 0 (not a vacuous
+// negative bound) and the reported Community.K matches the subgraph.
 func (s *Searcher) findG0(q []int, opt *Options, ws *trussindex.Workspace) (*graph.Mutable, int32, error) {
 	if k := opt.fixedK(); k > 0 {
+		if k < 2 {
+			k = 2
+		}
 		mu, err := s.ix.FindKTrussW(q, k, ws)
 		return mu, k, err
 	}

@@ -195,6 +195,23 @@ func TestFixedKVariant(t *testing.T) {
 	if c3.K > 3 {
 		t.Fatalf("LCTC fixed-k: k = %d, want <= 3", c3.K)
 	}
+	// FixedK=1 is clamped to 2 through the whole pipeline: the community
+	// must be identical to the FixedK=2 run (same reported K, so the
+	// maintenance cascade enforced support >= 0, not a vacuous negative
+	// bound) and must pass verification as a 2-truss. FixedK <= 0 stays
+	// "unset" per the Options contract and maximizes k instead.
+	c1, err := s.Basic([]int{0, 1, 2}, &Options{FixedK: 1, Verify: true})
+	if err != nil {
+		t.Fatalf("FixedK=1: %v", err)
+	}
+	if c1.K != 2 || c1.N() != c2.N() || c1.M() != c2.M() {
+		t.Fatalf("FixedK=1: (k=%d n=%d m=%d), want the FixedK=2 result (k=2 n=%d m=%d)",
+			c1.K, c1.N(), c1.M(), c2.N(), c2.M())
+	}
+	cMax, err := s.Basic([]int{0, 1, 2}, &Options{FixedK: -1, Verify: true})
+	if err != nil || cMax.K != 4 {
+		t.Fatalf("FixedK=-1 must maximize: k=%v err=%v, want k=4", cMax.K, err)
+	}
 }
 
 func TestTwoApproximationAgainstExact(t *testing.T) {

@@ -7,7 +7,11 @@
 // atomic pointer with refcounted retirement, so the query path never takes
 // a lock and never observes a half-applied batch. The publisher re-freezes
 // only when the dirty-edge count crosses a threshold or a deadline fires,
-// amortizing index construction over update batches.
+// amortizing index construction over update batches. When a rebase falls
+// past Options.RebuildFraction into a full re-decomposition, the rebuild
+// runs truss.DecomposeParallel, so the writer stall — and with it the
+// maximum snapshot staleness — is bounded by the parallel build time rather
+// than a single-core peel.
 package serve
 
 import (

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/truss"
+)
+
+// Explicit edge-case coverage for the rebase path: serving from a graph
+// with no vertices, rebasing after the live graph has been drained to
+// empty, and a rebase whose pending set cancels down to nothing. These were
+// previously only crossed implicitly by the random-stream differential.
+
+// TestServeFromEmptyGraph starts a manager over the empty graph; every edge
+// streamed in is foreign, so the very first publish is a rebase growing the
+// vertex space from zero.
+func TestServeFromEmptyGraph(t *testing.T) {
+	m := NewManager(graph.NewBuilder(0, 0).Build(), fastOpts())
+	defer m.Close()
+
+	s := m.Acquire()
+	if s.Graph().N() != 0 || s.Graph().M() != 0 || s.Index().MaxTruss() != 0 {
+		t.Fatalf("epoch 1 of empty graph: n=%d m=%d", s.Graph().N(), s.Graph().M())
+	}
+	s.Release()
+
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		if err := m.Apply(Update{Op: OpAdd, U: e[0], V: e[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s = m.Acquire()
+	defer s.Release()
+	if s.Graph().N() != 4 || s.Graph().M() != 4 {
+		t.Fatalf("after foreign adds: n=%d m=%d, want 4/4", s.Graph().N(), s.Graph().M())
+	}
+	checkSnapshotAgainstScratch(t, s, [][]int{{0, 1}, {0, 2}, {2, 3}})
+}
+
+// TestRebaseAfterDrainToEmpty deletes every edge of the base graph, then
+// streams a foreign edge: the rebase sees live.M() == 0 and must take the
+// full-rebuild path without dividing by the empty edge count.
+func TestRebaseAfterDrainToEmpty(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	m := NewManager(g, fastOpts())
+	defer m.Close()
+
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if err := m.Apply(Update{Op: OpRemove, U: e[0], V: e[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Apply(Update{Op: OpAdd, U: 4, V: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Acquire()
+	defer s.Release()
+	if s.Graph().M() != 1 {
+		t.Fatalf("after drain + foreign add: m=%d, want 1", s.Graph().M())
+	}
+	if got := s.Index().EdgeTruss(4, 5); got != 2 {
+		t.Fatalf("τ(4,5) = %d, want 2", got)
+	}
+	if m.Stats().FullRebuilds == 0 {
+		t.Fatal("drain-to-empty rebase must count as a full rebuild")
+	}
+	checkSnapshotAgainstScratch(t, s, [][]int{{4, 5}})
+}
+
+// TestRebaseCancelledPending pins the add-then-remove cancellation: a
+// foreign add retracted before the next publish must neither rebase nor
+// leave ghost state, and a later genuine rebase must still be exact.
+func TestRebaseCancelledPending(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	m := NewManager(g, fastOpts())
+	defer m.Close()
+
+	if err := m.Apply(Update{Op: OpAdd, U: 7, V: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(Update{Op: OpRemove, U: 7, V: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Acquire()
+	if s.Graph().N() != 3 || s.Graph().M() != 3 {
+		t.Fatalf("cancelled pending add changed the graph: n=%d m=%d", s.Graph().N(), s.Graph().M())
+	}
+	s.Release()
+
+	if err := m.Apply(Update{Op: OpAdd, U: 2, V: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s = m.Acquire()
+	defer s.Release()
+	if s.Graph().N() != 4 || s.Graph().M() != 4 {
+		t.Fatalf("after real foreign add: n=%d m=%d, want 4/4", s.Graph().N(), s.Graph().M())
+	}
+	checkSnapshotAgainstScratch(t, s, [][]int{{0, 1, 2}, {2, 3}})
+}
+
+// TestIncrementalColdBuildMatchesSerial pins that the serving layer's cold
+// build (NewIncremental, now the parallel decomposition) seeds the exact
+// labels — the serve-side guard of the truss package's differential suite.
+func TestIncrementalColdBuildMatchesSerial(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5}, {2, 4},
+	})
+	inc := truss.NewIncremental(g)
+	want := truss.Decompose(g)
+	for e := int32(0); e < int32(g.M()); e++ {
+		if got := inc.EdgeTau(e); got != want.Truss[e] {
+			t.Fatalf("cold-build τ[%d] = %d, want %d", e, got, want.Truss[e])
+		}
+	}
+}

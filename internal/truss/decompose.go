@@ -139,6 +139,12 @@ func (d *Decomposition) finishVertexTruss() {
 // mu. The input is not modified. When mu is its base graph in full (the
 // common case for freshly wrapped graphs), the base is decomposed directly;
 // otherwise the live subgraph is frozen first.
+//
+// This runs the serial peel on purpose: DecomposeMutable sits on the LCTC
+// per-query path (the eta-bounded expansion is decomposed on every query),
+// where concurrent queries each spawning a GOMAXPROCS-wide parallel peel
+// would oversubscribe the scheduler. Cold builds go through
+// DecomposeParallel via trussindex.Build / NewIncremental / NewDynamic.
 func DecomposeMutable(mu *graph.Mutable) *Decomposition {
 	if mu.OverlayPure() && mu.M() == mu.Base().M() {
 		d := Decompose(mu.Base())

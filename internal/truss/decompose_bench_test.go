@@ -1,6 +1,7 @@
 package truss
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/gen"
@@ -46,6 +47,61 @@ func BenchmarkDecomposeNaive(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := DecomposeNaive(g)
+		if d.MaxTruss < 3 {
+			b.Fatal("unexpected decomposition")
+		}
+	}
+}
+
+// benchDBLP is the dblp analogue used for the cold-build comparison in
+// BENCH_pr4.json — the registry's own network, so a retune of the dblp
+// parameters automatically retunes this benchmark.
+func benchDBLP(b *testing.B) *graph.Graph {
+	b.Helper()
+	nw, err := gen.NetworkByName("dblp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw.Graph()
+}
+
+// BenchmarkDecomposeParallel sweeps the forced level-synchronous peel over
+// worker counts on the shared 50k-edge yardstick and on the dblp-scale
+// analogue. The w1 points isolate the algorithmic overhead of the
+// level-synchronous formulation versus the serial bucket queue; the scaling
+// across w comes from the frontier sharding (run with GOMAXPROCS >= the
+// worker count to observe it — the sweep is recorded in BENCH_pr4.json).
+func BenchmarkDecomposeParallel(b *testing.B) {
+	for _, bg := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"50k", bench50k(b)},
+		{"dblp", benchDBLP(b)},
+	} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/w%d", bg.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d := decomposeParallel(bg.g, workers)
+					if d.MaxTruss < 3 {
+						b.Fatal("unexpected decomposition")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDecomposeSerialDBLP is the serial baseline on the same dblp-scale
+// graph, for the cold-build speedup ratio recorded in BENCH_pr4.json.
+func BenchmarkDecomposeSerialDBLP(b *testing.B) {
+	g := benchDBLP(b)
+	b.Logf("graph: n=%d m=%d", g.N(), g.M())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := Decompose(g)
 		if d.MaxTruss < 3 {
 			b.Fatal("unexpected decomposition")
 		}

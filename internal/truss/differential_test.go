@@ -1,0 +1,185 @@
+package truss
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// This file is the consolidated differential harness for every truss
+// decomposition path in the repository. One corpus of seeded generator
+// graphs — Erdős–Rényi at several densities, preferential-attachment
+// power-law, planted-community networks, and pathological hand-built shapes
+// (stars, clique chains, jumps in the support spectrum) — is decomposed by:
+//
+//   - Decompose           (serial array bucket-queue peel, the reference)
+//   - DecomposeParallel   (public entry; may take the serial fallback)
+//   - decomposeParallel   (level-synchronous peel forced at 1/2/4/8 workers)
+//   - DecomposeNaive      (retained seed-era map/lazy-bucket oracle)
+//   - Incremental          (a full insert-replay: every edge inserted one at
+//     a time into an initially empty overlay, forward and reverse order)
+//
+// and every path must produce byte-identical labels. New decomposition
+// implementations must be wired in here.
+
+type diffCase struct {
+	name string
+	g    *graph.Graph
+}
+
+// starGraph is a hub with `leaves` pendant edges: zero triangles, every
+// label exactly 2, one giant frontier in the first parallel round.
+func starGraph(leaves int) *graph.Graph {
+	b := graph.NewBuilder(leaves+1, leaves)
+	for i := 1; i <= leaves; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// cliqueChain builds `count` copies of K_size where consecutive cliques
+// share an edge: the shared edges sit in 2(size-2) triangles while their
+// trussness stays size, and the support spectrum has a gap the level loop
+// must jump over.
+func cliqueChain(count, size int) *graph.Graph {
+	b := graph.NewBuilder(count*(size-2)+2, count*size*(size-1)/2)
+	for c := 0; c < count; c++ {
+		base := c * (size - 2)
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// starOfCliques glues `arms` copies of K_size to one central hub vertex:
+// high-trussness blobs hanging off trussness-2 spokes.
+func starOfCliques(arms, size int) *graph.Graph {
+	b := graph.NewBuilder(1+arms*size, arms*(size*(size-1)/2+1))
+	for a := 0; a < arms; a++ {
+		base := 1 + a*size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+		b.AddEdge(0, base)
+	}
+	return b.Build()
+}
+
+// differentialCorpus is the shared table of generator seeds. Kept a function
+// (not a package var) so each test gets fresh graphs and the corpus cost is
+// only paid by the tests that use it.
+func differentialCorpus() []diffCase {
+	var cases []diffCase
+	// Erdős–Rényi across the density range where trussness structure
+	// appears, several seeds each.
+	for seed := uint64(0); seed < 5; seed++ {
+		for _, p := range []float64{0.05, 0.15, 0.3, 0.5} {
+			cases = append(cases, diffCase{
+				name: fmt.Sprintf("er/p%.2f/seed%d", p, seed),
+				g:    gen.ErdosRenyi(40, p, 0xE120+seed),
+			})
+		}
+	}
+	// Power-law (preferential attachment): hubs give skewed frontier work.
+	for seed := uint64(0); seed < 5; seed++ {
+		cases = append(cases, diffCase{
+			name: fmt.Sprintf("ba/seed%d", seed),
+			g:    gen.BarabasiAlbert(150, 4, 0xBA00+seed),
+		})
+	}
+	// Planted communities: the triangle-rich shape of the paper's datasets.
+	for seed := uint64(0); seed < 5; seed++ {
+		g, _ := gen.CommunityGraph(gen.CommunityParams{
+			N: 250, NumCommunities: 10, MinSize: 5, MaxSize: 24,
+			Overlap: 0.35, PIntra: 0.5, BackgroundEdges: 120,
+			Hubs: 2, HubDegree: 40, PlantedClique: 9, Seed: 0xD1FF00 + seed,
+		})
+		cases = append(cases, diffCase{name: fmt.Sprintf("community/seed%d", seed), g: g})
+	}
+	// Pathological shapes.
+	cases = append(cases,
+		diffCase{"empty", graph.NewBuilder(0, 0).Build()},
+		diffCase{"single-edge", graph.FromEdges(2, [][2]int{{0, 1}})},
+		diffCase{"triangle", graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})},
+		diffCase{"path", graph.FromEdges(8, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}})},
+		diffCase{"star200", starGraph(200)},
+		diffCase{"clique-k9", cliqueChain(1, 9)},
+		diffCase{"clique-chain-6xk6", cliqueChain(6, 6)},
+		diffCase{"clique-chain-3xk8", cliqueChain(3, 8)},
+		diffCase{"star-of-cliques", starOfCliques(5, 6)},
+		diffCase{"paper-fig1a", paperGraph()},
+	)
+	return cases
+}
+
+// assertSameLabels requires byte-identical decompositions: same edge-ID
+// space, same Truss array, same vertex trussness, same max.
+func assertSameLabels(t *testing.T, context string, got, want *Decomposition) {
+	t.Helper()
+	if got.MaxTruss != want.MaxTruss {
+		t.Fatalf("%s: MaxTruss = %d, want %d", context, got.MaxTruss, want.MaxTruss)
+	}
+	if !slices.Equal(got.Truss, want.Truss) {
+		for e := range want.Truss {
+			if got.Truss[e] != want.Truss[e] {
+				t.Fatalf("%s: τ%s = %d, want %d (first of %d-edge divergence)",
+					context, want.G.EdgeKeyOf(int32(e)), got.Truss[e], want.Truss[e], len(want.Truss))
+			}
+		}
+		t.Fatalf("%s: Truss length %d, want %d", context, len(got.Truss), len(want.Truss))
+	}
+	if !slices.Equal(got.VertexTruss, want.VertexTruss) {
+		t.Fatalf("%s: vertex trussness diverged", context)
+	}
+}
+
+// insertReplay rebuilds the decomposition of g purely through the streaming
+// insertion path: an Incremental over an initially edgeless overlay, one
+// InsertEdgeByID per edge in the given order. The final labels must be the
+// exact decomposition.
+func insertReplay(t *testing.T, g *graph.Graph, order []int32) *Decomposition {
+	t.Helper()
+	inc := ResumeIncremental(graph.NewMutableShell(g), make([]int32, g.M()))
+	for _, e := range order {
+		if !inc.InsertEdgeByID(e) {
+			t.Fatalf("insert replay: edge %d rejected", e)
+		}
+	}
+	return inc.Snapshot()
+}
+
+func TestDifferentialAllDecompositionPaths(t *testing.T) {
+	cases := differentialCorpus()
+	if len(cases) < 35 {
+		t.Fatalf("differential corpus shrank to %d cases", len(cases))
+	}
+	for _, tc := range cases {
+		want := Decompose(tc.g)
+		assertSameLabels(t, tc.name+"/parallel-public", DecomposeParallel(tc.g), want)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := decomposeParallel(tc.g, workers)
+			assertSameLabels(t, fmt.Sprintf("%s/parallel-w%d", tc.name, workers), got, want)
+		}
+		assertSameLabels(t, tc.name+"/naive", DecomposeNaive(tc.g), want)
+
+		m := int32(tc.g.M())
+		forward := make([]int32, m)
+		for e := range forward {
+			forward[e] = int32(e)
+		}
+		assertSameLabels(t, tc.name+"/replay-fwd", insertReplay(t, tc.g, forward), want)
+		reverse := make([]int32, m)
+		for e := range reverse {
+			reverse[e] = m - 1 - int32(e)
+		}
+		assertSameLabels(t, tc.name+"/replay-rev", insertReplay(t, tc.g, reverse), want)
+	}
+}

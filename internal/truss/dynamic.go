@@ -29,9 +29,10 @@ type Dynamic struct {
 	truss map[graph.EdgeKey]int32
 }
 
-// NewDynamic builds a dynamic decomposition from an initial graph.
+// NewDynamic builds a dynamic decomposition from an initial graph (a cold
+// build: the parallel peel on large graphs).
 func NewDynamic(g *graph.Graph) *Dynamic {
-	d := Decompose(g)
+	d := DecomposeParallel(g)
 	return &Dynamic{
 		mu:    graph.NewMutable(g, nil),
 		truss: d.EdgeTrussMap(),

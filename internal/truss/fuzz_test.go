@@ -1,0 +1,55 @@
+package truss
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fuzzGraph decodes a byte string into an undirected simple graph: bytes are
+// consumed pairwise as (u, v) over a 32-vertex ID space. Duplicates and
+// self-loops are dropped by the Builder, so every input is valid.
+func fuzzGraph(data []byte) *graph.Graph {
+	b := graph.NewBuilder(32, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		b.AddEdge(int(data[i]&31), int(data[i+1]&31))
+	}
+	return b.Build()
+}
+
+// FuzzDecomposeParallel feeds random edge lists through the forced parallel
+// peel at several worker counts and requires label equality with the serial
+// bucket-queue peel (and, for small inputs, the public entry's fallback).
+// Run with: go test -fuzz FuzzDecomposeParallel ./internal/truss/
+func FuzzDecomposeParallel(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	f.Add([]byte{0, 1, 1, 2, 0, 2})                                     // triangle
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 4, 4, 0})                         // cycle
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6})                   // star
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3, 3, 4, 4, 5, 5, 3}) // K4 + tail triangle
+	seed := make([]byte, 0, 2*8*7/2)
+	for u := byte(0); u < 8; u++ { // K8
+		for v := u + 1; v < 8; v++ {
+			seed = append(seed, u, v)
+		}
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(data)
+		want := Decompose(g)
+		for _, workers := range []int{1, 2, 4} {
+			got := decomposeParallel(g, workers)
+			if got.MaxTruss != want.MaxTruss || !slices.Equal(got.Truss, want.Truss) ||
+				!slices.Equal(got.VertexTruss, want.VertexTruss) {
+				t.Fatalf("parallel (w=%d) diverged from serial on %d-edge graph:\npar %v\nser %v",
+					workers, g.M(), got.Truss, want.Truss)
+			}
+		}
+		pub := DecomposeParallel(g)
+		if !slices.Equal(pub.Truss, want.Truss) {
+			t.Fatalf("public DecomposeParallel diverged on %d-edge graph", g.M())
+		}
+	})
+}

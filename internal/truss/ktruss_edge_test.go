@@ -1,0 +1,64 @@
+package truss
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Explicit edge-case coverage for the ktruss.go failure paths, which the
+// algorithm tests only exercised implicitly on populated graphs.
+
+func TestKTrussHelpersEmptyGraph(t *testing.T) {
+	empty := graph.NewBuilder(0, 0).Build()
+	d := Decompose(empty)
+	if _, _, err := MaxConnectedKTruss(empty, d, []int{0}); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("MaxConnectedKTruss(empty): %v, want ErrNoCommunity", err)
+	}
+	if _, _, err := MaxConnectedKTruss(empty, d, nil); err == nil {
+		t.Fatal("MaxConnectedKTruss(empty, nil query) accepted")
+	}
+	if _, err := ConnectedKTruss(empty, d, 2, []int{0}); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("ConnectedKTruss(empty): %v, want ErrNoCommunity", err)
+	}
+	mu := MaximalKTruss(empty, d, 2)
+	if mu.M() != 0 {
+		t.Fatalf("MaximalKTruss(empty) has %d edges", mu.M())
+	}
+	if k := SubgraphTrussness(mu); k != 0 {
+		t.Fatalf("SubgraphTrussness(empty) = %d, want 0", k)
+	}
+	if !IsKTruss(mu, 5) {
+		t.Fatal("the empty subgraph is vacuously a k-truss for every k")
+	}
+}
+
+func TestKTrussHelpersLowK(t *testing.T) {
+	// A triangle plus a pendant edge and an isolated vertex.
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	d := Decompose(g)
+	// k < 2: every edge has trussness >= 2, so the maximal "k-truss" is the
+	// whole graph and the connected search degenerates to components.
+	for _, k := range []int32{0, 1} {
+		mu, err := ConnectedKTruss(g, d, k, []int{0, 3})
+		if err != nil {
+			t.Fatalf("ConnectedKTruss k=%d: %v", k, err)
+		}
+		if mu.M() != g.M() {
+			t.Fatalf("ConnectedKTruss k=%d: %d edges, want %d", k, mu.M(), g.M())
+		}
+	}
+	// The isolated vertex 4 shares no component with vertex 0 at any k.
+	if _, err := ConnectedKTruss(g, d, 2, []int{0, 4}); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("isolated query vertex: %v, want ErrNoCommunity", err)
+	}
+	if _, _, err := MaxConnectedKTruss(g, d, []int{4}); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("MaxConnectedKTruss(isolated): %v, want ErrNoCommunity", err)
+	}
+	// VerifyCommunity on a shell that never got its query vertex.
+	shell := graph.NewMutableShell(g)
+	if err := VerifyCommunity(shell, 2, []int{4}); err == nil {
+		t.Fatal("VerifyCommunity accepted a community missing its query vertex")
+	}
+}

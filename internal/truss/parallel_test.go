@@ -1,0 +1,63 @@
+package truss
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestDecomposeParallelBasicShapes(t *testing.T) {
+	for n := 3; n <= 9; n++ {
+		d := decomposeParallel(completeGraph(n), 4)
+		if d.MaxTruss != int32(n) {
+			t.Fatalf("K%d: max truss %d, want %d", n, d.MaxTruss, n)
+		}
+		for e, k := range d.Truss {
+			if k != int32(n) {
+				t.Fatalf("K%d edge %d: τ = %d, want %d", n, e, k, n)
+			}
+		}
+	}
+	d := decomposeParallel(graph.NewBuilder(0, 0).Build(), 4)
+	if d.MaxTruss != 0 || len(d.Truss) != 0 {
+		t.Fatalf("empty graph: %+v", d)
+	}
+	assertSameLabels(t, "paper-fig1a", decomposeParallel(paperGraph(), 4), Decompose(paperGraph()))
+}
+
+// TestDecomposeParallelFallback pins the public entry point's gating: below
+// ParallelThreshold (or at GOMAXPROCS 1) it must still produce the exact
+// labels through the serial path.
+func TestDecomposeParallelFallback(t *testing.T) {
+	g := randomGraph(11, 30, 0.3)
+	if g.M() >= ParallelThreshold {
+		t.Fatalf("test graph unexpectedly above ParallelThreshold (%d edges)", g.M())
+	}
+	assertSameLabels(t, "fallback", DecomposeParallel(g), Decompose(g))
+}
+
+// TestDecomposeParallelRace is the -race workhorse: it pins GOMAXPROCS to at
+// least 4 so the frontier workers genuinely interleave, then runs the forced
+// parallel peel over triangle-rich graphs large enough for multi-block
+// frontiers, cross-checking labels against the serial peel each time. Wired
+// into the CI race step.
+func TestDecomposeParallelRace(t *testing.T) {
+	if old := runtime.GOMAXPROCS(0); old < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(old)
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		g, _ := gen.CommunityGraph(gen.CommunityParams{
+			N: 1200, NumCommunities: 60, MinSize: 5, MaxSize: 28,
+			Overlap: 0.35, PIntra: 0.5, BackgroundEdges: 700,
+			Hubs: 3, HubDegree: 80, PlantedClique: 14, Seed: 0x4ACE + seed,
+		})
+		want := Decompose(g)
+		for _, workers := range []int{4, 8} {
+			got := decomposeParallel(g, workers)
+			assertSameLabels(t, "race community", got, want)
+		}
+	}
+}

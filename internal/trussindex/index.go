@@ -53,8 +53,11 @@ type Index struct {
 }
 
 // Build constructs the index for g, running a truss decomposition first.
+// The decomposition is the level-synchronous parallel peel for graphs above
+// truss.ParallelThreshold edges (falling back to the serial bucket queue
+// below it), so cold index builds scale with GOMAXPROCS.
 func Build(g *graph.Graph) *Index {
-	return BuildFromDecomposition(g, truss.Decompose(g))
+	return BuildFromDecomposition(g, truss.DecomposeParallel(g))
 }
 
 // BuildFromDecomposition constructs the index from a precomputed
@@ -424,9 +427,18 @@ func (ix *Index) FindKTruss(q []int, k int32) (*graph.Mutable, error) {
 // only q[0]'s component, without building any subgraph), then a completion
 // phase that finishes the component and materializes each undirected edge
 // exactly once by its base edge ID.
+//
+// Trussness is only defined for k >= 2 (every edge of a graph is in a
+// 2-truss); requests below that are clamped to k = 2, so k <= 1 behaves
+// exactly like k = 2 — in particular a query on an isolated vertex fails
+// with ErrNoCommunity for every k instead of "succeeding" with an edgeless
+// community at k <= τ(v) = 0.
 func (ix *Index) FindKTrussW(q []int, k int32, ws *Workspace) (*graph.Mutable, error) {
 	if len(q) == 0 {
 		return nil, errors.New("trussindex: empty query")
+	}
+	if k < 2 {
+		k = 2
 	}
 	for _, v := range q {
 		if v < 0 || v >= ix.g.N() || ix.vertexTruss[v] < k {

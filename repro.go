@@ -84,7 +84,9 @@ type Client struct {
 }
 
 // Open builds the truss index for g (O(ρ·m), see Remark 1 of the paper)
-// and returns a query client.
+// and returns a query client. The cold decomposition is the parallel
+// level-synchronous peel on graphs above truss.ParallelThreshold edges, so
+// Open scales with GOMAXPROCS.
 func Open(g *Graph) *Client {
 	return &Client{s: core.NewSearcher(trussindex.Build(g)), g: g}
 }
@@ -159,7 +161,8 @@ func (c *Client) TCP(q []int) (*TCPCommunity, error) {
 // deletions (the incremental machinery of the paper's reference [17]).
 type Dynamic = truss.Dynamic
 
-// OpenDynamic wraps g in a dynamically-maintained truss decomposition.
+// OpenDynamic wraps g in a dynamically-maintained truss decomposition (the
+// initial build is the same parallel cold path as Open).
 // After updates, call Freeze to obtain a Client over the current graph.
 func OpenDynamic(g *Graph) *Dynamic { return truss.NewDynamic(g) }
 
