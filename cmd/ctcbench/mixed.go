@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -140,9 +141,11 @@ func runMixed(workers int, dur time.Duration, netName string, rate int, seed uin
 	}()
 
 	// Query workers: LCTC (the paper's serving algorithm, same as the
-	// read-only -throughput mode), recording every latency.
+	// read-only -throughput mode) through the unified serve-layer entry
+	// point — acquire snapshot, Search, release — recording every latency.
 	lats := make([][]int64, workers)
 	var noComm atomic.Int64
+	ctx := context.Background()
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -150,13 +153,10 @@ func runMixed(workers int, dur time.Duration, netName string, rate int, seed uin
 			defer wg.Done()
 			buf := make([]int64, 0, 4096)
 			for i := w; !stop.Load(); i++ {
-				q := queries[i%len(queries)]
-				snap := mgr.Acquire()
-				s := core.NewSearcher(snap.Index())
+				req := core.Request{Q: queries[i%len(queries)]}
 				q0 := time.Now()
-				_, err := s.LCTC(q, nil)
+				_, err := mgr.Query(ctx, req)
 				buf = append(buf, time.Since(q0).Microseconds())
-				snap.Release()
 				if err != nil {
 					noComm.Add(1)
 				}

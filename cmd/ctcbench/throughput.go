@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -46,14 +47,15 @@ func runThroughput(workers int, dur time.Duration, netName string, seed uint64, 
 	counts := make([]int64, workers)
 	failures := make([]int64, workers)
 	var wg sync.WaitGroup
+	ctx := context.Background()
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; !done.Load(); i++ {
-				q := queries[i%len(queries)]
-				if _, err := s.LCTC(q, nil); err != nil {
+				req := core.Request{Q: queries[i%len(queries)]}
+				if _, err := s.Search(ctx, req); err != nil {
 					failures[w]++
 				}
 				counts[w]++

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -61,25 +62,33 @@ func run(out io.Writer, graphPath, network, queryStr, algo string, fixedK, eta i
 	start := time.Now()
 	client := repro.Open(g)
 	fmt.Fprintf(out, "truss index built in %v (max trussness %d)\n", time.Since(start).Round(time.Millisecond), client.MaxTrussness())
-	opt := &repro.Options{FixedK: int32(fixedK), Eta: eta, Gamma: gamma, Verify: verify, Timeout: timeout}
-	var search func([]int, *repro.Options) (*repro.Community, error)
-	switch strings.ToLower(algo) {
-	case "lctc":
-		search = client.LCTC
-	case "basic":
-		search = client.Basic
-	case "bd", "bulkdelete":
-		search = client.BulkDelete
-	case "truss":
-		search = client.TrussOnly
-	default:
+	// One request for every algorithm: the CLI decodes its flags into the
+	// unified Request and calls Search. The historical -gamma -1 spelling
+	// maps onto the explicit hop-distance mode; -timeout becomes a context
+	// deadline that cancels the search mid-phase.
+	req := repro.Request{Q: q, K: int32(fixedK), Eta: eta, Verify: verify}
+	if gamma < 0 {
+		req.DistanceMode = repro.DistHop
+	} else {
+		req.Gamma = gamma
+	}
+	var err2 error
+	req.Algo, err2 = repro.ParseAlgo(strings.ToLower(algo))
+	if err2 != nil {
 		return fmt.Errorf("unknown algorithm %q (want lctc, basic, bd or truss)", algo)
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	start = time.Now()
-	c, err := search(q, opt)
+	res, err := client.Search(ctx, req)
 	if err != nil {
 		return err
 	}
+	c := &res.Community
 	elapsed := time.Since(start)
 	fmt.Fprintf(out, "%s found a %d-truss community in %v\n", c.Algorithm, c.K, elapsed.Round(time.Microsecond))
 	fmt.Fprintf(out, "  vertices:       %d\n", c.N())

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// cancelTestManager serves a long clique chain plus a star: with algo=basic
+// and k=2 the starting graph is the whole network and the peel removes one
+// vertex per round, so a query is slow enough to cancel mid-flight.
+func cancelTestManager(t *testing.T) (*serve.Manager, []int) {
+	t.Helper()
+	const count, size, leaves = 220, 8, 1500
+	var edges [][2]int
+	base := 0
+	for c := 0; c < count; c++ {
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, [2]int{base + i, base + j})
+			}
+		}
+		base += size - 1
+	}
+	n := base + 1
+	for l := 0; l < leaves; l++ {
+		edges = append(edges, [2]int{0, n + l})
+	}
+	g := graph.FromEdges(n+leaves, edges)
+	m := serve.NewManager(g, serve.Options{})
+	t.Cleanup(m.Close)
+	return m, []int{1, (size-1)*count - 1}
+}
+
+// TestQueryCancelOnClientDisconnect is the serving-layer cancellation
+// contract: the /query handler runs the search on r.Context(), which the
+// net/http server cancels when the client goes away — so an abandoned
+// query stops peeling instead of running to completion. The test drives
+// the handler with an explicitly cancelled request context (exactly the
+// signal a dropped connection produces), asserts the structured 499
+// "canceled" response arrives well before the query's natural runtime, and
+// that the deadline flavor maps to 504.
+func TestQueryCancelOnClientDisconnect(t *testing.T) {
+	mgr, q := cancelTestManager(t)
+	h := newServer(mgr)
+	body, _ := json.Marshal(queryRequest{Q: q, Algo: "basic", K: 2})
+
+	do := func(ctx context.Context) (int, map[string]string, time.Duration) {
+		req := httptest.NewRequest("POST", "/query", bytes.NewReader(body)).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		t0 := time.Now()
+		h.ServeHTTP(rec, req)
+		elapsed := time.Since(t0)
+		var errBody map[string]string
+		if rec.Code != http.StatusOK {
+			_ = json.Unmarshal(rec.Body.Bytes(), &errBody)
+		}
+		return rec.Code, errBody, elapsed
+	}
+
+	// Baseline: the query completes and is slow enough to observe aborting.
+	code, _, full := do(context.Background())
+	if code != http.StatusOK {
+		t.Fatalf("baseline query status %d", code)
+	}
+	if full < 20*time.Millisecond {
+		t.Skipf("baseline query only took %v; too fast to observe cancellation", full)
+	}
+
+	// Client disconnect: the server cancels r.Context() → 499 "canceled".
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(full/10, cancel)
+	defer timer.Stop()
+	defer cancel()
+	code, errBody, elapsed := do(ctx)
+	if code != statusClientClosedRequest {
+		t.Fatalf("disconnected query status %d, want %d (body %v)", code, statusClientClosedRequest, errBody)
+	}
+	if errBody["code"] != "canceled" {
+		t.Fatalf("disconnected query error code %q, want \"canceled\"", errBody["code"])
+	}
+	if elapsed > full {
+		t.Fatalf("disconnected query held the handler %v, longer than a full query (%v)", elapsed, full)
+	}
+
+	// Per-request deadline: 504 "deadline_exceeded".
+	dctx, dcancel := context.WithTimeout(context.Background(), full/10)
+	defer dcancel()
+	code, errBody, elapsed = do(dctx)
+	if code != http.StatusGatewayTimeout || errBody["code"] != "deadline_exceeded" {
+		t.Fatalf("deadline query status %d code %q, want 504 \"deadline_exceeded\"", code, errBody["code"])
+	}
+	if elapsed > full {
+		t.Fatalf("deadline query held the handler %v, longer than a full query (%v)", elapsed, full)
+	}
+
+	// The abandoned queries released their snapshot references: the server
+	// still answers both /query and /healthz.
+	if code, _, _ = do(context.Background()); code != http.StatusOK {
+		t.Fatalf("post-cancel query status %d", code)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-cancel healthz status %d", rec.Code)
+	}
+}
+
+// TestQueryCancelOverRealHTTP exercises the same contract end to end over a
+// real TCP connection: the client drops mid-query and the server must keep
+// serving (the in-flight peel was shed, its snapshot reference released).
+func TestQueryCancelOverRealHTTP(t *testing.T) {
+	mgr, q := cancelTestManager(t)
+	ts := httptest.NewServer(newServer(mgr))
+	defer ts.Close()
+	body, _ := json.Marshal(queryRequest{Q: q, Algo: "basic", K: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer := time.AfterFunc(10*time.Millisecond, cancel)
+	defer timer.Stop()
+	if resp, err := ts.Client().Do(req); err == nil {
+		// The query may legitimately finish before the cancel fires on a
+		// fast machine; that is not a failure of the contract.
+		resp.Body.Close()
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("client saw %v, want a context cancellation", err)
+	}
+
+	// The server is still healthy and answers a quick query afterwards.
+	quick, _ := json.Marshal(queryRequest{Q: q[:1], Algo: "truss"})
+	resp, err := ts.Client().Post(ts.URL+"/query", "application/json", bytes.NewReader(quick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect query status %d", resp.StatusCode)
+	}
+}

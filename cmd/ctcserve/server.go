@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,81 +37,132 @@ func newServer(mgr *serve.Manager) http.Handler {
 type queryRequest struct {
 	// Q holds the query vertex IDs.
 	Q []int `json:"q"`
-	// Algo selects the search algorithm: "lctc" (default), "basic", "bulk",
-	// or "truss" (G0 without free-rider removal).
+	// Algo selects the search algorithm: "lctc" (default), "basic",
+	// "bd"/"bulk", or "truss" (G0 without free-rider removal).
 	Algo string `json:"algo"`
 	// K, when > 0, requests a fixed-trussness community instead of the
 	// maximum (the paper's Exp-5 variant).
 	K int32 `json:"k"`
+	// Eta overrides LCTC's expansion budget η (0 = default 1000).
+	Eta int `json:"eta"`
+	// Gamma overrides the truss-distance penalty γ (0 = default 3; only
+	// meaningful with distance "truss").
+	Gamma float64 `json:"gamma"`
+	// Distance selects LCTC's seed metric: "truss" (default) or "hop".
+	Distance string `json:"distance"`
+}
+
+// queryStats mirrors core.QueryStats on the wire (microsecond timings).
+type queryStats struct {
+	SeedUS          int64 `json:"seed_us"`
+	ExpandUS        int64 `json:"expand_us"`
+	PeelUS          int64 `json:"peel_us"`
+	SeedEdges       int   `json:"seed_edges"`
+	PeelRounds      int   `json:"peel_rounds"`
+	EdgesPeeled     int   `json:"edges_peeled"`
+	WorkspaceReused bool  `json:"workspace_reused"`
 }
 
 type queryResponse struct {
-	Algo      string  `json:"algo"`
-	Epoch     int64   `json:"epoch"`
-	K         int32   `json:"k"`
-	N         int     `json:"n"`
-	M         int     `json:"m"`
-	QueryDist int     `json:"query_dist"`
-	Density   float64 `json:"density"`
-	Vertices  []int   `json:"vertices,omitempty"`
-	ElapsedUS int64   `json:"elapsed_us"`
+	Algo      string     `json:"algo"`
+	Epoch     int64      `json:"epoch"`
+	K         int32      `json:"k"`
+	N         int        `json:"n"`
+	M         int        `json:"m"`
+	QueryDist int        `json:"query_dist"`
+	Density   float64    `json:"density"`
+	Vertices  []int      `json:"vertices,omitempty"`
+	ElapsedUS int64      `json:"elapsed_us"`
+	Stats     queryStats `json:"stats"`
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 ("client closed
+// request"): the query was cancelled because the HTTP client disconnected,
+// so no one will read the response — the code exists for access logs.
+const statusClientClosedRequest = 499
+
+// toRequest decodes the wire shape into a validated core.Request. The
+// decoding here is pure translation; all domain validation (vertex ranges,
+// parameter domains) happens once inside Search.
+func (qr *queryRequest) toRequest() (core.Request, error) {
+	algo, err := core.ParseAlgo(qr.Algo)
+	if err != nil {
+		return core.Request{}, err
+	}
+	req := core.Request{Q: qr.Q, Algo: algo, K: qr.K, Eta: qr.Eta, Gamma: qr.Gamma}
+	switch qr.Distance {
+	case "", "truss":
+		req.DistanceMode = core.DistTrussPenalty
+	case "hop":
+		req.DistanceMode = core.DistHop
+	default:
+		return core.Request{}, fmt.Errorf("%w: unknown distance %q (want truss or hop)", core.ErrBadParam, qr.Distance)
+	}
+	return req, nil
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	var qr queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
+		httpErrorCode(w, http.StatusBadRequest, "bad_request", "bad request body: %v", err)
 		return
 	}
-	if len(req.Q) == 0 {
-		httpError(w, http.StatusBadRequest, "empty query vertex set")
-		return
-	}
-	snap := s.mgr.Acquire()
-	defer snap.Release()
-	sr := core.NewSearcher(snap.Index())
-	opt := &core.Options{FixedK: req.K}
-	t0 := time.Now()
-	var c *core.Community
-	var err error
-	switch req.Algo {
-	case "", "lctc":
-		c, err = sr.LCTC(req.Q, opt)
-	case "basic":
-		c, err = sr.Basic(req.Q, opt)
-	case "bulk":
-		c, err = sr.BulkDelete(req.Q, opt)
-	case "truss":
-		c, err = sr.TrussOnly(req.Q, opt)
-	default:
-		httpError(w, http.StatusBadRequest, "unknown algo %q (want lctc, basic, bulk or truss)", req.Algo)
-		return
-	}
-	elapsed := time.Since(t0)
+	req, err := qr.toRequest()
 	if err != nil {
+		httpErrorCode(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	// r.Context() is cancelled when the client disconnects, so an abandoned
+	// query stops peeling mid-round instead of running to completion.
+	res, err := s.mgr.Query(r.Context(), req)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	st := res.Stats
+	writeJSON(w, queryResponse{
+		Algo:      res.Algorithm,
+		Epoch:     st.Epoch,
+		K:         res.K,
+		N:         res.N(),
+		M:         res.M(),
+		QueryDist: res.QueryDist(),
+		Density:   res.Density(),
+		Vertices:  res.Vertices(),
+		ElapsedUS: st.Total.Microseconds(),
+		Stats: queryStats{
+			SeedUS:          st.Seed.Microseconds(),
+			ExpandUS:        st.Expand.Microseconds(),
+			PeelUS:          st.Peel.Microseconds(),
+			SeedEdges:       st.SeedEdges,
+			PeelRounds:      st.PeelRounds,
+			EdgesPeeled:     st.EdgesPeeled,
+			WorkspaceReused: st.WorkspaceReused,
+		},
+	})
+}
+
+// writeQueryError maps a Search error onto a status code and a stable
+// machine-readable error code (errors.Is on the typed sentinels — no
+// string matching).
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrEmptyQuery) || errors.Is(err, core.ErrVertexOutOfRange) ||
+		errors.Is(err, core.ErrBadParam):
+		httpErrorCode(w, http.StatusBadRequest, "bad_request", "%v", err)
+	case errors.Is(err, trussindex.ErrNoCommunity) || errors.Is(err, truss.ErrNoCommunity) ||
+		errors.Is(err, steiner.ErrDisconnected):
 		// All three "no such community" shapes map to 404: the index's
 		// sentinel, the truss package's (LCTC extraction), and a Steiner
 		// seed that cannot connect the terminals.
-		if errors.Is(err, trussindex.ErrNoCommunity) ||
-			errors.Is(err, truss.ErrNoCommunity) ||
-			errors.Is(err, steiner.ErrDisconnected) {
-			httpError(w, http.StatusNotFound, "%v", err)
-		} else {
-			httpError(w, http.StatusUnprocessableEntity, "%v", err)
-		}
-		return
+		httpErrorCode(w, http.StatusNotFound, "no_community", "%v", err)
+	case errors.Is(err, context.Canceled):
+		httpErrorCode(w, statusClientClosedRequest, "canceled", "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpErrorCode(w, http.StatusGatewayTimeout, "deadline_exceeded", "%v", err)
+	default:
+		httpErrorCode(w, http.StatusUnprocessableEntity, "internal", "%v", err)
 	}
-	writeJSON(w, queryResponse{
-		Algo:      c.Algorithm,
-		Epoch:     snap.Epoch(),
-		K:         c.K,
-		N:         c.N(),
-		M:         c.M(),
-		QueryDist: c.QueryDist(),
-		Density:   c.Density(),
-		Vertices:  c.Vertices(),
-		ElapsedUS: elapsed.Microseconds(),
-	})
 }
 
 type updateOp struct {
@@ -139,7 +191,7 @@ type updateResponse struct {
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpErrorCode(w, http.StatusBadRequest, "bad_request", "bad request body: %v", err)
 		return
 	}
 	ops := req.Edges
@@ -147,7 +199,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		ops = append([]updateOp{req.updateOp}, ops...)
 	}
 	if len(ops) == 0 {
-		httpError(w, http.StatusBadRequest, "no update ops")
+		httpErrorCode(w, http.StatusBadRequest, "bad_request", "no update ops")
 		return
 	}
 	// Validate the whole batch before enqueueing anything, so a 400 never
@@ -160,21 +212,21 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		case "remove":
 			ups = append(ups, serve.Update{Op: serve.OpRemove, U: op.U, V: op.V})
 		default:
-			httpError(w, http.StatusBadRequest, "unknown op %q (want add or remove)", op.Op)
+			httpErrorCode(w, http.StatusBadRequest, "bad_request", "unknown op %q (want add or remove)", op.Op)
 			return
 		}
 	}
 	enqueued := 0
 	for _, up := range ups {
 		if err := s.mgr.Apply(up); err != nil {
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			httpErrorCode(w, http.StatusServiceUnavailable, "unavailable", "%v", err)
 			return
 		}
 		enqueued++
 	}
 	if req.Flush {
 		if err := s.mgr.Flush(); err != nil {
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			httpErrorCode(w, http.StatusServiceUnavailable, "unavailable", "%v", err)
 			return
 		}
 	}
@@ -211,8 +263,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// httpErrorCode writes a structured JSON error: a human-readable message
+// plus a stable machine-readable code clients can switch on (bad_request,
+// no_community, canceled, deadline_exceeded, unavailable, internal).
+func httpErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"code":  code,
+	})
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,18 +33,22 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges; query %v from a ground-truth community of %d members\n\n",
 		g.N(), g.M(), q, len(gq.Community))
 
-	g0, err := client.TrussOnly(q, nil)
+	// The three variants run as one batch: SearchBatch amortizes a single
+	// pooled query workspace across the requests.
+	items, err := client.SearchBatch(context.Background(), []repro.Request{
+		{Q: q, Algo: repro.AlgoTrussOnly},
+		{Q: q, Algo: repro.AlgoBasic},
+		{Q: q, Algo: repro.AlgoLCTC},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	basic, err := client.Basic(q, nil)
-	if err != nil {
-		log.Fatal(err)
+	for _, it := range items {
+		if it.Err != nil {
+			log.Fatal(it.Err)
+		}
 	}
-	lctc, err := client.LCTC(q, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
+	g0, basic, lctc := items[0].Result, items[1].Result, items[2].Result
 	fmt.Printf("%-28s %6s %6s %9s %6s %6s\n", "", "|V|", "|E|", "density", "qdist", "F1")
 	row := func(name string, n, m int, d float64, qd int, verts []int) {
 		fmt.Printf("%-28s %6d %6d %9.3f %6d %6.3f\n",

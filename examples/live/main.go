@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -36,17 +37,21 @@ func main() {
 	fmt.Printf("serving n=%d m=%d; query Q=%v (community of %d members)\n\n",
 		g.N(), g.M(), q, len(comm))
 
+	// Manager.Query (acquire latest snapshot → Search → release, epoch
+	// stamped into the result's stats) is the usual serve-layer entry
+	// point; the report helper pins the snapshot explicitly so the failure
+	// branch can also name the exact epoch the query ran against.
+	ctx := context.Background()
 	report := func(phase string) {
 		snap := mgr.Acquire()
 		defer snap.Release()
-		s := core.NewSearcher(snap.Index())
-		c, err := s.LCTC(q, nil)
+		res, err := snap.Query(ctx, core.Request{Q: q})
 		if err != nil {
 			fmt.Printf("epoch %2d  %-28s no community: %v\n", snap.Epoch(), phase, err)
 			return
 		}
 		fmt.Printf("epoch %2d  %-28s k=%-2d |H|=%-3d edges=%-4d dist(Q)=%d\n",
-			snap.Epoch(), phase, c.K, c.N(), c.M(), c.QueryDist())
+			res.Stats.Epoch, phase, res.K, res.N(), res.M(), res.QueryDist())
 	}
 	apply := func(up serve.Update) {
 		if err := mgr.Apply(up); err != nil {

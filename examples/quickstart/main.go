@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,22 +31,28 @@ func main() {
 	q := []int{0, 1, 2} // {q1, q2, q3}
 	fmt.Printf("query Q = %v\n\n", q)
 
+	// One entry point for all four algorithms: Search(ctx, Request). The
+	// returned Result carries the community plus per-query stats (phase
+	// timings, peel rounds, workspace reuse).
+	ctx := context.Background()
 	searches := []struct {
 		name string
-		run  func([]int, *repro.Options) (*repro.Community, error)
+		algo repro.Algo
 	}{
-		{"TrussOnly (G0, no free-rider removal)", client.TrussOnly},
-		{"Basic     (2-approximation)", client.Basic},
-		{"BulkDelete ((2+ε)-approximation)", client.BulkDelete},
-		{"LCTC      (local heuristic)", client.LCTC},
+		{"TrussOnly (G0, no free-rider removal)", repro.AlgoTrussOnly},
+		{"Basic     (2-approximation)", repro.AlgoBasic},
+		{"BulkDelete ((2+ε)-approximation)", repro.AlgoBulkDelete},
+		{"LCTC      (local heuristic)", repro.AlgoLCTC},
 	}
 	for _, s := range searches {
-		c, err := s.run(q, &repro.Options{Verify: true})
+		res, err := client.Search(ctx, repro.Request{Q: q, Algo: s.algo, Verify: true})
 		if err != nil {
 			log.Fatalf("%s: %v", s.name, err)
 		}
 		fmt.Printf("%-40s k=%d  |V|=%-3d |E|=%-3d diam=%d  density=%.2f  members=%v\n",
-			s.name, c.K, c.N(), c.M(), c.Diameter(), c.Density(), c.Vertices())
+			s.name, res.K, res.N(), res.M(), res.Diameter(), res.Density(), res.Vertices())
+		fmt.Printf("%-40s     (%v total: seed %v, expand %v, peel %v over %d rounds)\n",
+			"", res.Stats.Total, res.Stats.Seed, res.Stats.Expand, res.Stats.Peel, res.Stats.PeelRounds)
 	}
 	fmt.Println("\nNote how Basic and LCTC drop the free riders {8,9,10} that")
 	fmt.Println("TrussOnly keeps, shrinking the diameter from 4 to the optimal 3.")

@@ -30,8 +30,10 @@ type Community struct {
 	diamDone  bool
 }
 
-func newCommunity(algo string, sub *graph.Mutable, k int32, q []int) *Community {
-	c := &Community{
+// initCommunity fills a caller-allocated Community in place (Result embeds
+// one by value, so the whole query answer is a single allocation).
+func initCommunity(c *Community, algo string, sub *graph.Mutable, k int32, q []int) {
+	*c = Community{
 		Algorithm: algo,
 		K:         k,
 		Query:     append([]int(nil), q...),
@@ -43,7 +45,6 @@ func newCommunity(algo string, sub *graph.Mutable, k int32, q []int) *Community 
 	if qd, ok := graph.GraphQueryDistance(sub, q); ok {
 		c.queryDist = int(qd)
 	}
-	return c
 }
 
 // N returns the number of vertices in the community.

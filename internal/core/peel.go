@@ -2,16 +2,22 @@ package core
 
 import (
 	"errors"
-	"time"
 
 	"repro/internal/graph"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
 )
 
-// ErrTimeout is returned when a search exceeds its Options.Timeout budget
-// (the experiments report such runs as "Inf", like the paper's 1-hour cap).
+// ErrTimeout is the legacy timeout sentinel: when a search bounded by
+// Options.Timeout exceeds its budget, the compat wrappers return an error
+// matching both ErrTimeout and context.DeadlineExceeded (the experiments
+// report such runs as "Inf", like the paper's 1-hour cap). Context-first
+// callers of Search get the bare context error instead.
 var ErrTimeout = errors.New("core: search exceeded its time budget")
+
+// cancelStride is the loop stride between workspace cancel-hook polls in
+// the query paths that are not naturally round-structured.
+const cancelStride = 1 << 12
 
 // peelRule selects which far-from-query vertices a peeling iteration deletes.
 type peelRule int
@@ -112,8 +118,11 @@ func (st *peelState) dropLive(v int) {
 // containing q) and returns the intermediate graph with the smallest graph
 // query distance, restricted to the component containing q. g0 is not
 // modified; all scratch comes from ws, so the steady state allocates only
-// the returned subgraph.
-func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, deadline time.Time, ws *trussindex.Workspace) (*graph.Mutable, error) {
+// the returned subgraph. The workspace cancel hook is polled once per peel
+// round (each round is a handful of BFS passes over the live subgraph), so
+// cancellation returns promptly without per-edge checks; rounds and removed
+// edges are tallied into st.
+func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, ws *trussindex.Workspace, qs *QueryStats) (*graph.Mutable, error) {
 	work := ws.CloneFor(g0)
 	base := work.Base()
 	_, _, supBuf := ws.EdgeScratch()
@@ -153,11 +162,12 @@ func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, deadline tim
 	qdHist := ws.Hist[:0]
 	d := infDist // running minimum for the bulk rules
 	for iter := int32(0); ; iter++ {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if err := ws.Canceled(); err != nil {
 			ws.Hist = qdHist
 			ws.QueueB = st.live[:0]
-			return nil, ErrTimeout
+			return nil, err
 		}
+		qs.PeelRounds++
 		st.computeDistances(work, q)
 		// The query set is mutually connected iff every query vertex is
 		// present and reaches q[0] — read off the distances just computed
@@ -177,6 +187,7 @@ func greedyPeel(g0 *graph.Mutable, k int32, q []int, rule peelRule, deadline tim
 		if len(removedEdges) == 0 {
 			break // defensive: no progress
 		}
+		qs.EdgesPeeled += len(removedEdges)
 		for _, e := range removedEdges {
 			edgeStamp.Mark[e] = edgeEpoch
 			edgeVal[e] = iter

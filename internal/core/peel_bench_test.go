@@ -2,7 +2,6 @@ package core
 
 import (
 	"testing"
-	"time"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -52,7 +51,7 @@ func BenchmarkGreedyPeel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := greedyPeel(g0, k, q, peelBulk, time.Time{}, ws); err != nil {
+		if _, err := greedyPeel(g0, k, q, peelBulk, ws, &QueryStats{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +64,7 @@ func BenchmarkGreedyPeelExact(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := greedyPeel(g0, k, q, peelBulkExact, time.Time{}, ws); err != nil {
+		if _, err := greedyPeel(g0, k, q, peelBulkExact, ws, &QueryStats{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -10,8 +12,16 @@ import (
 	"repro/internal/trussindex"
 )
 
-// Options tunes the search algorithms. The zero value requests the paper's
-// defaults (maximum trussness, η=1000, γ=3).
+// Options is the legacy per-call tuning struct, kept for the compatibility
+// wrappers (Basic, BulkDelete, LCTC, TrussOnly). New code should build a
+// Request and call Search; the sentinel encodings below exist only here and
+// are decoded once, in request():
+//
+//	Options.FixedK <= 0      → Request.K = 0 (maximize)
+//	Options.Eta <= 0         → Request.Eta = 0 (default 1000)
+//	Options.Gamma = -1 (< 0) → Request.DistanceMode = DistHop
+//	Options.Gamma = 0        → Request.Gamma = 0 (default 3)
+//	Options.Timeout > 0      → context.WithTimeout around Search
 type Options struct {
 	// FixedK, when > 0, searches for a community of the given trussness
 	// instead of the maximum (the Exp-5 variant). For LCTC it caps the
@@ -26,43 +36,33 @@ type Options struct {
 	// Verify re-checks the output against the CTC conditions (connected
 	// k-truss containing Q) and fails loudly on violation. Meant for tests.
 	Verify bool
-	// Timeout, when positive, bounds the peeling phase; exceeding it
-	// returns ErrTimeout (the experiments report such runs as "Inf").
+	// Timeout, when positive, bounds the search; exceeding it returns an
+	// error matching both ErrTimeout and context.DeadlineExceeded (the
+	// experiments report such runs as "Inf").
 	Timeout time.Duration
 }
 
-func (o *Options) deadline() time.Time {
-	if o == nil || o.Timeout <= 0 {
-		return time.Time{}
-	}
-	return time.Now().Add(o.Timeout)
-}
-
-func (o *Options) eta() int {
-	if o == nil || o.Eta <= 0 {
-		return 1000
-	}
-	return o.Eta
-}
-
-func (o *Options) gamma() float64 {
-	if o == nil || o.Gamma == 0 {
-		return 3
-	}
-	if o.Gamma < 0 {
-		return 0
-	}
-	return o.Gamma
-}
-
-func (o *Options) fixedK() int32 {
+// request decodes the legacy sentinels into a validated-shape Request.
+func (o *Options) request(algo Algo, q []int) Request {
+	req := Request{Q: q, Algo: algo}
 	if o == nil {
-		return 0
+		return req
 	}
-	return o.FixedK
+	if o.FixedK > 0 {
+		req.K = o.FixedK
+	}
+	if o.Eta > 0 {
+		req.Eta = o.Eta
+	}
+	switch {
+	case o.Gamma < 0:
+		req.DistanceMode = DistHop
+	case o.Gamma > 0:
+		req.Gamma = o.Gamma
+	}
+	req.Verify = o.Verify
+	return req
 }
-
-func (o *Options) verify() bool { return o != nil && o.Verify }
 
 // Searcher runs closest-truss-community searches against a truss index.
 // A Searcher is stateless apart from the shared immutable index: every
@@ -78,13 +78,66 @@ func NewSearcher(ix *trussindex.Index) *Searcher { return &Searcher{ix: ix} }
 // Index returns the underlying truss index.
 func (s *Searcher) Index() *trussindex.Index { return s.ix }
 
+// legacy adapts one Options-style call onto Search: decode the sentinels,
+// bound the context when a Timeout was set, and translate a deadline hit
+// back into the historical ErrTimeout (the returned error matches both).
+func (s *Searcher) legacy(algo Algo, q []int, opt *Options) (*Community, error) {
+	ctx := context.Background()
+	if opt != nil && opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
+	res, err := s.Search(ctx, opt.request(algo, q))
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("%w: %w", ErrTimeout, err)
+		}
+		return nil, err
+	}
+	return &res.Community, nil
+}
+
+// TrussOnly is the legacy entry point for AlgoTrussOnly: it returns G0, the
+// maximal connected k-truss containing Q with the largest k, with no
+// free-rider elimination (Algorithm 2 output). One-line wrapper over Search.
+func (s *Searcher) TrussOnly(q []int, opt *Options) (*Community, error) {
+	return s.legacy(AlgoTrussOnly, q, opt)
+}
+
+// Basic is the legacy entry point for AlgoBasic (Algorithm 1): find G0,
+// then repeatedly delete the single vertex furthest from Q, maintaining the
+// k-truss property, and return the intermediate graph with minimum query
+// distance. 2-approximation on the diameter (Theorem 3). One-line wrapper
+// over Search.
+func (s *Searcher) Basic(q []int, opt *Options) (*Community, error) {
+	return s.legacy(AlgoBasic, q, opt)
+}
+
+// BulkDelete is the legacy entry point for AlgoBulkDelete (Algorithm 4):
+// like Basic but deleting the whole set L = {u : dist(u,Q) >= d-1} per
+// iteration, terminating in O(n'/k) iterations (Lemma 6) with a (2+ε)-
+// approximation (Theorem 6). One-line wrapper over Search.
+func (s *Searcher) BulkDelete(q []int, opt *Options) (*Community, error) {
+	return s.legacy(AlgoBulkDelete, q, opt)
+}
+
+// LCTC is the legacy entry point for AlgoLCTC (Algorithm 5): seed a Steiner
+// tree over Q under truss distance, locally expand it to at most η vertices
+// through edges of trussness >= kt, extract the best connected k-truss
+// containing Q from the expansion, and shrink it with the exact-distance
+// bulk rule L' = {u : dist(u,Q) >= d}. One-line wrapper over Search.
+func (s *Searcher) LCTC(q []int, opt *Options) (*Community, error) {
+	return s.legacy(AlgoLCTC, q, opt)
+}
+
 // findG0 resolves the starting graph: the maximal connected k-truss with
 // the largest k (or the fixed k requested). A fixed k below 2 is clamped to
 // 2 to mirror FindKTrussW's contract — the clamp must happen here too so the
 // downstream maintenance cascade enforces support >= k-2 = 0 (not a vacuous
 // negative bound) and the reported Community.K matches the subgraph.
-func (s *Searcher) findG0(q []int, opt *Options, ws *trussindex.Workspace) (*graph.Mutable, int32, error) {
-	if k := opt.fixedK(); k > 0 {
+func (s *Searcher) findG0(q []int, fixedK int32, ws *trussindex.Workspace) (*graph.Mutable, int32, error) {
+	if k := fixedK; k > 0 {
 		if k < 2 {
 			k = 2
 		}
@@ -94,94 +147,91 @@ func (s *Searcher) findG0(q []int, opt *Options, ws *trussindex.Workspace) (*gra
 	return s.ix.FindG0W(q, ws)
 }
 
-// TrussOnly implements the "Truss" baseline: it returns G0 itself, the
-// maximal connected k-truss containing Q with the largest k, with no
-// free-rider elimination (Algorithm 2 output).
-func (s *Searcher) TrussOnly(q []int, opt *Options) (*Community, error) {
-	ws := s.ix.AcquireWorkspace()
-	defer ws.Release()
-	g0, k, err := s.findG0(q, opt, ws)
+// searchGlobal runs the three G0-seeded algorithms (TrussOnly, Basic,
+// BulkDelete): resolve the starting k-truss, then peel under the
+// algorithm's victim rule (TrussOnly skips the peel). Fills res in place.
+func (s *Searcher) searchGlobal(req Request, ws *trussindex.Workspace, res *Result) error {
+	st := &res.Stats
+	t0 := time.Now()
+	g0, k, err := s.findG0(req.Q, req.K, ws)
+	st.Seed = time.Since(t0)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return s.finish("Truss", g0, k, q, opt)
+	st.SeedEdges = g0.M()
+	sub := g0
+	if req.Algo != AlgoTrussOnly {
+		rule := peelSingle
+		if req.Algo == AlgoBulkDelete {
+			rule = peelBulk
+		}
+		tp := time.Now()
+		sub, err = greedyPeel(g0, k, req.Q, rule, ws, st)
+		st.Peel = time.Since(tp)
+		if err != nil {
+			return fmt.Errorf("core: %s: %w", req.Algo, err)
+		}
+	}
+	initCommunity(&res.Community, req.Algo.String(), sub, k, req.Q)
+	return nil
 }
 
-// Basic implements Algorithm 1: find G0, then repeatedly delete the single
-// vertex furthest from Q, maintaining the k-truss property, and return the
-// intermediate graph with minimum query distance. 2-approximation on the
-// diameter (Theorem 3).
-func (s *Searcher) Basic(q []int, opt *Options) (*Community, error) {
-	ws := s.ix.AcquireWorkspace()
-	defer ws.Release()
-	g0, k, err := s.findG0(q, opt, ws)
+// searchLCTC runs Algorithm 5 (see LCTC). Fills res in place; the Seed
+// timing covers the Steiner build, Expand the local expansion plus k-truss
+// extraction, Peel the free-rider shrink.
+func (s *Searcher) searchLCTC(req Request, ws *trussindex.Workspace, res *Result) error {
+	st := &res.Stats
+	t0 := time.Now()
+	tree, err := steiner.BuildW(s.ix, req.Q, req.gamma(), ws)
+	st.Seed = time.Since(t0)
 	if err != nil {
-		return nil, err
-	}
-	best, err := greedyPeel(g0, k, q, peelSingle, opt.deadline(), ws)
-	if err != nil {
-		return nil, fmt.Errorf("core: Basic: %w", err)
-	}
-	return s.finish("Basic", best, k, q, opt)
-}
-
-// BulkDelete implements Algorithm 4: like Basic but deleting the whole set
-// L = {u : dist(u,Q) >= d-1} per iteration, terminating in O(n'/k)
-// iterations (Lemma 6) with a (2+ε)-approximation (Theorem 6).
-func (s *Searcher) BulkDelete(q []int, opt *Options) (*Community, error) {
-	ws := s.ix.AcquireWorkspace()
-	defer ws.Release()
-	g0, k, err := s.findG0(q, opt, ws)
-	if err != nil {
-		return nil, err
-	}
-	best, err := greedyPeel(g0, k, q, peelBulk, opt.deadline(), ws)
-	if err != nil {
-		return nil, fmt.Errorf("core: BulkDelete: %w", err)
-	}
-	return s.finish("BD", best, k, q, opt)
-}
-
-// LCTC implements Algorithm 5: seed a Steiner tree over Q under truss
-// distance, locally expand it to at most η vertices through edges of
-// trussness >= kt, extract the best connected k-truss containing Q from the
-// expansion, and shrink it with the exact-distance bulk rule
-// L' = {u : dist(u,Q) >= d}.
-func (s *Searcher) LCTC(q []int, opt *Options) (*Community, error) {
-	ws := s.ix.AcquireWorkspace()
-	defer ws.Release()
-	tree, err := steiner.BuildW(s.ix, q, opt.gamma(), ws)
-	if err != nil {
-		return nil, fmt.Errorf("core: LCTC Steiner seed: %w", err)
+		return fmt.Errorf("core: LCTC Steiner seed: %w", err)
 	}
 	kt := tree.MinTruss
-	if fk := opt.fixedK(); fk > 0 && fk < kt {
+	if fk := req.K; fk > 0 && fk < kt {
 		kt = fk
 	}
 	if kt < 2 {
 		kt = 2
 	}
-	gt := s.expand(tree.Vertices, kt, opt.eta(), ws)
-	// Truss-decompose the expansion and find the largest k <= kt such that
-	// a connected k-truss containing Q survives inside Gt.
-	dec := truss.DecomposeMutable(gt)
-	ht, k, err := bestKTrussWithin(dec, q, kt, ws)
+	te := time.Now()
+	gt, err := s.expand(tree.Vertices, kt, req.eta(), ws)
 	if err != nil {
-		return nil, fmt.Errorf("core: LCTC extraction: %w", err)
+		st.Expand = time.Since(te)
+		return fmt.Errorf("core: LCTC expansion: %w", err)
 	}
-	best, err := greedyPeel(ht, k, q, peelBulkExact, opt.deadline(), ws)
+	// Truss-decompose the expansion (cancellable: with a client-supplied η
+	// the expansion can span the whole graph, so the peel polls the same
+	// workspace hook as every other phase) and find the largest k <= kt
+	// such that a connected k-truss containing Q survives inside Gt.
+	dec, err := truss.DecomposeMutableCancelable(gt, ws.Canceled)
 	if err != nil {
-		return nil, fmt.Errorf("core: LCTC: %w", err)
+		st.Expand = time.Since(te)
+		return fmt.Errorf("core: LCTC expansion: %w", err)
 	}
-	return s.finish("LCTC", best, k, q, opt)
+	ht, k, err := bestKTrussWithin(dec, req.Q, kt, ws)
+	st.Expand = time.Since(te)
+	if err != nil {
+		return fmt.Errorf("core: LCTC extraction: %w", err)
+	}
+	st.SeedEdges = ht.M()
+	tp := time.Now()
+	best, err := greedyPeel(ht, k, req.Q, peelBulkExact, ws, st)
+	st.Peel = time.Since(tp)
+	if err != nil {
+		return fmt.Errorf("core: LCTC: %w", err)
+	}
+	initCommunity(&res.Community, AlgoLCTC.String(), best, k, req.Q)
+	return nil
 }
 
 // expand grows the vertex set from the Steiner tree through edges of
 // trussness >= kt, BFS order, stopping once the budget is reached, and
 // returns the induced subgraph on the collected vertices restricted to
 // edges of trussness >= kt — as a workspace shell, valid until the shell is
-// next requested.
-func (s *Searcher) expand(seed []int, kt int32, eta int, ws *trussindex.Workspace) *graph.Mutable {
+// next requested. The workspace cancel hook is polled every
+// cancel-check-interval frontier vertices.
+func (s *Searcher) expand(seed []int, kt int32, eta int, ws *trussindex.Workspace) (*graph.Mutable, error) {
 	in := ws.StampA
 	in.Next()
 	frontier := ws.QueueA[:0]
@@ -193,6 +243,12 @@ func (s *Searcher) expand(seed []int, kt int32, eta int, ws *trussindex.Workspac
 		}
 	}
 	for head := 0; head < len(frontier) && count < eta; head++ {
+		if head&(cancelStride-1) == 0 {
+			if err := ws.Canceled(); err != nil {
+				ws.QueueA = frontier
+				return nil, err
+			}
+		}
 		v := int(frontier[head])
 		nbrs, _ := s.ix.NeighborsAtLeast(v, kt)
 		for _, u := range nbrs {
@@ -210,7 +266,12 @@ func (s *Searcher) expand(seed []int, kt int32, eta int, ws *trussindex.Workspac
 	// edge-bitset overlay of the base graph, each edge inserted once from
 	// its smaller endpoint.
 	gt := ws.Shell()
-	for _, vq := range frontier {
+	for i, vq := range frontier {
+		if i&(cancelStride-1) == 0 {
+			if err := ws.Canceled(); err != nil {
+				return nil, err
+			}
+		}
 		v := int(vq)
 		gt.EnsureVertex(v)
 		nbrs, eids := s.ix.NeighborsAtLeast(v, kt)
@@ -220,7 +281,7 @@ func (s *Searcher) expand(seed []int, kt int32, eta int, ws *trussindex.Workspac
 			}
 		}
 	}
-	return gt
+	return gt, nil
 }
 
 // bestKTrussWithin finds the maximum k <= cap such that the subgraph of the
@@ -228,7 +289,8 @@ func (s *Searcher) expand(seed []int, kt int32, eta int, ws *trussindex.Workspac
 // q, and returns the q-component of that subgraph (freshly allocated). The
 // candidate subgraphs are built incrementally: edges enter a resettable
 // overlay in descending trussness order, so scanning k from the Lemma-1
-// bound downward inserts each edge at most once.
+// bound downward inserts each edge at most once. Cancellation is polled
+// once per candidate level.
 func bestKTrussWithin(dec *truss.Decomposition, q []int, capK int32, ws *trussindex.Workspace) (*graph.Mutable, int32, error) {
 	hi := dec.QueryUpperBound(q)
 	if hi > capK {
@@ -260,6 +322,9 @@ func bestKTrussWithin(dec *truss.Decomposition, q []int, capK int32, ws *trussin
 	mu := ws.ShellFor(dec.G)
 	pos := 0
 	for k := hi; k >= 2; k-- {
+		if err := ws.Canceled(); err != nil {
+			return nil, 0, err
+		}
 		for pos < m && dec.Truss[order[pos]] >= k {
 			mu.AddEdgeByID(order[pos])
 			pos++
@@ -307,12 +372,12 @@ func connectedOn(mu *graph.Mutable, q []int, ws *trussindex.Workspace) bool {
 	return true
 }
 
-func (s *Searcher) finish(algo string, sub *graph.Mutable, k int32, q []int, opt *Options) (*Community, error) {
-	c := newCommunity(algo, sub, k, q)
-	if opt.verify() {
-		if err := truss.VerifyCommunity(sub, k, q); err != nil {
-			return nil, fmt.Errorf("core: %s produced an invalid community: %w", algo, err)
-		}
+// verifyResult re-checks the CTC conditions on a finished result
+// (Request.Verify).
+func verifyResult(res *Result) error {
+	c := &res.Community
+	if err := truss.VerifyCommunity(c.sub, c.K, c.Query); err != nil {
+		return fmt.Errorf("core: %s produced an invalid community: %w", c.Algorithm, err)
 	}
-	return c, nil
+	return nil
 }

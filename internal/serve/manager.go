@@ -15,11 +15,13 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
@@ -254,6 +256,35 @@ func (m *Manager) Close() {
 	<-m.done
 }
 
+// Query answers one community search against the latest published epoch:
+// acquire a snapshot reference, search, release. The snapshot's epoch is
+// stamped into the result's stats, so callers can correlate answers with
+// /stats staleness. Cancellation flows through ctx into the search (a
+// disconnected HTTP client sheds its in-flight query); the snapshot
+// reference is released even on cancellation, so retirement is never
+// blocked by abandoned queries.
+func (m *Manager) Query(ctx context.Context, req core.Request) (*core.Result, error) {
+	snap := m.Acquire()
+	defer snap.Release()
+	return snap.Query(ctx, req)
+}
+
+// QueryBatch answers the requests in order against one latest-epoch
+// snapshot on one pooled workspace (see core.Searcher.SearchBatch); every
+// result is stamped with the snapshot's epoch, so the batch is also an
+// atomic read — all answers describe the same graph state.
+func (m *Manager) QueryBatch(ctx context.Context, reqs []core.Request) ([]core.BatchItem, error) {
+	snap := m.Acquire()
+	defer snap.Release()
+	items, err := snap.searcher.SearchBatch(ctx, reqs)
+	for i := range items {
+		if items[i].Result != nil {
+			items[i].Result.Stats.Epoch = snap.epoch
+		}
+	}
+	return items, err
+}
+
 // Stats assembles the current counters and snapshot dimensions.
 func (m *Manager) Stats() Stats {
 	s := m.Acquire()
@@ -421,12 +452,13 @@ func (m *Manager) install(ix *trussindex.Index, g *graph.Graph, full bool) {
 		epoch = prev.epoch + 1
 	}
 	snap := &Snapshot{
-		epoch:   epoch,
-		ix:      ix,
-		g:       g,
-		created: time.Now(),
-		full:    full,
-		mgr:     m,
+		epoch:    epoch,
+		ix:       ix,
+		g:        g,
+		created:  time.Now(),
+		full:     full,
+		searcher: core.NewSearcher(ix),
+		mgr:      m,
 	}
 	snap.refs.Store(1) // the manager's own reference
 	m.liveSnaps.Add(1)

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestManagerQuery checks the serve-layer entry point: answers match a
+// direct search on the acquired snapshot, the snapshot epoch is stamped
+// into the stats, validation errors surface typed, and epoch stamps track
+// published updates.
+func TestManagerQuery(t *testing.T) {
+	g, truth := gen.CommunityGraph(gen.CommunityParams{
+		N: 300, NumCommunities: 15, MinSize: 8, MaxSize: 20,
+		Overlap: 0.25, PIntra: 0.55, BackgroundEdges: 200, Seed: 0xA11CE,
+	})
+	m := NewManager(g, Options{PublishDirty: 4, PublishInterval: 20 * time.Millisecond})
+	defer m.Close()
+	comm := truth[0]
+	q := []int{comm[0], comm[len(comm)-1]}
+	ctx := context.Background()
+
+	res, err := m.Query(ctx, core.Request{Q: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Epoch != 1 {
+		t.Fatalf("epoch stamp = %d, want 1", res.Stats.Epoch)
+	}
+	snap := m.Acquire()
+	direct, err := snap.Searcher().Search(ctx, core.Request{Q: q})
+	snap.Release()
+	if err != nil || direct.N() != res.N() || direct.K != res.K {
+		t.Fatalf("Query (n=%d k=%d) diverged from snapshot Search (n=%d k=%d): %v",
+			res.N(), res.K, direct.N(), direct.K, err)
+	}
+
+	// Typed validation errors pass through.
+	if _, err := m.Query(ctx, core.Request{}); !errors.Is(err, core.ErrEmptyQuery) {
+		t.Fatalf("empty query err = %v", err)
+	}
+	if _, err := m.Query(ctx, core.Request{Q: []int{-3}}); !errors.Is(err, core.ErrVertexOutOfRange) {
+		t.Fatalf("out-of-range err = %v", err)
+	}
+
+	// A batch is answered against one snapshot: every stamp is the same
+	// epoch even while updates are being published underneath.
+	for i := 0; i < 8; i++ {
+		if err := m.Apply(Update{Op: OpRemove, U: comm[2], V: comm[3+i%3]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	items, err := m.QueryBatch(ctx, []core.Request{
+		{Q: q}, {Q: q, Algo: core.AlgoTrussOnly}, {Q: []int{1 << 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(items[2].Err, core.ErrVertexOutOfRange) {
+		t.Fatalf("batch item 2 err = %v", items[2].Err)
+	}
+	e0 := items[0].Result.Stats.Epoch
+	if e0 < 2 {
+		t.Fatalf("post-update batch epoch = %d, want >= 2", e0)
+	}
+	if e1 := items[1].Result.Stats.Epoch; e1 != e0 {
+		t.Fatalf("batch answered across epochs: %d vs %d", e0, e1)
+	}
+
+	// Cancellation flows through the serve layer.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := m.Query(cctx, core.Request{Q: q}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Query err = %v", err)
+	}
+
+	// Queries still work against the final snapshot after Close.
+	m.Close()
+	if _, err := m.Query(ctx, core.Request{Q: q, Algo: core.AlgoTrussOnly}); err != nil {
+		t.Fatalf("post-Close query: %v", err)
+	}
+}

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/trussindex"
 )
@@ -25,6 +27,10 @@ type Snapshot struct {
 	created time.Time
 	full    bool // built by full re-decomposition rather than label patching
 
+	// searcher is the epoch's shared query entry point (stateless apart
+	// from ix, so one instance serves all concurrent queries).
+	searcher *core.Searcher
+
 	refs atomic.Int64
 	mgr  *Manager
 }
@@ -40,6 +46,22 @@ func (s *Snapshot) Graph() *graph.Graph { return s.g }
 
 // Created returns the publish time.
 func (s *Snapshot) Created() time.Time { return s.created }
+
+// Searcher returns the epoch's shared query entry point. Callers that hold
+// a snapshot reference may run any number of concurrent Search calls on it.
+func (s *Snapshot) Searcher() *core.Searcher { return s.searcher }
+
+// Query runs one community search against this epoch, stamping the epoch
+// into the result's stats. The caller must hold a snapshot reference for
+// the duration of the call.
+func (s *Snapshot) Query(ctx context.Context, req core.Request) (*core.Result, error) {
+	res, err := s.searcher.Search(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Epoch = s.epoch
+	return res, nil
+}
 
 // FullRebuild reports whether this epoch required a full re-decomposition
 // (foreign-edge rebase past the incremental threshold) rather than an

@@ -76,7 +76,9 @@ func BuildW(ix *trussindex.Index, q []int, gamma float64, ws *trussindex.Workspa
 	for i, v := range uniq {
 		d := make([]float64, g.N())
 		t := make([]int32, g.N())
-		metric.distancesInto(v, d, t, ws)
+		if err := metric.distancesInto(v, d, t, ws); err != nil {
+			return nil, err
+		}
 		dist[i] = d
 		thr[i] = t
 	}
@@ -127,6 +129,9 @@ func BuildW(ix *trussindex.Index, q []int, gamma float64, ws *trussindex.Workspa
 	// paths consist of indexed-graph edges, so the union is a bitset overlay.
 	union := ws.Shell()
 	for _, e := range mst {
+		if err := ws.Canceled(); err != nil {
+			return nil, err
+		}
 		src, dst := uniq[e.from], uniq[e.to]
 		t := thr[e.from][dst]
 		path := metric.pathAtThreshold(src, dst, t, ws)

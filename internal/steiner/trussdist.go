@@ -47,20 +47,23 @@ func (m *Metric) DistancesFrom(src int) (dist []float64, bestT []int32) {
 	n := m.ix.Graph().N()
 	dist = make([]float64, n)
 	bestT = make([]int32, n)
-	m.distancesInto(src, dist, bestT, ws)
+	_ = m.distancesInto(src, dist, bestT, ws)
 	return dist, bestT
 }
 
 // distancesInto fills caller-owned output arrays (length n) using workspace
 // scratch. Per threshold, only the BFS-reached subgraph is traversed and
 // merged — the whole-graph work is the one-time Inf fill of the outputs.
-func (m *Metric) distancesInto(src int, dist []float64, bestT []int32, ws *trussindex.Workspace) {
+// The workspace cancel hook is polled once per threshold BFS (the natural
+// "BFS-level" granularity of this metric); on cancellation the outputs are
+// left partially filled and the context error is returned.
+func (m *Metric) distancesInto(src int, dist []float64, bestT []int32, ws *trussindex.Workspace) error {
 	for i := range dist {
 		dist[i] = Inf
 		bestT[i] = 0
 	}
 	if src < 0 || src >= len(dist) {
-		return
+		return nil
 	}
 	dist[src] = 0
 	if len(m.thresholds) > 0 {
@@ -70,6 +73,10 @@ func (m *Metric) distancesInto(src int, dist []float64, bestT []int32, ws *truss
 	queue := ws.QueueA
 	maxT := float64(m.ix.MaxTruss())
 	for _, t := range m.thresholds {
+		if err := ws.Canceled(); err != nil {
+			ws.QueueA = queue
+			return err
+		}
 		penalty := m.gamma * (maxT - float64(t))
 		// Stamped BFS over edges with τ >= t.
 		st.Next()
@@ -97,6 +104,7 @@ func (m *Metric) distancesInto(src int, dist []float64, bestT []int32, ws *truss
 		}
 	}
 	ws.QueueA = queue
+	return nil
 }
 
 // PathAtThreshold returns a shortest path (as a vertex sequence src..dst) in

@@ -41,6 +41,20 @@ type Decomposition struct {
 // peel itself is the array-based bucket queue, O(m) space and
 // O(Σ min(deg u, deg v)) triangle work.
 func Decompose(g *graph.Graph) *Decomposition {
+	d, _ := decompose(g, nil)
+	return d
+}
+
+// DecomposeCancelable is Decompose with a cancellation hook: poll (may be
+// nil) is called every few thousand peeled edges and a non-nil return
+// abandons the peel, propagating that error with no decomposition built.
+// Query paths pass the pooled workspace's Canceled method so a decomposition
+// running inside a cancelled query stops promptly.
+func DecomposeCancelable(g *graph.Graph, poll func() error) (*Decomposition, error) {
+	return decompose(g, poll)
+}
+
+func decompose(g *graph.Graph, poll func() error) (*Decomposition, error) {
 	m := g.M()
 	d := &Decomposition{
 		G:           g,
@@ -48,7 +62,7 @@ func Decompose(g *graph.Graph) *Decomposition {
 		VertexTruss: make([]int32, g.N()),
 	}
 	if m == 0 {
-		return d
+		return d, nil
 	}
 	sup := graph.EdgeSupportsParallel(g)
 	maxSup := int32(0)
@@ -82,6 +96,11 @@ func Decompose(g *graph.Graph) *Decomposition {
 	alive.SetAll(m)
 	level := int32(2)
 	for i := 0; i < m; i++ {
+		if poll != nil && i&4095 == 0 {
+			if err := poll(); err != nil {
+				return nil, err
+			}
+		}
 		e := order[i]
 		se := sup[e]
 		if se+2 > level {
@@ -103,7 +122,7 @@ func Decompose(g *graph.Graph) *Decomposition {
 		})
 	}
 	d.finishVertexTruss()
-	return d
+	return d, nil
 }
 
 // decreaseKey moves edge f one support bucket down: swap it with the first
@@ -146,16 +165,26 @@ func (d *Decomposition) finishVertexTruss() {
 // would oversubscribe the scheduler. Cold builds go through
 // DecomposeParallel via trussindex.Build / NewIncremental / NewDynamic.
 func DecomposeMutable(mu *graph.Mutable) *Decomposition {
+	d, _ := DecomposeMutableCancelable(mu, nil)
+	return d
+}
+
+// DecomposeMutableCancelable is DecomposeMutable with DecomposeCancelable's
+// poll hook (nil = never cancelled).
+func DecomposeMutableCancelable(mu *graph.Mutable, poll func() error) (*Decomposition, error) {
 	if mu.OverlayPure() && mu.M() == mu.Base().M() {
-		d := Decompose(mu.Base())
+		d, err := decompose(mu.Base(), poll)
+		if err != nil {
+			return nil, err
+		}
 		if len(d.VertexTruss) < mu.NumIDs() {
 			vt := make([]int32, mu.NumIDs())
 			copy(vt, d.VertexTruss)
 			d.VertexTruss = vt
 		}
-		return d
+		return d, nil
 	}
-	return Decompose(mu.Freeze())
+	return decompose(mu.Freeze(), poll)
 }
 
 // EdgeTrussOf returns τ(u,v), or 0 if the edge does not exist.

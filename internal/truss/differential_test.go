@@ -1,6 +1,7 @@
 package truss
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"testing"
@@ -19,6 +20,8 @@ import (
 //   - DecomposeParallel   (public entry; may take the serial fallback)
 //   - decomposeParallel   (level-synchronous peel forced at 1/2/4/8 workers)
 //   - DecomposeNaive      (retained seed-era map/lazy-bucket oracle)
+//   - DecomposeCancelable (the poll-hooked serial peel on the LCTC
+//     per-query path, with both a benign and a firing poll)
 //   - Incremental          (a full insert-replay: every edge inserted one at
 //     a time into an initially empty overlay, forward and reverse order)
 //
@@ -156,6 +159,10 @@ func insertReplay(t *testing.T, g *graph.Graph, order []int32) *Decomposition {
 	return inc.Snapshot()
 }
 
+// errPollFired is the sentinel the cancellable-decomposition differential
+// check aborts with.
+var errPollFired = errors.New("poll fired")
+
 func TestDifferentialAllDecompositionPaths(t *testing.T) {
 	cases := differentialCorpus()
 	if len(cases) < 35 {
@@ -169,6 +176,24 @@ func TestDifferentialAllDecompositionPaths(t *testing.T) {
 			assertSameLabels(t, fmt.Sprintf("%s/parallel-w%d", tc.name, workers), got, want)
 		}
 		assertSameLabels(t, tc.name+"/naive", DecomposeNaive(tc.g), want)
+
+		// The cancellable peel (the LCTC per-query path) with a live but
+		// never-firing poll must be label-identical, and a poll that fires
+		// must abandon with the poll's error and no decomposition.
+		polled := 0
+		cancelable, err := DecomposeCancelable(tc.g, func() error { polled++; return nil })
+		if err != nil {
+			t.Fatalf("%s/cancelable: %v", tc.name, err)
+		}
+		assertSameLabels(t, tc.name+"/cancelable", cancelable, want)
+		if tc.g.M() > 0 && polled == 0 {
+			t.Fatalf("%s/cancelable: poll hook never invoked", tc.name)
+		}
+		if tc.g.M() > 0 {
+			if d, err := DecomposeCancelable(tc.g, func() error { return errPollFired }); err != errPollFired || d != nil {
+				t.Fatalf("%s/cancelable: firing poll returned (%v, %v)", tc.name, d, err)
+			}
+		}
 
 		m := int32(tc.g.M())
 		forward := make([]int32, m)

@@ -357,9 +357,18 @@ func (ix *Index) FindG0W(q []int, ws *Workspace) (*graph.Mutable, int32, error) 
 	}
 	for ; k >= 2; k-- {
 		// BFS within the level: processing a vertex may append newly
-		// discovered vertices to the same level's queue.
+		// discovered vertices to the same level's queue. Cancellation is
+		// polled once per level and every cancelCheckInterval vertices
+		// within it, so a cancelled query stops mid-level without paying a
+		// per-edge check.
 		queue := levels[k]
 		for head := 0; head < len(queue); head++ {
+			if head&(cancelCheckInterval-1) == 0 {
+				if err := ws.Canceled(); err != nil {
+					levels[k] = queue[:0]
+					return nil, 0, err
+				}
+			}
 			v := int(queue[head])
 			lo, hi := ix.arcRange(v)
 			p := lo
@@ -466,6 +475,12 @@ func (ix *Index) FindKTrussW(q []int, k int32, ws *Workspace) (*graph.Mutable, e
 	// if the queue drains first, Q spans multiple k-truss components and we
 	// fail having built nothing.
 	for head < len(queue) && remaining > 0 {
+		if head&(cancelCheckInterval-1) == 0 {
+			if err := ws.Canceled(); err != nil {
+				ws.QueueA = queue
+				return nil, err
+			}
+		}
 		v := int(queue[head])
 		head++
 		nbrs, _ := ix.NeighborsAtLeast(v, k)
@@ -486,6 +501,12 @@ func (ix *Index) FindKTrussW(q []int, k int32, ws *Workspace) (*graph.Mutable, e
 	// Phase 2: complete the component (the result must be the whole
 	// q-component of the maximal k-truss, not just enough to connect Q).
 	for ; head < len(queue); head++ {
+		if head&(cancelCheckInterval-1) == 0 {
+			if err := ws.Canceled(); err != nil {
+				ws.QueueA = queue
+				return nil, err
+			}
+		}
 		v := int(queue[head])
 		nbrs, _ := ix.NeighborsAtLeast(v, k)
 		for _, u := range nbrs {

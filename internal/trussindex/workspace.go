@@ -1,6 +1,8 @@
 package trussindex
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/truss"
 )
@@ -25,6 +27,17 @@ import (
 //     data race.
 type Workspace struct {
 	ix *Index
+
+	// ctx is the cancellation hook of the query currently running on this
+	// workspace (nil when the query is not cancellable). Deep query loops
+	// poll Canceled() at peel-round/BFS-level granularity instead of
+	// threading a context through every helper signature.
+	ctx context.Context
+
+	// reused records whether this workspace came warm from the pool (true)
+	// or was freshly allocated by this acquire (false); surfaced in
+	// per-query stats.
+	reused bool
 
 	// StampA/StampB/StampC are independent vertex-indexed stamps. Query code
 	// pairs them with ValA/ValB/ValC: the value at v is meaningful iff the
@@ -79,6 +92,7 @@ type Workspace struct {
 // pool is empty. Pair it with Release.
 func (ix *Index) AcquireWorkspace() *Workspace {
 	if ws, ok := ix.pool.Get().(*Workspace); ok {
+		ws.reused = true
 		return ws
 	}
 	n := ix.g.N()
@@ -93,8 +107,46 @@ func (ix *Index) AcquireWorkspace() *Workspace {
 	}
 }
 
-// Release returns the workspace to its index's pool.
-func (ws *Workspace) Release() { ws.ix.pool.Put(ws) }
+// Release returns the workspace to its index's pool, dropping the query
+// context so a pooled workspace never pins a caller's context alive.
+func (ws *Workspace) Release() {
+	ws.ctx = nil
+	ws.ix.pool.Put(ws)
+}
+
+// SetContext installs the cancellation context for the query about to run.
+// A context that can never be cancelled (context.Background and friends,
+// whose Done channel is nil) is stored as nil so Canceled stays a single
+// nil check on the uncancellable fast path.
+func (ws *Workspace) SetContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		ws.ctx = nil
+		return
+	}
+	ws.ctx = ctx
+}
+
+// Canceled returns the installed context's error (context.Canceled or
+// context.DeadlineExceeded) once it fires, nil otherwise. Query loops call
+// this every peel round / BFS level / cancelCheckInterval vertices — often
+// enough for prompt cancellation, rarely enough to stay off the per-edge
+// hot path.
+func (ws *Workspace) Canceled() error {
+	if ws.ctx == nil {
+		return nil
+	}
+	return ws.ctx.Err()
+}
+
+// Reused reports whether this workspace came warm from the pool at its last
+// acquire (false = this query paid the one-time allocation cost).
+func (ws *Workspace) Reused() bool { return ws.reused }
+
+// cancelCheckInterval is the vertex-processing stride between Canceled()
+// polls inside BFS-style loops: large enough that the poll (one atomic load
+// behind ctx.Err) vanishes against the per-vertex work, small enough that
+// cancellation latency stays sub-millisecond on any graph.
+const cancelCheckInterval = 1 << 12
 
 // Index returns the owning index.
 func (ws *Workspace) Index() *Index { return ws.ix }

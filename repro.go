@@ -4,19 +4,30 @@
 // Community (CTC): a connected k-truss containing Q with the largest
 // possible k and, among those, small diameter.
 //
-// The root package is a thin facade over the internal implementation:
+// The root package is a thin facade over the internal implementation. The
+// unified query entry point is Search — one validated Request in, one
+// Result (community + per-query stats) out, with context cancellation
+// threaded through every phase of the pipeline:
 //
 //	g, _ := repro.LoadEdgeList(f)         // or repro.GenerateNetwork("dblp")
 //	c := repro.Open(g)                    // builds the truss index
+//	res, _ := c.Search(ctx, repro.Request{Q: q})                    // LCTC default
+//	res, _ = c.Search(ctx, repro.Request{Q: q, Algo: repro.AlgoBasic})
+//	items, _ := c.SearchBatch(ctx, reqs)  // many queries, one workspace
+//
+// The per-algorithm helpers remain as one-line wrappers over Search:
+//
 //	community, _ := c.LCTC(q, nil)        // fast local heuristic
 //	community, _ = c.Basic(q, nil)        // 2-approximation (Theorem 3)
 //	community, _ = c.BulkDelete(q, nil)   // (2+ε)-approx, much faster
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every table and figure of the paper.
+// See README.md ("Query API") for the Request/Result shapes, cancellation
+// granularity and batch semantics, and EXPERIMENTS.md for the reproduction
+// of every table and figure of the paper.
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/baseline"
@@ -41,8 +52,24 @@ type (
 	Builder = graph.Builder
 	// Community is a discovered closest truss community.
 	Community = core.Community
-	// Options tunes the search (fixed k, η, γ, verification, timeout).
+	// Options tunes the legacy per-algorithm wrappers (fixed k, η, γ,
+	// verification, timeout). New code should build a Request instead.
 	Options = core.Options
+	// Request is one validated community-search query: query vertices,
+	// algorithm, and explicit parameters (no sentinel encodings).
+	Request = core.Request
+	// Result is a Search answer: the Community plus per-query Stats.
+	Result = core.Result
+	// QueryStats reports how one query executed (phase timings, snapshot
+	// epoch, edges touched, peel rounds, workspace reuse).
+	QueryStats = core.QueryStats
+	// BatchItem is one request's outcome inside SearchBatch.
+	BatchItem = core.BatchItem
+	// Algo selects the search algorithm of a Request.
+	Algo = core.Algo
+	// DistanceMode selects LCTC's Steiner-seed metric (truss-penalty or
+	// plain hop distance), replacing the old Gamma = -1 sentinel.
+	DistanceMode = core.DistanceMode
 	// Index is the compact truss index of §4.3 of the paper.
 	Index = trussindex.Index
 	// BaselineResult is a community found by the MDC/QDC baselines.
@@ -52,6 +79,42 @@ type (
 	// QDCOptions tunes the query-biased densest subgraph baseline.
 	QDCOptions = baseline.QDCOptions
 )
+
+// Algorithm selectors for Request.Algo.
+const (
+	// AlgoLCTC is the local-exploration heuristic (Algorithm 5), the
+	// recommended default (zero value).
+	AlgoLCTC = core.AlgoLCTC
+	// AlgoBasic is the greedy 2-approximation (Algorithm 1).
+	AlgoBasic = core.AlgoBasic
+	// AlgoBulkDelete is the batched (2+ε)-approximation (Algorithm 4).
+	AlgoBulkDelete = core.AlgoBulkDelete
+	// AlgoTrussOnly returns G0 without free-rider removal (Algorithm 2).
+	AlgoTrussOnly = core.AlgoTrussOnly
+)
+
+// Distance modes for Request.DistanceMode.
+const (
+	// DistTrussPenalty is the paper's truss distance with penalty
+	// Request.Gamma (0 = default 3). The zero value.
+	DistTrussPenalty = core.DistTrussPenalty
+	// DistHop is plain hop distance (γ = 0; Request.Gamma must be 0).
+	DistHop = core.DistHop
+)
+
+// Typed request-validation errors returned by Search; match with errors.Is.
+var (
+	// ErrEmptyQuery: the request has no query vertices.
+	ErrEmptyQuery = core.ErrEmptyQuery
+	// ErrVertexOutOfRange: a query vertex is negative or >= Graph.N().
+	ErrVertexOutOfRange = core.ErrVertexOutOfRange
+	// ErrBadParam: a tuning parameter is outside its domain.
+	ErrBadParam = core.ErrBadParam
+)
+
+// ParseAlgo maps the wire/CLI spellings ("lctc", "basic", "bd"/"bulk",
+// "truss"; "" = LCTC) onto an Algo.
+func ParseAlgo(s string) (Algo, error) { return core.ParseAlgo(s) }
 
 // NewBuilder returns a graph builder with capacity hints.
 func NewBuilder(n, m int) *Builder { return graph.NewBuilder(n, m) }
@@ -113,24 +176,45 @@ func (c *Client) MaxTrussness() int { return int(c.s.Index().MaxTruss()) }
 // containing v.
 func (c *Client) VertexTrussness(v int) int { return int(c.s.Index().VertexTruss(v)) }
 
+// Search answers one community-search request: validate, dispatch on
+// req.Algo, and return the community with per-query stats. ctx cancellation
+// and deadlines are polled at peel-round/BFS-level granularity through
+// every phase (FindG0, Steiner seed, expansion, extraction, peeling), so
+// cancelling an in-flight query returns context.Canceled /
+// context.DeadlineExceeded promptly. Safe for any number of concurrent
+// callers.
+func (c *Client) Search(ctx context.Context, req Request) (*Result, error) {
+	return c.s.Search(ctx, req)
+}
+
+// SearchBatch answers the requests in order on one pooled query workspace,
+// amortizing workspace checkout across the batch. Each request fails or
+// succeeds alone; a ctx cancellation fails the not-yet-run tail.
+func (c *Client) SearchBatch(ctx context.Context, reqs []Request) ([]BatchItem, error) {
+	return c.s.SearchBatch(ctx, reqs)
+}
+
 // Basic runs Algorithm 1: the greedy 2-approximation that repeatedly
 // removes the vertex furthest from the query. Exact on trussness,
-// diam ≤ 2·OPT (Theorem 3), but the slowest method.
+// diam ≤ 2·OPT (Theorem 3), but the slowest method. One-line wrapper over
+// Search (AlgoBasic).
 func (c *Client) Basic(q []int, opt *Options) (*Community, error) { return c.s.Basic(q, opt) }
 
 // BulkDelete runs Algorithm 4: batch deletion of all far vertices per
-// iteration. (2+ε)-approximation with ε = 2/diam(OPT) (Theorem 6).
+// iteration. (2+ε)-approximation with ε = 2/diam(OPT) (Theorem 6). One-line
+// wrapper over Search (AlgoBulkDelete).
 func (c *Client) BulkDelete(q []int, opt *Options) (*Community, error) {
 	return c.s.BulkDelete(q, opt)
 }
 
 // LCTC runs Algorithm 5: the local-exploration heuristic seeded by a
-// truss-distance Steiner tree. The recommended default.
+// truss-distance Steiner tree. The recommended default. One-line wrapper
+// over Search (AlgoLCTC).
 func (c *Client) LCTC(q []int, opt *Options) (*Community, error) { return c.s.LCTC(q, opt) }
 
 // TrussOnly returns G0, the maximal connected k-truss containing Q with the
 // largest k, without free-rider removal (Algorithm 2 / the "Truss"
-// baseline).
+// baseline). One-line wrapper over Search (AlgoTrussOnly).
 func (c *Client) TrussOnly(q []int, opt *Options) (*Community, error) {
 	return c.s.TrussOnly(q, opt)
 }
