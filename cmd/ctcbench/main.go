@@ -19,7 +19,10 @@
 // against a serve.Manager while one updater streams edge deletions and
 // re-insertions at -mixed-rate updates/second; reports query latency
 // percentiles under sustained update load and, with -bench-out, records
-// them as a JSON artifact.
+// them as a JSON artifact. Adding -wal runs the same stress three times —
+// no WAL, WAL without fsync, WAL with group-commit fsync — recording the
+// durability overhead (applied-update throughput and query p50/p99 deltas)
+// in one artifact (see BENCH_pr6.json).
 //
 // -decomp par|serial selects the cold-build truss decomposition for every
 // index built by the run: the level-synchronous parallel peel (default,
@@ -55,6 +58,7 @@ func main() {
 		mxDur   = flag.Duration("mixed-dur", 5*time.Second, "duration of the -mixed stress")
 		mxNet   = flag.String("mixed-net", "dblp", "network analogue the -mixed stress serves")
 		mxRate  = flag.Int("mixed-rate", 500, "target updates/second for the -mixed stress")
+		mxWAL   = flag.Bool("wal", false, "with -mixed, compare durability configurations (no WAL vs WAL without fsync vs WAL with group-commit fsync)")
 		mxOut   = flag.String("bench-out", "", "write the -mixed result as a JSON benchmark artifact")
 		decomp  = flag.String("decomp", "par", "cold-build truss decomposition: par (level-synchronous parallel above truss.ParallelThreshold) or serial (bucket-queue peel)")
 	)
@@ -69,7 +73,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *mxWork > 0 {
-		if err := runMixed(*mxWork, *mxDur, *mxNet, *mxRate, *seed, *mxOut, os.Stdout); err != nil {
+		if err := runMixed(*mxWork, *mxDur, *mxNet, *mxRate, *seed, *mxOut, *mxWAL, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ctcbench:", err)
 			os.Exit(1)
 		}

@@ -15,18 +15,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/serve"
+	"repro/internal/truss"
+	"repro/internal/trussindex"
+	"repro/internal/wal"
 )
 
 // mixedResult is the JSON artifact of the mixed read/write stress
-// (BENCH_pr3.json records one run per tracked configuration).
+// (BENCH_pr3.json records one run per tracked configuration;
+// BENCH_pr6.json records one per durability configuration).
 type mixedResult struct {
 	Network         string  `json:"network"`
+	Durability      string  `json:"durability"` // none | wal-nosync | wal-fsync
 	N               int     `json:"n"`
 	M               int     `json:"m"`
 	Workers         int     `json:"workers"`
 	DurationS       float64 `json:"duration_s"`
 	UpdateRate      int     `json:"update_rate_target_per_s"`
 	UpdatesEnqueued int64   `json:"updates_enqueued"`
+	UpdatesApplied  int64   `json:"updates_applied"`
 	Queries         int64   `json:"queries"`
 	NoCommunity     int64   `json:"no_community"`
 	QPS             float64 `json:"qps"`
@@ -37,35 +43,74 @@ type mixedResult struct {
 	Epochs          int64   `json:"epochs_published"`
 	FullRebuilds    int64   `json:"full_rebuilds"`
 	MaxSnapAgeMS    float64 `json:"max_snapshot_age_ms"`
+	WALAppends      int64   `json:"wal_appends,omitempty"`
+	WALSyncs        int64   `json:"wal_syncs,omitempty"`
+	WALBytes        int64   `json:"wal_bytes,omitempty"`
+	WALLastFsyncUS  int64   `json:"wal_last_fsync_us,omitempty"`
 	GoMaxProcs      int     `json:"gomaxprocs"`
 	GoVersion       string  `json:"go_version"`
 }
 
-// runMixed drives the serving scenario end to end: one serve.Manager
+// newMixedManager builds the manager for one durability configuration:
+// plain in-memory ("none"), or durable with the WAL directory under a
+// temp dir — "wal-nosync" appends without fsync (group-commit bookkeeping
+// only), "wal-fsync" is the full durability path. cleanup removes the WAL
+// directory after Close.
+func newMixedManager(durability string, ixBase func() (*trussindex.Index, error), opts serve.Options) (mgr *serve.Manager, cleanup func(), err error) {
+	switch durability {
+	case "", "none":
+		ix, err := ixBase()
+		if err != nil {
+			return nil, nil, err
+		}
+		return serve.NewManagerFromIndex(ix, opts), func() {}, nil
+	case "wal-nosync", "wal-fsync":
+		dir, err := os.MkdirTemp("", "ctcbench-wal-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		m, _, err := serve.OpenDurable(dir, ixBase, wal.Options{NoSync: durability == "wal-nosync"}, opts)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		return m, func() { os.RemoveAll(dir) }, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown durability mode %q", durability)
+	}
+}
+
+// runMixedOnce drives the serving scenario end to end: one serve.Manager
 // ingesting a sustained stream of edge deletions and re-insertions while
-// `workers` goroutines run LCTC queries against whatever snapshot
-// they acquire — queries never block on the writer (the acquire path is an
+// `workers` goroutines run LCTC queries against whatever snapshot they
+// acquire — queries never block on the writer (the acquire path is an
 // atomic load plus a refcount CAS). Per-query latencies are recorded and
-// reported as percentiles; with benchOut != "" the result is written as
-// JSON (the BENCH_pr3.json artifact).
-func runMixed(workers int, dur time.Duration, netName string, rate int, seed uint64, benchOut string, out io.Writer) error {
+// reported as percentiles.
+func runMixedOnce(workers int, dur time.Duration, netName, durability string, rate int, seed uint64, out io.Writer) (mixedResult, error) {
+	var res mixedResult
 	if rate <= 0 {
-		return fmt.Errorf("-mixed-rate must be positive, got %d", rate)
+		return res, fmt.Errorf("-mixed-rate must be positive, got %d", rate)
 	}
 	nw, err := gen.NetworkByName(netName)
 	if err != nil {
-		return err
+		return res, err
 	}
 	g := nw.Graph()
-	fmt.Fprintf(out, "mixed: network %s (n=%d m=%d), building epoch 1...\n", netName, g.N(), g.M())
+	fmt.Fprintf(out, "mixed[%s]: network %s (n=%d m=%d), building epoch 1...\n", durability, netName, g.N(), g.M())
 	t0 := time.Now()
-	mgr := serve.NewManager(g, serve.Options{
+	mgr, cleanup, err := newMixedManager(durability, func() (*trussindex.Index, error) {
+		return trussindex.BuildFromDecomposition(g, truss.Decompose(g)), nil
+	}, serve.Options{
 		QueueSize:       4096,
 		PublishDirty:    128,
 		PublishInterval: 50 * time.Millisecond,
 	})
+	if err != nil {
+		return res, err
+	}
+	defer cleanup()
 	defer mgr.Close()
-	fmt.Fprintf(out, "mixed: epoch 1 published in %v\n", time.Since(t0))
+	fmt.Fprintf(out, "mixed[%s]: epoch 1 published in %v\n", durability, time.Since(t0))
 
 	if seed == 0 {
 		seed = 0x7B
@@ -86,7 +131,9 @@ func runMixed(workers int, dur time.Duration, netName string, rate int, seed uin
 	// parked ones so the graph hovers near its original density. Each wake
 	// enqueues the full deficit (elapsed*rate - sent) rather than one op per
 	// tick, so missed ticks under CPU contention do not silently lower the
-	// offered rate; Apply's backpressure bounds the burst.
+	// offered rate; Apply's backpressure bounds the burst — and with a WAL,
+	// that backpressure now includes the fsync cost of each group commit,
+	// which is exactly the overhead this mode measures.
 	var updatesEnqueued atomic.Int64
 	wg.Add(1)
 	go func() {
@@ -170,25 +217,34 @@ func runMixed(workers int, dur time.Duration, netName string, rate int, seed uin
 	wg.Wait()
 	elapsed := time.Since(start)
 	st := mgr.Stats()
+	if st.Degraded {
+		return res, fmt.Errorf("manager degraded during the run: %s", st.WALLastError)
+	}
 
 	var all []int64
 	for _, l := range lats {
 		all = append(all, l...)
 	}
 	if len(all) == 0 {
-		return fmt.Errorf("no queries completed")
+		return res, fmt.Errorf("no queries completed")
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pct := func(p float64) int64 { return all[int(p*float64(len(all)-1))] }
 
-	res := mixedResult{
+	durName := durability
+	if durName == "" {
+		durName = "none"
+	}
+	res = mixedResult{
 		Network:         netName,
+		Durability:      durName,
 		N:               g.N(),
 		M:               g.M(),
 		Workers:         workers,
 		DurationS:       elapsed.Seconds(),
 		UpdateRate:      rate,
 		UpdatesEnqueued: updatesEnqueued.Load(),
+		UpdatesApplied:  st.Adds + st.Removes,
 		Queries:         int64(len(all)),
 		NoCommunity:     noComm.Load(),
 		QPS:             float64(len(all)) / elapsed.Seconds(),
@@ -199,23 +255,60 @@ func runMixed(workers int, dur time.Duration, netName string, rate int, seed uin
 		Epochs:          st.Epoch,
 		FullRebuilds:    st.FullRebuilds,
 		MaxSnapAgeMS:    float64(maxAgeUS.Load()) / 1000,
+		WALAppends:      st.WALAppends,
+		WALSyncs:        st.WALSyncs,
+		WALBytes:        st.WALBytes,
+		WALLastFsyncUS:  st.WALLastFsyncUS,
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
 		GoVersion:       runtime.Version(),
 	}
-	fmt.Fprintf(out, "mixed: %d workers + 1 updater, %v: %d queries (%.1f q/s, %d no-community), %d updates enqueued\n",
-		workers, elapsed.Round(time.Millisecond), res.Queries, res.QPS, res.NoCommunity, res.UpdatesEnqueued)
-	fmt.Fprintf(out, "mixed: query latency p50=%dus p90=%dus p99=%dus max=%dus\n",
-		res.P50US, res.P90US, res.P99US, res.MaxUS)
-	fmt.Fprintf(out, "mixed: %d epochs published (%d full rebuilds), max snapshot age %.1fms\n",
-		res.Epochs, res.FullRebuilds, res.MaxSnapAgeMS)
-	if benchOut != "" {
-		f, err := os.Create(benchOut)
+	fmt.Fprintf(out, "mixed[%s]: %d workers + 1 updater, %v: %d queries (%.1f q/s, %d no-community), %d updates enqueued\n",
+		durName, workers, elapsed.Round(time.Millisecond), res.Queries, res.QPS, res.NoCommunity, res.UpdatesEnqueued)
+	fmt.Fprintf(out, "mixed[%s]: query latency p50=%dus p90=%dus p99=%dus max=%dus\n",
+		durName, res.P50US, res.P90US, res.P99US, res.MaxUS)
+	fmt.Fprintf(out, "mixed[%s]: %d epochs published (%d full rebuilds), max snapshot age %.1fms\n",
+		durName, res.Epochs, res.FullRebuilds, res.MaxSnapAgeMS)
+	if res.WALSyncs > 0 {
+		fmt.Fprintf(out, "mixed[%s]: wal %d appends, %d group commits, %d bytes\n",
+			durName, res.WALAppends, res.WALSyncs, res.WALBytes)
+	}
+	return res, nil
+}
+
+func writeBenchArtifact(path string, v any, out io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(v)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "mixed: wrote %s\n", path)
+	return nil
+}
+
+// runMixed is the -mixed entry point. Without walCompare it runs the plain
+// in-memory configuration (the PR-3 artifact shape). With walCompare it
+// runs the same stress three times — no WAL, WAL without fsync, WAL with
+// fsync — and records all three in one artifact, so the fsync cost of the
+// durability path is measured against the append cost and the baseline on
+// identical load.
+func runMixed(workers int, dur time.Duration, netName string, rate int, seed uint64, benchOut string, walCompare bool, out io.Writer) error {
+	if !walCompare {
+		res, err := runMixedOnce(workers, dur, netName, "none", rate, seed, out)
 		if err != nil {
 			return err
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		err = enc.Encode(struct {
+		if benchOut == "" {
+			return nil
+		}
+		return writeBenchArtifact(benchOut, struct {
 			PR          int         `json:"pr"`
 			Title       string      `json:"title"`
 			Description string      `json:"description"`
@@ -227,14 +320,39 @@ func runMixed(workers int, dur time.Duration, netName string, rate int, seed uin
 			Description: "Query latency with concurrent streaming edge updates; queries acquire immutable snapshots lock-free and never block on the writer.",
 			Reproduce:   fmt.Sprintf("go run ./cmd/ctcbench -mixed %d -mixed-dur %s -mixed-net %s -mixed-rate %d -bench-out BENCH_pr3.json", workers, dur, netName, rate),
 			Result:      res,
-		})
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "mixed: wrote %s\n", benchOut)
+		}, out)
 	}
-	return nil
+
+	var results []mixedResult
+	for _, durability := range []string{"none", "wal-nosync", "wal-fsync"} {
+		res, err := runMixedOnce(workers, dur, netName, durability, rate, seed, out)
+		if err != nil {
+			return fmt.Errorf("durability %s: %w", durability, err)
+		}
+		results = append(results, res)
+	}
+	baseline, fsync := results[0], results[2]
+	if baseline.UpdatesApplied > 0 {
+		fmt.Fprintf(out, "mixed: durability overhead (fsync vs none): applied-update throughput %.1f%%, query p50 %+d us, p99 %+d us\n",
+			100*float64(fsync.UpdatesApplied)/float64(baseline.UpdatesApplied),
+			fsync.P50US-baseline.P50US, fsync.P99US-baseline.P99US)
+	}
+	if benchOut == "" {
+		return nil
+	}
+	return writeBenchArtifact(benchOut, struct {
+		PR          int           `json:"pr"`
+		Title       string        `json:"title"`
+		Description string        `json:"description"`
+		Reproduce   string        `json:"how_to_reproduce"`
+		Caveat      string        `json:"caveat"`
+		Results     []mixedResult `json:"durability_configs"`
+	}{
+		PR:          6,
+		Title:       "Durable serving: write-ahead log overhead under mixed read/write load",
+		Description: "The same mixed stress in three durability configurations: no WAL, WAL appends without fsync, and full group-commit fsync. Updates are only acknowledged after their batch is durable in the fsync configuration, so the applied-update throughput delta and query-latency percentiles bound the cost of crash safety.",
+		Reproduce:   fmt.Sprintf("go run ./cmd/ctcbench -mixed %d -mixed-dur %s -mixed-net %s -mixed-rate %d -wal -bench-out BENCH_pr6.json", workers, dur, netName, rate),
+		Caveat:      "Recorded on a small shared CI runner (often 1 vCPU): absolute numbers are noisy and fsync latency reflects the runner's storage, not production hardware; read the three configurations relative to each other.",
+		Results:     results,
+	}, out)
 }

@@ -15,9 +15,20 @@
 //	GET  /stats   epoch, dirty count, snapshot age, queue depth, counters
 //	GET  /healthz liveness plus current epoch
 //
-// With -save, the final snapshot is persisted (versioned trussindex format)
-// on clean shutdown (SIGINT/SIGTERM) and can be reloaded with -load,
-// skipping the startup decomposition.
+// With -save, the final snapshot is persisted (versioned trussindex format,
+// written atomically: temp file + fsync + rename) on clean shutdown
+// (SIGINT/SIGTERM) and can be reloaded with -load, skipping the startup
+// decomposition.
+//
+// With -wal DIR, the server is durable: every update batch is appended to a
+// write-ahead log and fsynced before it is applied or acknowledged, the
+// index is checkpointed into the log directory every -checkpoint-every
+// epochs, and on startup the server recovers the pre-crash state from the
+// newest valid checkpoint plus log replay (torn tails from a crash are
+// truncated, never replayed). If the log itself fails at runtime (disk
+// full, I/O error) the server degrades to read-only: queries keep serving
+// the last published epoch, /update returns 503 with code "degraded", and
+// /healthz turns unhealthy.
 package main
 
 import (
@@ -32,55 +43,87 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/serve"
+	"repro/internal/truss"
 	"repro/internal/trussindex"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		netName  = flag.String("net", "dblp", "network analogue to serve (ignored with -load)")
-		loadPath = flag.String("load", "", "load a serialized truss index instead of generating a network")
-		savePath = flag.String("save", "", "persist the final snapshot here on shutdown")
-		dirty    = flag.Int("publish-dirty", 64, "publish a snapshot after this many applied updates")
-		interval = flag.Duration("publish-interval", 200*time.Millisecond, "publish deadline for partial batches")
-		queue    = flag.Int("queue", 1024, "bounded update-queue size")
+		addr      = flag.String("addr", ":8080", "listen address")
+		netName   = flag.String("net", "dblp", "network analogue to serve (ignored with -load)")
+		loadPath  = flag.String("load", "", "load a serialized truss index instead of generating a network")
+		savePath  = flag.String("save", "", "persist the final snapshot here on shutdown")
+		dirty     = flag.Int("publish-dirty", 64, "publish a snapshot after this many applied updates")
+		interval  = flag.Duration("publish-interval", 200*time.Millisecond, "publish deadline for partial batches")
+		queue     = flag.Int("queue", 1024, "bounded update-queue size")
+		walDir    = flag.String("wal", "", "durable mode: write-ahead log directory (fsync before ack, crash recovery on start)")
+		ckptEvery = flag.Int("checkpoint-every", 32, "with -wal, checkpoint the index every N published epochs")
 	)
 	flag.Parse()
-	if err := run(*addr, *netName, *loadPath, *savePath, serve.Options{
+	if err := run(*addr, *netName, *loadPath, *savePath, *walDir, serve.Options{
 		QueueSize:       *queue,
 		PublishDirty:    *dirty,
 		PublishInterval: *interval,
+		CheckpointEvery: *ckptEvery,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ctcserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, netName, loadPath, savePath string, opts serve.Options) error {
-	var mgr *serve.Manager
+// baseIndex builds the starting index: a deserialized snapshot with -load,
+// otherwise a full decomposition of the generated network.
+func baseIndex(netName, loadPath string) (*trussindex.Index, error) {
 	if loadPath != "" {
 		f, err := os.Open(loadPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ix, err := trussindex.ReadFrom(f)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("loading %s: %w", loadPath, err)
+			return nil, fmt.Errorf("loading %s: %w", loadPath, err)
 		}
 		fmt.Printf("ctcserve: loaded index %s (n=%d m=%d maxTruss=%d)\n",
 			loadPath, ix.Graph().N(), ix.Graph().M(), ix.MaxTruss())
-		mgr = serve.NewManagerFromIndex(ix, opts)
+		return ix, nil
+	}
+	nw, err := gen.NetworkByName(netName)
+	if err != nil {
+		return nil, err
+	}
+	g := nw.Graph()
+	fmt.Printf("ctcserve: network %s (n=%d m=%d), decomposing...\n", netName, g.N(), g.M())
+	t0 := time.Now()
+	ix := trussindex.BuildFromDecomposition(g, truss.Decompose(g))
+	fmt.Printf("ctcserve: decomposed in %v\n", time.Since(t0))
+	return ix, nil
+}
+
+func run(addr, netName, loadPath, savePath, walDir string, opts serve.Options) error {
+	var mgr *serve.Manager
+	if walDir != "" {
+		m, recovered, err := serve.OpenDurable(walDir,
+			func() (*trussindex.Index, error) { return baseIndex(netName, loadPath) },
+			wal.Options{}, opts)
+		if err != nil {
+			return fmt.Errorf("opening wal %s: %w", walDir, err)
+		}
+		mgr = m
+		if recovered {
+			st := mgr.Stats()
+			fmt.Printf("ctcserve: recovered from %s (epoch=%d n=%d m=%d, checkpoint seq %d)\n",
+				walDir, st.Epoch, st.Vertices, st.Edges, st.WALCheckpointSeq)
+		} else {
+			fmt.Printf("ctcserve: initialized wal %s\n", walDir)
+		}
 	} else {
-		nw, err := gen.NetworkByName(netName)
+		ix, err := baseIndex(netName, loadPath)
 		if err != nil {
 			return err
 		}
-		g := nw.Graph()
-		fmt.Printf("ctcserve: network %s (n=%d m=%d), decomposing...\n", netName, g.N(), g.M())
-		t0 := time.Now()
-		mgr = serve.NewManager(g, opts)
-		fmt.Printf("ctcserve: epoch 1 published in %v\n", time.Since(t0))
+		mgr = serve.NewManagerFromIndex(ix, opts)
 	}
 	defer mgr.Close()
 
@@ -111,19 +154,19 @@ func run(addr, netName, loadPath, savePath string, opts serve.Options) error {
 	return nil
 }
 
-// saveSnapshot flushes pending updates and persists the resulting epoch.
+// saveSnapshot flushes pending updates and persists the resulting epoch
+// atomically: a failure at any point (including mid-write) leaves a
+// previously saved index at path untouched and readable.
 func saveSnapshot(mgr *serve.Manager, path string) error {
 	_ = mgr.Flush()
 	snap := mgr.Acquire()
 	defer snap.Release()
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	n, err := snap.Index().WriteTo(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
+	var n int64
+	err := writeFileAtomic(path, func(f *os.File) error {
+		var werr error
+		n, werr = snap.Index().WriteTo(f)
+		return werr
+	})
 	if err != nil {
 		return fmt.Errorf("saving %s: %w", path, err)
 	}

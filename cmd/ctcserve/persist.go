@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic writes a file through the standard crash-safe protocol:
+// the payload goes to a temp file in the same directory, the temp file is
+// fsynced, renamed over path, and the directory is fsynced so the rename
+// itself is durable. A failure at any step — including the payload callback
+// failing halfway through its writes — removes the temp file and leaves any
+// previous content of path untouched; path never holds a torn file.
+func writeFileAtomic(path string, payload func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	err = payload(tmp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmpName)
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

@@ -219,14 +219,14 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	enqueued := 0
 	for _, up := range ups {
 		if err := s.mgr.Apply(up); err != nil {
-			httpErrorCode(w, http.StatusServiceUnavailable, "unavailable", "%v", err)
+			writeUpdateError(w, err)
 			return
 		}
 		enqueued++
 	}
 	if req.Flush {
 		if err := s.mgr.Flush(); err != nil {
-			httpErrorCode(w, http.StatusServiceUnavailable, "unavailable", "%v", err)
+			writeUpdateError(w, err)
 			return
 		}
 	}
@@ -252,9 +252,28 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// writeUpdateError maps an update-path failure onto a status code and a
+// stable machine-readable code: "degraded" when a WAL failure has made the
+// server read-only (the client must not retry against this process),
+// "unavailable" for shutdown.
+func writeUpdateError(w http.ResponseWriter, err error) {
+	if errors.Is(err, serve.ErrDegraded) {
+		httpErrorCode(w, http.StatusServiceUnavailable, "degraded", "%v", err)
+		return
+	}
+	httpErrorCode(w, http.StatusServiceUnavailable, "unavailable", "%v", err)
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.mgr.Acquire()
 	defer snap.Release()
+	if s.mgr.Degraded() {
+		// Still serving reads, but an orchestrator should fail this
+		// instance over: it cannot accept writes until restarted.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded epoch=%d wal_error=%q\n", snap.Epoch(), s.mgr.Stats().WALLastError)
+		return
+	}
 	fmt.Fprintf(w, "ok epoch=%d\n", snap.Epoch())
 }
 

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/trussindex"
+	"repro/internal/wal"
+)
+
+// OpenDurable opens (or initializes) a durable manager over the WAL
+// directory dir.
+//
+// Fresh directory: base() supplies the starting index (a loaded snapshot or
+// a build over the initial graph); it is persisted as the epoch-1 checkpoint
+// *before* the manager accepts its first update, so from the very first
+// acknowledged write the directory alone is sufficient to recover.
+//
+// Existing directory: base is not called. Recovery loads the newest
+// checkpoint whose CRC trailer verifies — a checkpoint damaged on disk is
+// skipped in favor of an older one, which the log's retained segments can
+// still roll forward — then replays every logged batch above the
+// checkpoint's sequence number through the incremental decomposition, and
+// publishes the recovered state at an epoch equal to the log's last
+// sequence number. Torn tails were already truncated by wal.Open; an
+// interior corruption surfaces as ErrCorruptLog here rather than being
+// silently skipped.
+//
+// The returned manager owns the log (closed by Manager.Close). recovered
+// reports whether an existing directory was recovered (false for a fresh
+// initialization).
+func OpenDurable(dir string, base func() (*trussindex.Index, error), walOpts wal.Options, opts Options) (m *Manager, recovered bool, err error) {
+	l, err := wal.Open(dir, walOpts)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		if err != nil {
+			_ = l.Close()
+		}
+	}()
+	opts.WAL = l
+
+	var ix *trussindex.Index
+	var ckSeq uint64
+	cks := l.Checkpoints() // newest first
+	for _, seq := range cks {
+		got, rerr := loadCheckpoint(l, seq)
+		if rerr != nil {
+			if errors.Is(rerr, trussindex.ErrCorrupt) {
+				// Damaged on disk; an older checkpoint plus the segments it
+				// kept alive can still recover.
+				continue
+			}
+			return nil, false, rerr
+		}
+		ix, ckSeq = got, seq
+		break
+	}
+
+	if ix == nil {
+		if len(cks) > 0 || l.LastSeq() > 0 {
+			return nil, false, fmt.Errorf("serve: wal dir %s has no loadable checkpoint (%d present, all corrupt)", dir, len(cks))
+		}
+		// Fresh directory: checkpoint the base state first, so a crash at
+		// any later point recovers at least epoch 1.
+		ix, err = base()
+		if err != nil {
+			return nil, false, fmt.Errorf("serve: building base index: %w", err)
+		}
+		err = l.WriteCheckpoint(1, func(w io.Writer) error {
+			_, werr := ix.WriteTo(w)
+			return werr
+		})
+		if err != nil {
+			return nil, false, fmt.Errorf("serve: writing initial checkpoint: %w", err)
+		}
+		m = newStoppedManager(incFromIndex(ix), ix, 0, opts)
+		m.start()
+		return m, false, nil
+	}
+
+	// Recovery: install the checkpoint at its own epoch, roll the log
+	// forward on the stopped manager (no writer goroutine yet, so
+	// applyUpdate is safe here), and publish the result at the log's last
+	// sequence number.
+	m = newStoppedManager(incFromIndex(ix), ix, int64(ckSeq)-1, opts)
+	err = l.Replay(ckSeq, func(seq uint64, batch []wal.Update) error {
+		for _, u := range batch {
+			m.applyUpdate(Update{Op: Op(u.Op), U: u.U, V: u.V})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: replaying wal: %w", err)
+	}
+	// Publish whenever the log extends past the checkpoint — even if every
+	// replayed update was an idempotent duplicate (dirty == 0), the epoch
+	// must land at the log's last sequence number so the next committed
+	// batch's seq (epoch+1) cannot regress below it.
+	if last := l.LastSeq(); last > ckSeq {
+		m.epochBase = int64(last) - 1
+		m.publish()
+	}
+	m.start()
+	return m, true, nil
+}
+
+func loadCheckpoint(l *wal.Log, seq uint64) (*trussindex.Index, error) {
+	rc, err := l.OpenCheckpoint(seq)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := trussindex.ReadFrom(rc)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	return ix, err
+}

@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/truss"
+	"repro/internal/trussindex"
+	"repro/internal/wal"
+)
+
+// durableOpts disables both autonomous publish triggers (dirty threshold,
+// ticker) so the only writes are the ones the test drives through
+// Apply+Flush — making the filesystem operation sequence reproducible
+// enough for a crash-point matrix.
+func durableOpts() Options {
+	return Options{
+		QueueSize:       256,
+		MaxBatch:        256,
+		PublishDirty:    1 << 30,
+		PublishInterval: time.Hour,
+		CheckpointEvery: 3,
+	}
+}
+
+func durableWALOpts(fs wal.FS) wal.Options {
+	// Tiny segments force rotation inside the workload, so the matrix also
+	// crashes inside rotation and pruning.
+	return wal.Options{FS: fs, SegmentBytes: 512}
+}
+
+// durableWorkload builds a deterministic base graph plus a batched update
+// stream over it (deletes, re-inserts, foreign inserts growing the vertex
+// space), and the model edge set after every prefix of the flat stream.
+type durableWorkload struct {
+	g       *graph.Graph
+	batches [][]Update
+	// states[j] is the authoritative edge set after the first j updates of
+	// the flattened stream.
+	states []map[graph.EdgeKey]bool
+}
+
+func buildDurableWorkload() *durableWorkload {
+	g := gen.ErdosRenyi(40, 0.18, 0xD00D)
+	rng := gen.NewRNG(0xFEED)
+	model := map[graph.EdgeKey]bool{}
+	for _, k := range g.EdgeKeys() {
+		model[k] = true
+	}
+	clone := func() map[graph.EdgeKey]bool {
+		c := make(map[graph.EdgeKey]bool, len(model))
+		for k := range model {
+			c[k] = true
+		}
+		return c
+	}
+	w := &durableWorkload{g: g, states: []map[graph.EdgeKey]bool{clone()}}
+	maxV := g.N() + 8
+	for b := 0; b < 12; b++ {
+		var batch []Update
+		for len(batch) < 5 {
+			var up Update
+			switch rng.Intn(5) {
+			case 0, 1: // delete an existing edge
+				keys := make([]graph.EdgeKey, 0, len(model))
+				for k := range model {
+					keys = append(keys, k)
+				}
+				if len(keys) == 0 {
+					continue
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				k := keys[rng.Intn(len(keys))]
+				u, v := k.Endpoints()
+				up = Update{Op: OpRemove, U: u, V: v}
+				delete(model, k)
+			case 2, 3: // insert inside the base vertex range
+				u, v := rng.Intn(g.N()), rng.Intn(g.N())
+				if u == v {
+					continue
+				}
+				up = Update{Op: OpAdd, U: u, V: v}
+				model[graph.Key(u, v)] = true
+			default: // foreign insert, may grow the vertex space
+				u, v := rng.Intn(maxV), rng.Intn(maxV)
+				if u == v {
+					continue
+				}
+				up = Update{Op: OpAdd, U: u, V: v}
+				model[graph.Key(u, v)] = true
+			}
+			batch = append(batch, up)
+			w.states = append(w.states, clone())
+		}
+		w.batches = append(w.batches, batch)
+	}
+	return w
+}
+
+func (w *durableWorkload) baseIndex() (*trussindex.Index, error) {
+	return trussindex.BuildFromDecomposition(w.g, truss.Decompose(w.g)), nil
+}
+
+func (w *durableWorkload) totalUpdates() int { return len(w.states) - 1 }
+
+// run drives the workload against a durable manager on fs, stopping at the
+// first error (a crash or degraded manager). acked counts the updates
+// covered by a successful Flush — the durability promise is about exactly
+// these. The manager (possibly nil if OpenDurable itself failed) is
+// returned for the caller to Close.
+func (w *durableWorkload) run(t *testing.T, fs wal.FS, dir string) (acked int, m *Manager) {
+	t.Helper()
+	m, _, err := OpenDurable(dir, w.baseIndex, durableWALOpts(fs), durableOpts())
+	if err != nil {
+		return 0, nil
+	}
+	sent := 0
+	for _, batch := range w.batches {
+		for _, up := range batch {
+			if err := m.Apply(up); err != nil {
+				return acked, m
+			}
+			sent++
+		}
+		if err := m.Flush(); err != nil {
+			return acked, m
+		}
+		acked = sent
+	}
+	return acked, m
+}
+
+// edgeSet extracts the live edge set of a snapshot's frozen graph.
+func edgeSet(g *graph.Graph) map[graph.EdgeKey]bool {
+	s := make(map[graph.EdgeKey]bool, g.M())
+	for _, k := range g.EdgeKeys() {
+		s[k] = true
+	}
+	return s
+}
+
+func sameEdgeSet(a, b map[graph.EdgeKey]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyRecovered checks the two recovery guarantees: internal consistency
+// (the recovered labels and search answers are byte-identical to a
+// from-scratch decomposition of the recovered graph) and prefix durability
+// (the recovered edge set equals the model after some prefix of the update
+// stream no shorter than everything a Flush acknowledged — batches synced
+// but never acknowledged may legitimately be included, torn suffixes must
+// not).
+func (w *durableWorkload) verifyRecovered(t *testing.T, tag string, m *Manager, acked int) {
+	t.Helper()
+	snap := m.Acquire()
+	defer snap.Release()
+	checkSnapshotAgainstScratch(t, snap, [][]int{{1, 2}, {5, 9}})
+	got := edgeSet(snap.Graph())
+	for j := acked; j <= w.totalUpdates(); j++ {
+		if sameEdgeSet(got, w.states[j]) {
+			return
+		}
+	}
+	t.Fatalf("%s: recovered %d edges matching no stream prefix >= acked %d (of %d updates)",
+		tag, len(got), acked, w.totalUpdates())
+}
+
+// TestOpenDurableFreshAndRestart is the no-crash baseline: a fresh
+// directory initializes (writing the epoch-1 checkpoint before accepting
+// updates), a clean restart recovers the exact final state by checkpoint +
+// replay, and epochs keep ascending across the restart.
+func TestOpenDurableFreshAndRestart(t *testing.T) {
+	w := buildDurableWorkload()
+	fs := wal.NewMemFS()
+	acked, m := w.run(t, fs, "wal")
+	if m == nil {
+		t.Fatal("OpenDurable failed on a healthy filesystem")
+	}
+	if acked != w.totalUpdates() {
+		t.Fatalf("healthy run acked %d/%d updates", acked, w.totalUpdates())
+	}
+	st := m.Stats()
+	if !st.WALEnabled || st.Degraded {
+		t.Fatalf("healthy stats: %+v", st)
+	}
+	if st.WALDurableSeq == 0 || st.WALAppends == 0 || st.WALSyncs == 0 {
+		t.Fatalf("wal counters empty: %+v", st)
+	}
+	if st.WALCheckpointSeq == 0 {
+		t.Fatal("no checkpoint written despite CheckpointEvery")
+	}
+	epochBefore := st.Epoch
+	m.Close()
+
+	m2, recovered, err := OpenDurable("wal", w.baseIndex, durableWALOpts(fs), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !recovered {
+		t.Fatal("restart did not take the recovery path")
+	}
+	w.verifyRecovered(t, "clean restart", m2, w.totalUpdates())
+	if got := m2.Stats().Epoch; got < epochBefore {
+		t.Fatalf("epoch regressed across restart: %d -> %d", epochBefore, got)
+	}
+	// The restarted manager must keep accepting updates.
+	if err := m2.Apply(Update{Op: OpAdd, U: 0, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashPointMatrix is the acceptance test for the durability protocol:
+// the full workload runs once to count the filesystem operations it
+// performs, then re-runs with a simulated crash injected at every single
+// operation index (cycling the torn-write fraction). After each crash the
+// manager must degrade rather than panic, and reopening the directory must
+// recover a state whose labels and community-search answers match a
+// from-scratch decomposition, and whose edge set is a stream prefix at
+// least as new as every acknowledged Flush.
+func TestCrashPointMatrix(t *testing.T) {
+	w := buildDurableWorkload()
+
+	probe := wal.NewMemFS()
+	acked, m := w.run(t, probe, "wal")
+	if m == nil || acked != w.totalUpdates() {
+		t.Fatalf("probe run failed (acked %d)", acked)
+	}
+	m.Close()
+	nops := probe.OpCount()
+	if nops < 40 {
+		t.Fatalf("probe run used only %d filesystem ops; matrix too thin", nops)
+	}
+	keeps := []float64{0, 0.5, 1}
+	for i := 0; i < nops; i++ {
+		i := i
+		t.Run(fmt.Sprintf("crash-at-%03d", i), func(t *testing.T) {
+			fs := wal.NewMemFS()
+			fs.CrashAfter(i, keeps[i%len(keeps)])
+			acked, m := w.run(t, fs, "wal")
+			if m != nil {
+				if fs.Crashed() && !m.Degraded() {
+					// The crash fired mid-run; the writer must have seen it.
+					// (It may also have fired during Close's final drain, in
+					// which case Degraded may race; only assert when the run
+					// itself was cut short.)
+					if acked < w.totalUpdates() {
+						t.Errorf("crash fired (acked %d/%d) but manager not degraded",
+							acked, w.totalUpdates())
+					}
+				}
+				m.Close() // must not panic or hang, degraded or not
+			}
+			fs.Crash() // reboot: lose everything unsynced
+
+			m2, _, err := OpenDurable("wal", w.baseIndex, durableWALOpts(fs), durableOpts())
+			if err != nil {
+				t.Fatalf("recovery after crash at op %d failed: %v", i, err)
+			}
+			defer m2.Close()
+			w.verifyRecovered(t, fmt.Sprintf("crash at op %d", i), m2, acked)
+		})
+	}
+}
+
+// TestDegradedMode pins the runtime-failure contract: a WAL write error
+// (disk full, not a crash) flips the manager to read-only — typed
+// ErrDegraded from every update entry point, the failing batch dropped
+// before application, queries still served — and a restart recovers
+// exactly the durable prefix.
+func TestDegradedMode(t *testing.T) {
+	g := gen.ErdosRenyi(30, 0.2, 0xBAD)
+	base := func() (*trussindex.Index, error) {
+		return trussindex.BuildFromDecomposition(g, truss.Decompose(g)), nil
+	}
+	fs := wal.NewMemFS()
+	m, _, err := OpenDurable("wal", base, durableWALOpts(fs), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One healthy durable batch.
+	if err := m.Apply(Update{Op: OpAdd, U: 0, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	durableEdges := edgeSet(func() *graph.Graph { s := m.Acquire(); defer s.Release(); return s.Graph() }())
+
+	// Then the disk fills up.
+	boom := fmt.Errorf("%w: disk full", wal.ErrInjected)
+	fs.Fail = func(op, name string) error {
+		if op == "write" || op == "sync" {
+			return boom
+		}
+		return nil
+	}
+	if err := m.Apply(Update{Op: OpAdd, U: 2, V: 3}); err != nil {
+		t.Fatal(err) // enqueue itself still succeeds
+	}
+	if err := m.Flush(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Flush after WAL failure = %v, want ErrDegraded", err)
+	}
+	if err := m.Apply(Update{Op: OpAdd, U: 4, V: 5}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Apply while degraded = %v, want ErrDegraded", err)
+	}
+	if m.Offer(Update{Op: OpAdd, U: 4, V: 5}) {
+		t.Fatal("Offer accepted an update while degraded")
+	}
+	st := m.Stats()
+	if !st.Degraded || st.WALLastError == "" || st.WALDropped == 0 {
+		t.Fatalf("degraded stats not surfaced: %+v", st)
+	}
+
+	// Reads stay up: the last published snapshot keeps answering.
+	if _, err := m.Query(context.Background(), core.Request{Q: []int{0}}); err != nil {
+		t.Fatalf("query while degraded: %v", err)
+	}
+
+	// The dropped batch must not have leaked into the served graph.
+	snap := m.Acquire()
+	if got := edgeSet(snap.Graph()); !sameEdgeSet(got, durableEdges) {
+		t.Fatalf("degraded snapshot diverged from the durable state")
+	}
+	snap.Release()
+
+	fs.Fail = nil
+	m.Close()
+
+	// Restart: exactly the durable prefix comes back, and updates work.
+	m2, recovered, err := OpenDurable("wal", base, durableWALOpts(fs), durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !recovered {
+		t.Fatal("expected recovery path")
+	}
+	snap2 := m2.Acquire()
+	if got := edgeSet(snap2.Graph()); !sameEdgeSet(got, durableEdges) {
+		t.Fatalf("restart after degraded run lost or invented updates")
+	}
+	snap2.Release()
+	if m2.Degraded() {
+		t.Fatal("fresh manager inherited degraded state")
+	}
+	if err := m2.Apply(Update{Op: OpAdd, U: 2, V: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCorruptionFallback damages the newest checkpoint file on a
+// real filesystem and proves recovery falls back to the previous retained
+// checkpoint and still rolls fully forward through the retained segments —
+// and that with every checkpoint damaged, OpenDurable refuses loudly
+// instead of serving a wrong state.
+func TestCheckpointCorruptionFallback(t *testing.T) {
+	w := buildDurableWorkload()
+	dir := filepath.Join(t.TempDir(), "wal")
+	opts := durableOpts()
+	opts.CheckpointEvery = 1 // checkpoint at every publish
+
+	m, _, err := OpenDurable(dir, w.baseIndex, wal.Options{SegmentBytes: 512}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	for _, batch := range w.batches {
+		for _, up := range batch {
+			if err := m.Apply(up); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		if err := m.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+
+	ckpts := listCheckpoints(t, dir)
+	if len(ckpts) != 2 {
+		t.Fatalf("retention should keep exactly 2 checkpoints, found %v", ckpts)
+	}
+	corrupt := func(name string) {
+		path := filepath.Join(dir, name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xFF
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Newest checkpoint damaged: fall back, replay, full state.
+	corrupt(ckpts[len(ckpts)-1])
+	m2, recovered, err := OpenDurable(dir, w.baseIndex, wal.Options{SegmentBytes: 512}, opts)
+	if err != nil {
+		t.Fatalf("fallback recovery failed: %v", err)
+	}
+	if !recovered {
+		t.Fatal("expected recovery path")
+	}
+	w.verifyRecovered(t, "fallback", m2, w.totalUpdates())
+	m2.Close()
+
+	// Every checkpoint damaged: recovery must refuse, not guess.
+	for _, name := range listCheckpoints(t, dir) {
+		corrupt(name)
+	}
+	if _, _, err := OpenDurable(dir, w.baseIndex, wal.Options{SegmentBytes: 512}, opts); err == nil {
+		t.Fatal("OpenDurable served a state from all-corrupt checkpoints")
+	}
+}
+
+func listCheckpoints(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "checkpoint-") && strings.HasSuffix(e.Name(), ".ctc") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -17,6 +17,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,10 +26,18 @@ import (
 	"repro/internal/graph"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
+	"repro/internal/wal"
 )
 
 // ErrClosed is returned by update entry points after Close.
 var ErrClosed = errors.New("serve: manager closed")
+
+// ErrDegraded is returned by update entry points after a write-ahead log
+// failure has switched the manager to read-only degraded mode: queries keep
+// serving the last published snapshot, but no update can be made durable, so
+// none is accepted. The process must be restarted (recovering from the log)
+// to leave this state.
+var ErrDegraded = errors.New("serve: degraded (write-ahead log failure), updates disabled")
 
 // Op selects the kind of an Update.
 type Op uint8
@@ -72,6 +81,18 @@ type Options struct {
 	// the manager. Meant for tests and instrumentation; it must not call
 	// Flush or Close.
 	OnPublish func(*Snapshot)
+	// WAL, when set, makes updates durable: the writer appends each drained
+	// batch to the log and fsyncs (group commit) *before* applying it, so
+	// every update that reaches the index is recoverable by replay. The
+	// manager takes ownership and closes the log in Close. A log failure
+	// switches the manager to read-only degraded mode (see ErrDegraded);
+	// the failing batch is dropped before application, never half-applied.
+	// Use OpenDurable to also get crash recovery on startup.
+	WAL *wal.Log
+	// CheckpointEvery writes a WAL checkpoint (full index snapshot, after
+	// which covered segments are pruned) every this many publishes.
+	// Default 32. Ignored without WAL.
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +110,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RebuildFraction <= 0 {
 		o.RebuildFraction = 0.2
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 32
 	}
 	return o
 }
@@ -111,6 +135,20 @@ type Stats struct {
 	Adds          int64         `json:"applied_adds"`
 	Removes       int64         `json:"applied_removes"`
 	Rejected      int64         `json:"rejected_ops"`
+
+	// Durability observability; zero values when no WAL is configured.
+	WALEnabled       bool   `json:"wal_enabled"`
+	Degraded         bool   `json:"degraded"`
+	WALLastError     string `json:"wal_last_error,omitempty"`
+	WALLastSeq       uint64 `json:"wal_last_seq"`
+	WALDurableSeq    uint64 `json:"wal_durable_seq"`
+	WALCheckpointSeq uint64 `json:"wal_checkpoint_seq"`
+	WALSegments      int    `json:"wal_segments"`
+	WALBytes         int64  `json:"wal_bytes"`
+	WALAppends       int64  `json:"wal_appends"`
+	WALSyncs         int64  `json:"wal_syncs"`
+	WALLastFsyncUS   int64  `json:"wal_last_fsync_us"`
+	WALDropped       int64  `json:"wal_dropped_updates"`
 }
 
 type msg struct {
@@ -144,6 +182,12 @@ type Manager struct {
 	inc     *truss.Incremental
 	pending map[graph.EdgeKey]bool
 	dirty   int
+	// epochBase floors the next installed epoch: recovery sets it so the
+	// post-replay publish lands at the WAL's last sequence number, keeping
+	// epoch == WAL seq across restarts. Zero for a fresh manager.
+	epochBase int64
+	// sinceCkpt counts publishes since the last WAL checkpoint.
+	sinceCkpt int
 
 	// Counters shared with readers.
 	dirtyGauge atomic.Int64
@@ -154,6 +198,12 @@ type Manager struct {
 	rejected   atomic.Int64
 	retired    atomic.Int64
 	liveSnaps  atomic.Int64
+
+	// Degraded-mode state: set by the writer on a WAL failure, read by the
+	// update entry points and /stats.
+	degraded   atomic.Bool
+	walErr     atomic.Value // string: the failure that degraded the manager
+	walDropped atomic.Int64
 }
 
 // NewManager builds the epoch-1 snapshot from g (running a full truss
@@ -166,21 +216,36 @@ func NewManager(g *graph.Graph, opts Options) *Manager {
 // without re-decomposing: the index's graph and labels seed both the
 // epoch-1 snapshot and the live state.
 func NewManagerFromIndex(ix *trussindex.Index, opts Options) *Manager {
+	return newManager(incFromIndex(ix), ix, opts)
+}
+
+// incFromIndex resumes incremental maintenance from a deserialized index's
+// graph and labels without re-decomposing.
+func incFromIndex(ix *trussindex.Index) *truss.Incremental {
 	d := ix.Decomposition()
-	inc := truss.ResumeIncremental(
+	return truss.ResumeIncremental(
 		graph.NewMutable(ix.Graph(), nil),
 		append([]int32(nil), d.Truss...),
 	)
-	return newManager(inc, ix, opts)
 }
 
-// newManager wires the writer state and installs epoch 1: the provided
-// index when resuming from one, otherwise a fresh build of inc's state.
 func newManager(inc *truss.Incremental, ix0 *trussindex.Index, opts Options) *Manager {
+	m := newStoppedManager(inc, ix0, 0, opts)
+	m.start()
+	return m
+}
+
+// newStoppedManager wires the writer state and installs the first epoch
+// (epochBase+1): the provided index when resuming from one, otherwise a
+// fresh build of inc's state. The writer goroutine is NOT started — the
+// recovery path replays the WAL into the stopped manager first; call start
+// when the state is ready to serve updates.
+func newStoppedManager(inc *truss.Incremental, ix0 *trussindex.Index, epochBase int64, opts Options) *Manager {
 	m := &Manager{
-		opts:    opts.withDefaults(),
-		inc:     inc,
-		pending: make(map[graph.EdgeKey]bool),
+		opts:      opts.withDefaults(),
+		inc:       inc,
+		pending:   make(map[graph.EdgeKey]bool),
+		epochBase: epochBase,
 	}
 	m.msgs = make(chan msg, m.opts.QueueSize)
 	m.quit = make(chan struct{})
@@ -190,9 +255,10 @@ func newManager(inc *truss.Incremental, ix0 *trussindex.Index, opts Options) *Ma
 	} else {
 		m.publish()
 	}
-	go m.run()
 	return m
 }
+
+func (m *Manager) start() { go m.run() }
 
 // send enqueues mg unless the manager is closed. A true return guarantees
 // the writer will drain the message (the close sequence waits out in-flight
@@ -208,7 +274,11 @@ func (m *Manager) send(mg msg) bool {
 }
 
 // Apply enqueues one update, blocking while the bounded queue is full.
+// Returns ErrDegraded once a WAL failure has made the manager read-only.
 func (m *Manager) Apply(up Update) error {
+	if m.degraded.Load() {
+		return ErrDegraded
+	}
 	if !m.send(msg{up: up}) {
 		return ErrClosed
 	}
@@ -216,8 +286,12 @@ func (m *Manager) Apply(up Update) error {
 }
 
 // Offer enqueues one update without blocking; reports false if the queue is
-// full or the manager is closed (load-shedding entry point).
+// full, the manager is closed, or the manager is degraded (load-shedding
+// entry point).
 func (m *Manager) Offer(up Update) bool {
+	if m.degraded.Load() {
+		return false
+	}
 	m.sendMu.RLock()
 	defer m.sendMu.RUnlock()
 	if m.closed {
@@ -232,19 +306,28 @@ func (m *Manager) Offer(up Update) bool {
 }
 
 // Flush blocks until every update enqueued before the call has been applied
-// and, if any state changed, a fresh snapshot has been published.
+// and, if any state changed, a fresh snapshot has been published. It returns
+// ErrDegraded if the manager is (or becomes) degraded, in which case updates
+// enqueued before the call may have been dropped rather than applied.
 func (m *Manager) Flush() error {
 	ack := make(chan struct{})
 	if !m.send(msg{flush: ack}) {
 		return ErrClosed
 	}
 	<-ack
+	if m.degraded.Load() {
+		return ErrDegraded
+	}
 	return nil
 }
 
+// Degraded reports whether a WAL failure has made the manager read-only.
+func (m *Manager) Degraded() bool { return m.degraded.Load() }
+
 // Close stops the writer after draining the queue and publishing any
-// remaining changes. The final snapshot remains acquirable; updates after
-// Close fail with ErrClosed. Safe to call more than once.
+// remaining changes, then closes the WAL if one was configured (the manager
+// owns it). The final snapshot remains acquirable; updates after Close fail
+// with ErrClosed. Safe to call more than once.
 func (m *Manager) Close() {
 	m.sendMu.Lock()
 	already := m.closed
@@ -254,6 +337,9 @@ func (m *Manager) Close() {
 		close(m.quit)
 	}
 	<-m.done
+	if !already && m.opts.WAL != nil {
+		_ = m.opts.WAL.Close()
+	}
 }
 
 // Query answers one community search against the latest published epoch:
@@ -289,7 +375,7 @@ func (m *Manager) QueryBatch(ctx context.Context, reqs []core.Request) ([]core.B
 func (m *Manager) Stats() Stats {
 	s := m.Acquire()
 	defer s.Release()
-	return Stats{
+	st := Stats{
 		Epoch:         s.epoch,
 		SnapshotAge:   time.Since(s.created),
 		FullRebuild:   s.full,
@@ -306,6 +392,24 @@ func (m *Manager) Stats() Stats {
 		Removes:       m.removes.Load(),
 		Rejected:      m.rejected.Load(),
 	}
+	if w := m.opts.WAL; w != nil {
+		ws := w.Stats()
+		st.WALEnabled = true
+		st.WALLastSeq = ws.LastSeq
+		st.WALDurableSeq = ws.DurableSeq
+		st.WALCheckpointSeq = ws.CheckpointSeq
+		st.WALSegments = ws.Segments
+		st.WALBytes = ws.Bytes
+		st.WALAppends = ws.Appends
+		st.WALSyncs = ws.Syncs
+		st.WALLastFsyncUS = ws.LastSyncTime.Microseconds()
+	}
+	st.Degraded = m.degraded.Load()
+	if e, ok := m.walErr.Load().(string); ok {
+		st.WALLastError = e
+	}
+	st.WALDropped = m.walDropped.Load()
+	return st
 }
 
 // run is the writer goroutine: it drains the update queue in batches,
@@ -321,7 +425,8 @@ func (m *Manager) run() {
 			m.drainOnClose()
 			return
 		case mg := <-m.msgs:
-			flushes := m.applyBatch(mg)
+			ups, flushes := m.collectBatch(mg)
+			m.commitAndApply(ups)
 			if len(flushes) > 0 {
 				if m.dirty > 0 {
 					m.publish()
@@ -340,43 +445,96 @@ func (m *Manager) run() {
 	}
 }
 
-// applyBatch applies the first message plus up to MaxBatch-1 more that are
-// already queued, preserving order. Flush markers encountered are collected
-// and acknowledged by the caller after the publish decision.
-func (m *Manager) applyBatch(first msg) (flushes []chan struct{}) {
+// collectBatch gathers the first message plus up to MaxBatch-1 more that
+// are already queued, preserving order, without applying anything — the
+// caller commits the batch to the WAL first (commitAndApply). Flush markers
+// encountered are collected and acknowledged by the caller after the
+// publish decision.
+func (m *Manager) collectBatch(first msg) (ups []Update, flushes []chan struct{}) {
 	mg := first
 	for n := 0; ; {
 		if mg.flush != nil {
 			flushes = append(flushes, mg.flush)
-			// Order guarantees every earlier update is applied; stop here
-			// so the flush acknowledgment is not delayed by later traffic.
-			return flushes
+			// Order guarantees every earlier update is committed and
+			// applied; stop here so the flush acknowledgment is not delayed
+			// by later traffic.
+			return ups, flushes
 		}
-		m.applyUpdate(mg.up)
+		ups = append(ups, mg.up)
 		if n++; n >= m.opts.MaxBatch {
-			return flushes
+			return ups, flushes
 		}
 		select {
 		case mg = <-m.msgs:
 		default:
-			return flushes
+			return ups, flushes
 		}
 	}
 }
 
-// drainOnClose applies everything still queued, publishes once if anything
-// changed, and acknowledges pending flushes.
+// commitAndApply makes one drained batch durable, then applies it. This is
+// the write-ahead ordering invariant: nothing mutates the incremental state
+// until the log's fsync has covered it, so a crash at any instant recovers
+// a state at least as new as every acknowledged flush and never newer than
+// the log. The whole batch shares one record and one group-commit fsync.
+//
+// On a WAL failure the batch is dropped *before* application — the served
+// index never diverges from the log — and the manager degrades to
+// read-only rather than panicking or silently continuing non-durably.
+func (m *Manager) commitAndApply(ups []Update) {
+	if len(ups) == 0 {
+		return
+	}
+	if m.degraded.Load() {
+		m.walDropped.Add(int64(len(ups)))
+		return
+	}
+	if w := m.opts.WAL; w != nil {
+		// Batches committed between publish E and E+1 all carry seq E+1:
+		// the record's sequence number is the epoch whose snapshot first
+		// contains it, which is what checkpoint pruning and replay key on.
+		seq := uint64(m.cur.Load().epoch) + 1
+		wb := make([]wal.Update, len(ups))
+		for i, u := range ups {
+			wb[i] = wal.Update{Op: wal.Op(u.Op), U: u.U, V: u.V}
+		}
+		if err := w.Append(seq, wb); err != nil {
+			m.degrade("append", err, len(ups))
+			return
+		}
+		if err := w.Sync(); err != nil {
+			m.degrade("sync", err, len(ups))
+			return
+		}
+	}
+	for _, u := range ups {
+		m.applyUpdate(u)
+	}
+}
+
+// degrade records a WAL failure and switches the manager to read-only mode.
+// Runs on the writer goroutine.
+func (m *Manager) degrade(stage string, err error, dropped int) {
+	m.walErr.Store(stage + ": " + err.Error())
+	m.degraded.Store(true)
+	m.walDropped.Add(int64(dropped))
+}
+
+// drainOnClose commits and applies everything still queued, publishes once
+// if anything changed, and acknowledges pending flushes.
 func (m *Manager) drainOnClose() {
 	var flushes []chan struct{}
+	var ups []Update
 	for {
 		select {
 		case mg := <-m.msgs:
 			if mg.flush != nil {
 				flushes = append(flushes, mg.flush)
 			} else {
-				m.applyUpdate(mg.up)
+				ups = append(ups, mg.up)
 			}
 		default:
+			m.commitAndApply(ups)
 			if m.dirty > 0 {
 				m.publish()
 			}
@@ -441,14 +599,43 @@ func (m *Manager) publish() {
 	}
 	d := m.inc.Snapshot()
 	m.install(trussindex.BuildFromDecomposition(d.G, d), d.G, full)
+	m.maybeCheckpoint()
+}
+
+// maybeCheckpoint writes a WAL checkpoint of the just-published snapshot
+// every CheckpointEvery publishes: the index is serialized (with its own
+// CRC trailer) to checkpoint-<epoch>.ctc and the log prunes every segment
+// the checkpoint covers. Runs on the writer goroutine, so updates stall for
+// the serialization — bounded by index size, and amortized by
+// CheckpointEvery. A checkpoint failure degrades the manager: the log
+// itself may be intact, but a storage layer that cannot complete an atomic
+// rename cannot be trusted with the next append either.
+func (m *Manager) maybeCheckpoint() {
+	w := m.opts.WAL
+	if w == nil || m.degraded.Load() {
+		return
+	}
+	if m.sinceCkpt++; m.sinceCkpt < m.opts.CheckpointEvery {
+		return
+	}
+	snap := m.cur.Load()
+	err := w.WriteCheckpoint(uint64(snap.epoch), func(dst io.Writer) error {
+		_, err := snap.ix.WriteTo(dst)
+		return err
+	})
+	if err != nil {
+		m.degrade("checkpoint", err, 0)
+		return
+	}
+	m.sinceCkpt = 0
 }
 
 // install makes (ix, g) the new epoch and releases the manager's reference
 // on the previous one.
 func (m *Manager) install(ix *trussindex.Index, g *graph.Graph, full bool) {
 	prev := m.cur.Load()
-	epoch := int64(1)
-	if prev != nil {
+	epoch := m.epochBase + 1
+	if prev != nil && prev.epoch+1 > epoch {
 		epoch = prev.epoch + 1
 	}
 	snap := &Snapshot{

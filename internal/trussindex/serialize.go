@@ -3,7 +3,10 @@ package trussindex
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/graph"
@@ -15,30 +18,58 @@ import (
 // reject unknown ones with a clear error (the ctcserve persistence path
 // relies on this to load snapshots across releases).
 //
-// Version 2 (current), little-endian varints after the header:
+// Version 3 (current), little-endian varints after the header:
 //
 //	n (uvarint), maxTruss (uvarint), m (uvarint)
 //	per vertex v: deg (uvarint), then deg pairs (neighbor uvarint, τ uvarint)
+//	trailer: CRC-32C (Castagnoli, 4 bytes LE) of header + payload
 //
 // The adjacency is stored in index order (descending trussness), so decoding
 // rebuilds the exact index without re-sorting. Vertex trussness is implied
-// by the first pair. Version 1 is identical minus the m field; it remains
-// readable.
+// by the first pair. The trailer lets a reader distinguish a complete
+// snapshot from a torn or bit-flipped one even when the truncation happens
+// to fall on a varint boundary — the WAL checkpoint recovery path depends on
+// this to reject a checkpoint file the crash interrupted. Version 2 is
+// identical minus the trailer; version 1 additionally lacks the m field.
+// Both remain readable.
 
 const (
 	magicPrefix = "CTCIDX"
 	// formatV1 is the legacy header without the edge-count field.
 	formatV1 = magicPrefix + "1\n"
-	// formatV2 is the current header.
+	// formatV2 is the legacy header without the CRC trailer.
 	formatV2 = magicPrefix + "2\n"
+	// formatV3 is the current header.
+	formatV3 = magicPrefix + "3\n"
 )
+
+// castagnoli is the CRC-32C table shared by the serializer and the WAL.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is wrapped by every ReadFrom error caused by malformed,
+// truncated, or bit-flipped input (as opposed to an unsupported-but-valid
+// future format version). Callers switch with errors.Is to distinguish "this
+// file is damaged" from I/O plumbing failures.
+var ErrCorrupt = errors.New("trussindex: corrupt or truncated index")
+
+// corruptError carries a specific diagnosis while matching ErrCorrupt.
+type corruptError struct{ msg string }
+
+func (e *corruptError) Error() string { return e.msg }
+func (e *corruptError) Unwrap() error { return ErrCorrupt }
+
+func corruptf(format string, args ...any) error {
+	return &corruptError{msg: "trussindex: " + fmt.Sprintf(format, args...)}
+}
 
 // WriteTo serializes the index in the current format version. It returns
 // the number of bytes written, which is the "Index Size" figure reported in
 // Table 3.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: bufio.NewWriter(w)}
-	if _, err := cw.Write([]byte(formatV2)); err != nil {
+	bw := bufio.NewWriter(w)
+	crc := crc32.New(castagnoli)
+	cw := &countingWriter{w: io.MultiWriter(bw, crc)}
+	if _, err := cw.Write([]byte(formatV3)); err != nil {
 		return cw.n, err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -70,16 +101,46 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	return cw.n, cw.w.(*bufio.Writer).Flush()
+	// Trailer: CRC of everything above, excluded from its own computation.
+	binary.LittleEndian.PutUint32(buf[:4], crc.Sum32())
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return cw.n, err
+	}
+	cw.n += 4
+	return cw.n, bw.Flush()
+}
+
+// crcByteReader feeds every byte it delivers into a running CRC, so the
+// decoder can verify the v3 trailer without buffering the payload. It
+// implements io.ByteReader for binary.ReadUvarint.
+type crcByteReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (cr *crcByteReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (cr *crcByteReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc.Write(p[:n])
+	return n, err
 }
 
 // ReadFrom deserializes an index previously written with WriteTo, accepting
-// any known format version.
+// any known format version. Malformed input of any shape — truncated mid-
+// varint, impossible counts, asymmetric adjacency, a CRC mismatch — yields
+// an error wrapping ErrCorrupt, never a panic.
 func ReadFrom(r io.Reader) (*Index, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, len(formatV2))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trussindex: reading magic: %v", err)
+	cr := &crcByteReader{r: bufio.NewReader(r), crc: crc32.New(castagnoli)}
+	head := make([]byte, len(formatV3))
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return nil, corruptf("reading magic: %v", err)
 	}
 	var version int
 	switch string(head) {
@@ -87,33 +148,35 @@ func ReadFrom(r io.Reader) (*Index, error) {
 		version = 1
 	case formatV2:
 		version = 2
+	case formatV3:
+		version = 3
 	default:
 		if string(head[:len(magicPrefix)]) == magicPrefix && head[len(head)-1] == '\n' {
-			return nil, fmt.Errorf("trussindex: unsupported index format version %q (supported: 1, 2)", head[len(magicPrefix):len(head)-1])
+			return nil, fmt.Errorf("trussindex: unsupported index format version %q (supported: 1, 2, 3)", head[len(magicPrefix):len(head)-1])
 		}
-		return nil, fmt.Errorf("trussindex: bad magic %q", head)
+		return nil, corruptf("bad magic %q", head)
 	}
-	n64, err := binary.ReadUvarint(br)
+	n64, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("trussindex: reading n: %v", err)
+		return nil, corruptf("reading n: %v", err)
 	}
 	if n64 > graph.MaxVertexID+1 {
-		return nil, fmt.Errorf("trussindex: vertex count %d exceeds MaxVertexID", n64)
+		return nil, corruptf("vertex count %d exceeds MaxVertexID", n64)
 	}
-	maxTruss, err := binary.ReadUvarint(br)
+	maxTruss, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return nil, fmt.Errorf("trussindex: reading maxTruss: %v", err)
+		return nil, corruptf("reading maxTruss: %v", err)
 	}
 	// τ̄ is bounded by the largest clique, hence by n; anything bigger is a
 	// corrupt header (and would make Thresholds allocate absurdly).
 	if maxTruss > n64 {
-		return nil, fmt.Errorf("trussindex: max trussness %d exceeds vertex count %d", maxTruss, n64)
+		return nil, corruptf("max trussness %d exceeds vertex count %d", maxTruss, n64)
 	}
 	declaredM := int64(-1)
 	if version >= 2 {
-		m64, err := binary.ReadUvarint(br)
+		m64, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("trussindex: reading m: %v", err)
+			return nil, corruptf("reading m: %v", err)
 		}
 		// Each vertex has fewer neighbors than there are vertices. n64 is
 		// already bounded by MaxVertexID+1, so the product cannot overflow,
@@ -123,7 +186,7 @@ func ReadFrom(r io.Reader) (*Index, error) {
 			maxM = n64 * (n64 - 1) / 2
 		}
 		if m64 > maxM {
-			return nil, fmt.Errorf("trussindex: edge count %d impossible for %d vertices", m64, n64)
+			return nil, corruptf("edge count %d impossible for %d vertices", m64, n64)
 		}
 		declaredM = int64(m64)
 	}
@@ -138,23 +201,29 @@ func ReadFrom(r io.Reader) (*Index, error) {
 		b.EnsureVertex(n - 1)
 	}
 	for v := 0; v < n; v++ {
-		deg, err := binary.ReadUvarint(br)
+		deg, err := binary.ReadUvarint(cr)
 		if err != nil {
-			return nil, fmt.Errorf("trussindex: vertex %d degree: %v", v, err)
+			return nil, corruptf("vertex %d degree: %v", v, err)
+		}
+		if deg > n64 {
+			return nil, corruptf("vertex %d degree %d exceeds vertex count", v, deg)
 		}
 		// The flat arrays grow by append: deg comes from untrusted input, so
 		// never trust it as a preallocation size.
 		for i := 0; i < int(deg); i++ {
-			u, err := binary.ReadUvarint(br)
+			u, err := binary.ReadUvarint(cr)
 			if err != nil {
-				return nil, fmt.Errorf("trussindex: vertex %d neighbor: %v", v, err)
+				return nil, corruptf("vertex %d neighbor: %v", v, err)
 			}
-			t, err := binary.ReadUvarint(br)
+			t, err := binary.ReadUvarint(cr)
 			if err != nil {
-				return nil, fmt.Errorf("trussindex: vertex %d truss: %v", v, err)
+				return nil, corruptf("vertex %d truss: %v", v, err)
 			}
 			if u >= n64 || int(u) == v {
-				return nil, fmt.Errorf("trussindex: vertex %d: bad neighbor %d", v, u)
+				return nil, corruptf("vertex %d: bad neighbor %d", v, u)
+			}
+			if t > maxTruss {
+				return nil, corruptf("vertex %d: trussness %d exceeds declared max %d", v, t, maxTruss)
 			}
 			ix.nbr = append(ix.nbr, int32(u))
 			ix.nbrTruss = append(ix.nbrTruss, int32(t))
@@ -167,9 +236,27 @@ func ReadFrom(r io.Reader) (*Index, error) {
 			ix.vertexTruss[v] = ix.nbrTruss[ix.off[v]]
 		}
 	}
+	if version >= 3 {
+		// The payload CRC is computed before the trailer bytes are read, so
+		// the trailer never hashes itself.
+		sum := cr.crc.Sum32()
+		var tr [4]byte
+		if _, err := io.ReadFull(cr.r, tr[:]); err != nil {
+			return nil, corruptf("reading CRC trailer: %v", err)
+		}
+		if got := binary.LittleEndian.Uint32(tr[:]); got != sum {
+			return nil, corruptf("CRC mismatch: trailer %08x, payload %08x", got, sum)
+		}
+	}
+	// A complete snapshot ends exactly here: trailing bytes mean the header
+	// lied about the shape (e.g. a bit flip turned a v3 file into "v2" and
+	// left its trailer dangling) — reject rather than silently ignore them.
+	if _, err := cr.r.ReadByte(); err != io.EOF {
+		return nil, corruptf("trailing garbage after index payload")
+	}
 	ix.g = b.Build()
 	if declaredM >= 0 && int64(ix.g.M()) != declaredM {
-		return nil, fmt.Errorf("trussindex: header declares %d edges, adjacency holds %d", declaredM, ix.g.M())
+		return nil, corruptf("header declares %d edges, adjacency holds %d", declaredM, ix.g.M())
 	}
 	// Scatter the per-arc trussness into the dense edge-ID array and record
 	// each arc's edge ID. The graph was built from the u > v arcs only, so a
@@ -183,7 +270,7 @@ func ReadFrom(r io.Reader) (*Index, error) {
 			u := int(ix.nbr[i])
 			e := ix.g.EdgeID(v, u)
 			if e < 0 {
-				return nil, fmt.Errorf("trussindex: asymmetric adjacency: %d lists %d but not vice versa", v, u)
+				return nil, corruptf("asymmetric adjacency: %d lists %d but not vice versa", v, u)
 			}
 			ix.nbrEID[i] = e
 			if u > v {

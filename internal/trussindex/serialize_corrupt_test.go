@@ -3,6 +3,7 @@ package trussindex
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -13,32 +14,39 @@ func put(buf *bytes.Buffer, x uint64) {
 	buf.Write(b[:n])
 }
 
+// expectCorrupt asserts that decoding fails with the typed ErrCorrupt
+// sentinel (never a panic, never success).
+func expectCorrupt(t *testing.T, raw []byte, what string) {
+	t.Helper()
+	ix, err := ReadFrom(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatalf("%s: accepted (n=%d)", what, ix.Graph().N())
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("%s: error %v does not wrap ErrCorrupt", what, err)
+	}
+}
+
 func TestReadFromRejectsCorruptHeaders(t *testing.T) {
 	// Huge n.
 	var b1 bytes.Buffer
 	b1.WriteString(formatV2)
 	put(&b1, 1<<63)
 	put(&b1, 3)
-	if _, err := ReadFrom(&b1); err == nil {
-		t.Fatal("huge n accepted")
-	}
+	expectCorrupt(t, b1.Bytes(), "huge n")
 	// maxTruss > n.
 	var b2 bytes.Buffer
 	b2.WriteString(formatV2)
 	put(&b2, 4)
 	put(&b2, 1<<31)
-	if _, err := ReadFrom(&b2); err == nil {
-		t.Fatal("huge maxTruss accepted")
-	}
+	expectCorrupt(t, b2.Bytes(), "huge maxTruss")
 	// m impossible for n.
 	var b3 bytes.Buffer
 	b3.WriteString(formatV2)
 	put(&b3, 4) // n
 	put(&b3, 2) // maxTruss
 	put(&b3, 7) // m > 4*3/2
-	if _, err := ReadFrom(&b3); err == nil {
-		t.Fatal("impossible edge count accepted")
-	}
+	expectCorrupt(t, b3.Bytes(), "impossible edge count")
 	// n=0 with a huge m: must be rejected, not wrap negative and skip the
 	// consistency check.
 	var b3b bytes.Buffer
@@ -46,9 +54,7 @@ func TestReadFromRejectsCorruptHeaders(t *testing.T) {
 	put(&b3b, 0)     // n
 	put(&b3b, 0)     // maxTruss
 	put(&b3b, 1<<63) // m
-	if _, err := ReadFrom(&b3b); err == nil {
-		t.Fatal("n=0 with nonzero edge count accepted")
-	}
+	expectCorrupt(t, b3b.Bytes(), "n=0 with nonzero m")
 	// Declared m disagreeing with the adjacency.
 	var b4 bytes.Buffer
 	b4.WriteString(formatV2)
@@ -61,9 +67,7 @@ func TestReadFromRejectsCorruptHeaders(t *testing.T) {
 	put(&b4, 1) // deg(1)
 	put(&b4, 0) // neighbor 0
 	put(&b4, 2) // truss 2
-	if _, err := ReadFrom(&b4); err == nil {
-		t.Fatal("edge-count mismatch accepted")
-	}
+	expectCorrupt(t, b4.Bytes(), "edge-count mismatch")
 	// Asymmetric adjacency: vertex 1 lists 0, vertex 0 lists nothing.
 	var b5 bytes.Buffer
 	b5.WriteString(formatV2)
@@ -74,30 +78,51 @@ func TestReadFromRejectsCorruptHeaders(t *testing.T) {
 	put(&b5, 1) // deg(1)
 	put(&b5, 0) // neighbor 0
 	put(&b5, 2) // truss 2
-	if _, err := ReadFrom(&b5); err == nil {
-		t.Fatal("asymmetric adjacency accepted")
-	}
+	expectCorrupt(t, b5.Bytes(), "asymmetric adjacency")
+	// Degree exceeding the vertex count: must fail fast, not drain the input.
+	var b6 bytes.Buffer
+	b6.WriteString(formatV2)
+	put(&b6, 2)     // n
+	put(&b6, 2)     // maxTruss
+	put(&b6, 1)     // m
+	put(&b6, 1<<40) // deg(0)
+	expectCorrupt(t, b6.Bytes(), "absurd degree")
 }
 
 // TestReadFromVersions pins the version dispatch: v1 payloads (no edge
-// count) stay readable, unknown versions are rejected with a version error
-// rather than a generic bad-magic one, and non-CTCIDX input is bad magic.
+// count, no trailer) and v2 payloads (no trailer) stay readable, unknown
+// versions are rejected with a version error rather than a generic bad-magic
+// one, and non-CTCIDX input is bad magic.
 func TestReadFromVersions(t *testing.T) {
-	// A valid two-triangle v1 serialization: 4 vertices, edges (0,1) (0,2)
+	// A valid two-triangle serialization: 4 vertices, edges (0,1) (0,2)
 	// (1,2) (1,3) (2,3), all trussness 3.
 	ix := Build(paperGraph())
-	var v2 bytes.Buffer
-	if _, err := ix.WriteTo(&v2); err != nil {
+	var v3 bytes.Buffer
+	if _, err := ix.WriteTo(&v3); err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the v2 bytes as v1: swap the header and drop the m varint.
-	raw := v2.Bytes()
-	if string(raw[:len(formatV2)]) != formatV2 {
-		t.Fatalf("WriteTo emitted header %q", raw[:len(formatV2)])
+	raw := v3.Bytes()
+	if string(raw[:len(formatV3)]) != formatV3 {
+		t.Fatalf("WriteTo emitted header %q", raw[:len(formatV3)])
 	}
-	rest := raw[len(formatV2):]
-	// Skip n and maxTruss, then drop the m varint that follows.
-	br := bytes.NewReader(rest)
+	// Strip the CRC trailer; what remains after the header is the shared
+	// varint payload of v2/v3.
+	payload := raw[len(formatV3) : len(raw)-4]
+
+	// v2 = v2 header + payload.
+	var v2 bytes.Buffer
+	v2.WriteString(formatV2)
+	v2.Write(payload)
+	back, err := ReadFrom(&v2)
+	if err != nil {
+		t.Fatalf("v2 payload rejected: %v", err)
+	}
+	if back.Graph().M() != ix.Graph().M() || back.MaxTruss() != ix.MaxTruss() {
+		t.Fatal("v2 round-trip mismatch")
+	}
+
+	// v1 = v1 header + payload minus the m varint.
+	br := bytes.NewReader(payload)
 	n, _ := binary.ReadUvarint(br)
 	mt, _ := binary.ReadUvarint(br)
 	m, _ := binary.ReadUvarint(br)
@@ -105,11 +130,11 @@ func TestReadFromVersions(t *testing.T) {
 	v1.WriteString(formatV1)
 	put(&v1, n)
 	put(&v1, mt)
-	v1.Write(rest[len(rest)-br.Len():])
+	v1.Write(payload[len(payload)-br.Len():])
 	if int(m) != ix.Graph().M() {
 		t.Fatalf("decoded m=%d, index has %d", m, ix.Graph().M())
 	}
-	back, err := ReadFrom(&v1)
+	back, err = ReadFrom(&v1)
 	if err != nil {
 		t.Fatalf("v1 payload rejected: %v", err)
 	}
@@ -117,7 +142,8 @@ func TestReadFromVersions(t *testing.T) {
 		t.Fatal("v1 round-trip mismatch")
 	}
 
-	// Unknown future version: clear version error.
+	// Unknown future version: clear version error, and NOT ErrCorrupt (the
+	// file may be fine — this reader is just too old for it).
 	var future bytes.Buffer
 	future.WriteString("CTCIDX9\n")
 	put(&future, 0)
@@ -126,10 +152,71 @@ func TestReadFromVersions(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "unsupported index format version") {
 		t.Fatalf("future version error = %v, want unsupported-version", err)
 	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unsupported version wrongly classified as corrupt: %v", err)
+	}
 
 	// Garbage: bad magic.
 	_, err = ReadFrom(strings.NewReader("NOTANIDX........"))
 	if err == nil || !strings.Contains(err.Error(), "bad magic") {
 		t.Fatalf("garbage error = %v, want bad magic", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic should wrap ErrCorrupt, got %v", err)
+	}
+}
+
+// TestReadFromTruncatedCorpus is the torn-file corpus: a valid v3 snapshot
+// truncated at every possible byte offset must produce a clean ErrCorrupt,
+// never a panic and never a successful decode. This is exactly the family
+// of inputs a crash mid-checkpoint leaves behind.
+func TestReadFromTruncatedCorpus(t *testing.T) {
+	ix := Build(paperGraph())
+	var full bytes.Buffer
+	if _, err := ix.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	if _, err := ReadFrom(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("pristine v3 snapshot rejected: %v", err)
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("truncation at %d/%d panicked: %v", cut, len(raw), r)
+				}
+			}()
+			expectCorrupt(t, raw[:cut], "truncation")
+		}()
+	}
+}
+
+// TestReadFromBitFlipCorpus flips every byte of a valid v3 snapshot in turn.
+// The CRC trailer guarantees no flip is silently accepted: any decode that
+// does not fail structurally must fail the checksum. (Without the trailer, a
+// flip inside a trussness varint would round-trip undetected.)
+func TestReadFromBitFlipCorpus(t *testing.T) {
+	ix := Build(paperGraph())
+	var full bytes.Buffer
+	if _, err := ix.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	mut := make([]byte, len(raw))
+	for pos := 0; pos < len(raw); pos++ {
+		copy(mut, raw)
+		mut[pos] ^= 0x01
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("bit flip at %d panicked: %v", pos, r)
+				}
+			}()
+			_, err := ReadFrom(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("bit flip at byte %d accepted silently", pos)
+			}
+		}()
 	}
 }

@@ -1,0 +1,389 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ErrCrashed is returned by every MemFS operation issued through a handle
+// that predates a simulated crash, and by new operations while the crash
+// budget has fired but Crash has not yet been called.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// ErrInjected is the base error of hook-injected failures.
+var ErrInjected = errors.New("wal: injected fault")
+
+// MemFS is an in-memory FS with page-cache crash semantics, built for
+// fault-injection tests of the durability protocol:
+//
+//   - Written data is buffered: it becomes durable only when the file is
+//     Sync'd. A simulated Crash reverts every file to its last-synced
+//     prefix (WAL files are append-only, so "synced content" is a length
+//     watermark).
+//   - Directory entries are buffered too: a created, renamed, or removed
+//     name survives a crash only if SyncDir ran after the change.
+//   - CrashAfter(n) arms a budget: the (n+1)-th durability-relevant
+//     operation fails with ErrCrashed and every later operation fails too,
+//     as if the process died there. For a write, a configurable fraction of
+//     the in-flight data is persisted anyway (TornWriteKeep), modelling the
+//     sectors that hit the platter mid-crash — this is what produces torn
+//     tail records.
+//   - Fail hooks inject non-crash errors (ENOSPC-style) at chosen
+//     operations, for degraded-mode tests.
+//
+// After Crash(), the post-crash state is visible to fresh OpenFile/ReadDir
+// calls — recovery code runs against the same MemFS, exactly like a process
+// restart on the same disk.
+type MemFS struct {
+	mu    sync.Mutex
+	gen   int // bumped by Crash; handles from older generations fail
+	files map[string]*memFile
+	// durableLinks is the directory as it exists on "disk": name -> file.
+	// SyncDir copies the live namespace here; Crash restores from here.
+	durableLinks map[string]*memFile
+
+	ops      int // durability-relevant operations seen so far
+	crashAt  int // fire a crash at this op index; -1 = disarmed
+	crashed  bool
+	tornKeep float64 // fraction of an in-flight write persisted at crash
+	// Fail, when set, is consulted before every durability-relevant
+	// operation; a non-nil return fails that operation with the error
+	// (wrap ErrInjected for errors.Is matching). It runs after the crash
+	// budget check.
+	Fail func(op, name string) error
+}
+
+type memFile struct {
+	content []byte
+	synced  int // bytes of content that survive a crash
+}
+
+// NewMemFS returns an empty filesystem with no faults armed.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:        map[string]*memFile{},
+		durableLinks: map[string]*memFile{},
+		crashAt:      -1,
+	}
+}
+
+// CrashAfter arms the crash budget: the op-th durability-relevant operation
+// from now (0-based, counted by OpCount) fails as a crash. keep is the
+// fraction of an in-flight write persisted if the crash lands on a write.
+func (fs *MemFS) CrashAfter(op int, keep float64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAt = fs.ops + op
+	fs.tornKeep = keep
+}
+
+// OpCount reports how many durability-relevant operations have run, which
+// sizes the crash-point matrix.
+func (fs *MemFS) OpCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether the armed crash has fired.
+func (fs *MemFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// Crash completes the simulated crash ("the machine reboots"): buffered
+// file contents and directory changes are discarded, handles from before
+// the crash go dead, and subsequent fresh operations succeed against the
+// durable state. Valid to call whether or not a budgeted crash fired first.
+func (fs *MemFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.gen++
+	fs.crashed = false
+	fs.crashAt = -1
+	// Directory reverts to its last-synced shape...
+	fs.files = map[string]*memFile{}
+	for name, f := range fs.durableLinks {
+		fs.files[name] = f
+	}
+	// ...and every file to its last-synced prefix.
+	for _, f := range fs.files {
+		f.content = f.content[:f.synced]
+	}
+}
+
+// step gates one durability-relevant operation: it fires the armed crash,
+// rejects everything after a fired crash, and consults the Fail hook.
+// Callers hold fs.mu. The returned "tear" is non-nil only when a crash
+// landed on this very operation and the caller is a write — it receives the
+// number of in-flight bytes to persist durably.
+func (fs *MemFS) step(op, name string) (tear func(n int) int, err error) {
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	idx := fs.ops
+	fs.ops++
+	if fs.crashAt >= 0 && idx >= fs.crashAt {
+		fs.crashed = true
+		keep := fs.tornKeep
+		return func(n int) int { return int(float64(n) * keep) }, ErrCrashed
+	}
+	if fs.Fail != nil {
+		if ferr := fs.Fail(op, name); ferr != nil {
+			return nil, ferr
+		}
+	}
+	return nil, nil
+}
+
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	name   string
+	gen    int
+	pos    int
+	read   bool
+	write  bool
+	closed bool
+}
+
+func (fs *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = base(name)
+	create := flag&os.O_CREATE != 0
+	if create {
+		// Creating a directory entry is durability-relevant.
+		if _, err := fs.step("create", name); err != nil {
+			return nil, err
+		}
+	} else if fs.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		if !create {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		f = &memFile{}
+		fs.files[name] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.content = f.content[:0]
+		if f.synced > 0 {
+			f.synced = 0
+		}
+	}
+	h := &memHandle{
+		fs:    fs,
+		f:     f,
+		name:  name,
+		gen:   fs.gen,
+		read:  flag&(os.O_WRONLY) == 0,
+		write: flag&(os.O_WRONLY|os.O_RDWR|os.O_APPEND) != 0,
+	}
+	if flag&os.O_APPEND == 0 && h.write {
+		h.pos = 0
+	}
+	return h, nil
+}
+
+func (h *memHandle) check() error {
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.gen != h.fs.gen {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	if !h.read {
+		return 0, &os.PathError{Op: "read", Path: h.name, Err: os.ErrPermission}
+	}
+	if h.pos >= len(h.f.content) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.content[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+// Write appends to the file (the log only ever writes sequentially; the
+// checkpoint path writes a fresh O_TRUNC file front to back). A write that
+// the crash budget lands on persists tornKeep of its bytes durably —
+// modelling the part of an in-flight write that reached the platter — and
+// returns ErrCrashed. A Fail-hook error may also deliver a short write by
+// wrapping ShortWrite.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	if !h.write {
+		return 0, &os.PathError{Op: "write", Path: h.name, Err: os.ErrPermission}
+	}
+	tear, err := h.fs.step("write", h.name)
+	if err != nil {
+		if tear != nil {
+			// The crash landed mid-write: a prefix of p hit the disk.
+			keep := tear(len(p))
+			h.f.content = append(h.f.content, p[:keep]...)
+			h.f.synced = len(h.f.content)
+			return keep, err
+		}
+		var sw *ShortWrite
+		if errors.As(err, &sw) {
+			n := min(sw.N, len(p))
+			h.f.content = append(h.f.content, p[:n]...)
+			return n, err
+		}
+		return 0, err
+	}
+	h.f.content = append(h.f.content, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check(); err != nil {
+		return err
+	}
+	if _, err := h.fs.step("sync", h.name); err != nil {
+		return err
+	}
+	h.f.synced = len(h.f.content)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// ShortWrite, returned (wrapped) from a Fail hook on a "write" op, makes
+// the write deliver only N bytes before failing.
+type ShortWrite struct{ N int }
+
+func (s *ShortWrite) Error() string { return fmt.Sprintf("wal: injected short write (%d bytes)", s.N) }
+func (s *ShortWrite) Unwrap() error { return ErrInjected }
+
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	oldname, newname = base(oldname), base(newname)
+	if _, err := fs.step("rename", oldname); err != nil {
+		return err
+	}
+	f, ok := fs.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	delete(fs.files, oldname)
+	fs.files[newname] = f
+	return nil
+}
+
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = base(name)
+	if _, err := fs.step("remove", name); err != nil {
+		return err
+	}
+	if _, ok := fs.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+func (fs *MemFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *MemFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (fs *MemFS) Truncate(name string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = base(name)
+	if _, err := fs.step("truncate", name); err != nil {
+		return err
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if int(size) < len(f.content) {
+		f.content = f.content[:size]
+	}
+	if f.synced > len(f.content) {
+		f.synced = len(f.content)
+	}
+	return nil
+}
+
+// SyncDir makes the current directory shape durable: names created,
+// renamed, or removed since the last SyncDir now survive a crash.
+func (fs *MemFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.step("syncdir", dir); err != nil {
+		return err
+	}
+	fs.durableLinks = map[string]*memFile{}
+	for name, f := range fs.files {
+		fs.durableLinks[name] = f
+	}
+	return nil
+}
+
+func (fs *MemFS) Size(name string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = base(name)
+	if fs.crashed {
+		return 0, ErrCrashed
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(f.content)), nil
+}
