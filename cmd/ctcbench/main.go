@@ -28,6 +28,15 @@
 // index built by the run: the level-synchronous parallel peel (default,
 // engaging above truss.ParallelThreshold edges) or the serial bucket-queue
 // peel, for before/after comparisons (see BENCH_pr4.json).
+//
+// -overload N runs the overload-injection harness with N tenants: a
+// baseline calibration, an open-loop burst at -overload-factor times the
+// sustainable rate, a 10k-request rejection storm, and a cache-hit check
+// under a saturated admission gate. The run exits nonzero if any
+// robustness invariant is violated (admitted p99 past its bound, a shed
+// request without a typed error, a tenant starved below its fair share, or
+// a rejected request that consumed a snapshot/workspace), so CI gates on
+// it (see BENCH_pr7.json).
 package main
 
 import (
@@ -59,7 +68,11 @@ func main() {
 		mxNet   = flag.String("mixed-net", "dblp", "network analogue the -mixed stress serves")
 		mxRate  = flag.Int("mixed-rate", 500, "target updates/second for the -mixed stress")
 		mxWAL   = flag.Bool("wal", false, "with -mixed, compare durability configurations (no WAL vs WAL without fsync vs WAL with group-commit fsync)")
-		mxOut   = flag.String("bench-out", "", "write the -mixed result as a JSON benchmark artifact")
+		ovTen   = flag.Int("overload", 0, "run the overload-injection harness with this many tenants instead of experiments (exits nonzero on an invariant violation)")
+		ovDur   = flag.Duration("overload-dur", 3*time.Second, "duration of each timed -overload phase (baseline, burst)")
+		ovNet   = flag.String("overload-net", "dblp", "network analogue the -overload harness serves")
+		ovFac   = flag.Float64("overload-factor", 4, "offered burst rate as a multiple of the measured sustainable QPS")
+		mxOut   = flag.String("bench-out", "", "write the -mixed or -overload result as a JSON benchmark artifact")
 		decomp  = flag.String("decomp", "par", "cold-build truss decomposition: par (level-synchronous parallel above truss.ParallelThreshold) or serial (bucket-queue peel)")
 	)
 	flag.Parse()
@@ -71,6 +84,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "ctcbench: unknown -decomp %q (want par or serial)\n", *decomp)
 		os.Exit(1)
+	}
+	if *ovTen > 0 {
+		if err := runOverload(*ovTen, *ovDur, *ovNet, *ovFac, *seed, *mxOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ctcbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *mxWork > 0 {
 		if err := runMixed(*mxWork, *mxDur, *mxNet, *mxRate, *seed, *mxOut, *mxWAL, os.Stdout); err != nil {

@@ -10,15 +10,16 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/graph"
 	"repro/internal/serve"
 )
 
-// cancelTestManager serves a long clique chain plus a star: with algo=basic
+// slowChainGraph builds a long clique chain plus a star: with algo=basic
 // and k=2 the starting graph is the whole network and the peel removes one
-// vertex per round, so a query is slow enough to cancel mid-flight.
-func cancelTestManager(t *testing.T) (*serve.Manager, []int) {
-	t.Helper()
+// vertex per round, so a query is slow enough to cancel (or hold an
+// admission slot) mid-flight. The returned query spans the chain.
+func slowChainGraph() (*graph.Graph, []int) {
 	const count, size, leaves = 220, 8, 1500
 	var edges [][2]int
 	base := 0
@@ -34,10 +35,18 @@ func cancelTestManager(t *testing.T) (*serve.Manager, []int) {
 	for l := 0; l < leaves; l++ {
 		edges = append(edges, [2]int{0, n + l})
 	}
-	g := graph.FromEdges(n+leaves, edges)
-	m := serve.NewManager(g, serve.Options{})
+	return graph.FromEdges(n+leaves, edges), []int{1, (size-1)*count - 1}
+}
+
+func cancelTestManager(t *testing.T) (*serve.Manager, []int) {
+	t.Helper()
+	g, q := slowChainGraph()
+	// The result cache is disabled: these tests repeat one slow query to
+	// observe it cancelling mid-peel, and a cache hit would answer the
+	// repeat instantly instead of running it.
+	m := serve.NewManager(g, serve.Options{Admission: admit.Config{CacheEntries: -1}})
 	t.Cleanup(m.Close)
-	return m, []int{1, (size-1)*count - 1}
+	return m, q
 }
 
 // TestQueryCancelOnClientDisconnect is the serving-layer cancellation

@@ -27,8 +27,18 @@
 // newest valid checkpoint plus log replay (torn tails from a crash are
 // truncated, never replayed). If the log itself fails at runtime (disk
 // full, I/O error) the server degrades to read-only: queries keep serving
-// the last published epoch, /update returns 503 with code "degraded", and
-// /healthz turns unhealthy.
+// the last published epoch, /update returns 503 with code "degraded" and a
+// Retry-After hint, and /healthz reports {"status":"degraded"} with 503.
+//
+// Every query passes the overload-protection layer: concurrent execution
+// is bounded to -max-inflight slots, a bounded deadline-aware admission
+// queue (-admit-queue) drains round-robin across tenants (the "tenant"
+// field or X-Tenant header), and repeated requests are answered from an
+// epoch-keyed result cache (-cache-entries) that snapshot publishes
+// invalidate by construction. A request shed by admission gets 429 with
+// code "overloaded" and a Retry-After hint instead of queueing into a
+// timeout; /healthz reports {"status":"overloaded"} (still 200 — shedding
+// is healthy) while the gate is saturated.
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/gen"
 	"repro/internal/serve"
 	"repro/internal/truss"
@@ -59,6 +70,9 @@ func main() {
 		queue     = flag.Int("queue", 1024, "bounded update-queue size")
 		walDir    = flag.String("wal", "", "durable mode: write-ahead log directory (fsync before ack, crash recovery on start)")
 		ckptEvery = flag.Int("checkpoint-every", 32, "with -wal, checkpoint the index every N published epochs")
+		inflight  = flag.Int("max-inflight", 0, "concurrent query execution slots (0 = 2x GOMAXPROCS)")
+		admitQ    = flag.Int("admit-queue", 0, "bounded admission queue size; arrivals past it get 429 (0 = default 256)")
+		cacheN    = flag.Int("cache-entries", 0, "epoch-keyed result cache entries (0 = default 1024, negative = disabled)")
 	)
 	flag.Parse()
 	if err := run(*addr, *netName, *loadPath, *savePath, *walDir, serve.Options{
@@ -66,6 +80,11 @@ func main() {
 		PublishDirty:    *dirty,
 		PublishInterval: *interval,
 		CheckpointEvery: *ckptEvery,
+		Admission: admit.Config{
+			MaxConcurrent: *inflight,
+			QueueSize:     *admitQ,
+			CacheEntries:  *cacheN,
+		},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ctcserve:", err)
 		os.Exit(1)

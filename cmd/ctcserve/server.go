@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/steiner"
@@ -50,17 +52,28 @@ type queryRequest struct {
 	Gamma float64 `json:"gamma"`
 	// Distance selects LCTC's seed metric: "truss" (default) or "hop".
 	Distance string `json:"distance"`
+	// Tenant identifies the caller for admission fairness and per-tenant
+	// /stats accounting; the X-Tenant header is the fallback when empty.
+	Tenant string `json:"tenant"`
+	// TimeoutMS, when > 0, bounds the query with a server-side deadline.
+	// Admission control sheds the request up front (429) if its estimated
+	// start time already overruns the deadline; a query that overruns it
+	// mid-execution is cancelled (504).
+	TimeoutMS int `json:"timeout_ms"`
 }
 
 // queryStats mirrors core.QueryStats on the wire (microsecond timings).
 type queryStats struct {
-	SeedUS          int64 `json:"seed_us"`
-	ExpandUS        int64 `json:"expand_us"`
-	PeelUS          int64 `json:"peel_us"`
-	SeedEdges       int   `json:"seed_edges"`
-	PeelRounds      int   `json:"peel_rounds"`
-	EdgesPeeled     int   `json:"edges_peeled"`
-	WorkspaceReused bool  `json:"workspace_reused"`
+	SeedUS          int64  `json:"seed_us"`
+	ExpandUS        int64  `json:"expand_us"`
+	PeelUS          int64  `json:"peel_us"`
+	SeedEdges       int    `json:"seed_edges"`
+	PeelRounds      int    `json:"peel_rounds"`
+	EdgesPeeled     int    `json:"edges_peeled"`
+	WorkspaceReused bool   `json:"workspace_reused"`
+	QueueWaitUS     int64  `json:"queue_wait_us"`
+	CacheHit        bool   `json:"cache_hit"`
+	Tenant          string `json:"tenant,omitempty"`
 }
 
 type queryResponse struct {
@@ -89,7 +102,7 @@ func (qr *queryRequest) toRequest() (core.Request, error) {
 	if err != nil {
 		return core.Request{}, err
 	}
-	req := core.Request{Q: qr.Q, Algo: algo, K: qr.K, Eta: qr.Eta, Gamma: qr.Gamma}
+	req := core.Request{Q: qr.Q, Algo: algo, K: qr.K, Eta: qr.Eta, Gamma: qr.Gamma, Tenant: qr.Tenant}
 	switch qr.Distance {
 	case "", "truss":
 		req.DistanceMode = core.DistTrussPenalty
@@ -112,9 +125,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpErrorCode(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-Tenant")
+	}
 	// r.Context() is cancelled when the client disconnects, so an abandoned
-	// query stops peeling mid-round instead of running to completion.
-	res, err := s.mgr.Query(r.Context(), req)
+	// query stops peeling mid-round instead of running to completion; a
+	// timeout_ms budget additionally arms admission's deadline-aware shed.
+	ctx := r.Context()
+	if qr.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(qr.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.mgr.Query(ctx, req)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -138,15 +161,31 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			PeelRounds:      st.PeelRounds,
 			EdgesPeeled:     st.EdgesPeeled,
 			WorkspaceReused: st.WorkspaceReused,
+			QueueWaitUS:     st.QueueWait.Microseconds(),
+			CacheHit:        st.CacheHit,
+			Tenant:          st.Tenant,
 		},
 	})
 }
 
 // writeQueryError maps a Search error onto a status code and a stable
 // machine-readable error code (errors.Is on the typed sentinels — no
-// string matching).
+// string matching). The taxonomy, in precedence order: shed → 429 with
+// Retry-After, bad request → 400, no community → 404, client gone → 499,
+// deadline blown mid-query → 504, everything else → 422.
 func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		// Load shed before any work ran. Retry-After comes from the gate's
+		// backlog estimate (rounded up, at least a second) so well-behaved
+		// clients spread their retries past the burst.
+		var oe *admit.OverloadError
+		retry := time.Second
+		if errors.As(err, &oe) && oe.RetryAfter > retry {
+			retry = oe.RetryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfterSeconds(retry))))
+		httpErrorCode(w, http.StatusTooManyRequests, "overloaded", "%v", err)
 	case errors.Is(err, core.ErrEmptyQuery) || errors.Is(err, core.ErrVertexOutOfRange) ||
 		errors.Is(err, core.ErrBadParam):
 		httpErrorCode(w, http.StatusBadRequest, "bad_request", "%v", err)
@@ -163,6 +202,16 @@ func writeQueryError(w http.ResponseWriter, err error) {
 	default:
 		httpErrorCode(w, http.StatusUnprocessableEntity, "internal", "%v", err)
 	}
+}
+
+// retryAfterSeconds rounds a backoff hint up to whole seconds, minimum 1
+// (Retry-After is integral seconds on the wire).
+func retryAfterSeconds(d time.Duration) int64 {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 type updateOp struct {
@@ -252,29 +301,64 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// degradedRetryAfterS is the Retry-After hint on degraded (read-only)
+// responses: recovery needs an operator restart, so the backoff is long —
+// a client retrying sooner can only collect more 503s.
+const degradedRetryAfterS = 30
+
 // writeUpdateError maps an update-path failure onto a status code and a
 // stable machine-readable code: "degraded" when a WAL failure has made the
-// server read-only (the client must not retry against this process),
-// "unavailable" for shutdown.
+// server read-only (the client must not retry against this process — the
+// Retry-After hint covers a failover, not a local recovery), "unavailable"
+// for shutdown.
 func writeUpdateError(w http.ResponseWriter, err error) {
 	if errors.Is(err, serve.ErrDegraded) {
+		w.Header().Set("Retry-After", strconv.Itoa(degradedRetryAfterS))
 		httpErrorCode(w, http.StatusServiceUnavailable, "degraded", "%v", err)
 		return
 	}
 	httpErrorCode(w, http.StatusServiceUnavailable, "unavailable", "%v", err)
 }
 
+// healthzResponse distinguishes the two unhealthy-ish states an
+// orchestrator must treat differently: "degraded" (read-only after a WAL
+// failure — fail the instance over, 503) and "overloaded" (shedding load
+// but fully functional — do NOT restart it, that only loses the warm
+// cache; 200).
+type healthzResponse struct {
+	Status     string `json:"status"` // ok | degraded | overloaded
+	Epoch      int64  `json:"epoch"`
+	Degraded   bool   `json:"degraded"`
+	Overloaded bool   `json:"overloaded"`
+	WALError   string `json:"wal_error,omitempty"`
+	QueueDepth int    `json:"query_queue_depth"`
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.mgr.Acquire()
 	defer snap.Release()
-	if s.mgr.Degraded() {
-		// Still serving reads, but an orchestrator should fail this
-		// instance over: it cannot accept writes until restarted.
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintf(w, "degraded epoch=%d wal_error=%q\n", snap.Epoch(), s.mgr.Stats().WALLastError)
-		return
+	st := s.mgr.Stats()
+	hr := healthzResponse{
+		Status:     "ok",
+		Epoch:      snap.Epoch(),
+		Degraded:   st.Degraded,
+		Overloaded: st.Overloaded,
+		WALError:   st.WALLastError,
+		QueueDepth: st.QueryQueueDepth,
 	}
-	fmt.Fprintf(w, "ok epoch=%d\n", snap.Epoch())
+	switch {
+	case hr.Degraded:
+		hr.Status = "degraded"
+		w.Header().Set("Retry-After", strconv.Itoa(degradedRetryAfterS))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	case hr.Overloaded:
+		hr.Status = "overloaded"
+		w.Header().Set("Content-Type", "application/json")
+	default:
+		w.Header().Set("Content-Type", "application/json")
+	}
+	_ = json.NewEncoder(w).Encode(hr)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -284,7 +368,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // httpErrorCode writes a structured JSON error: a human-readable message
 // plus a stable machine-readable code clients can switch on (bad_request,
-// no_community, canceled, deadline_exceeded, unavailable, internal).
+// no_community, overloaded, canceled, deadline_exceeded, degraded,
+// unavailable, internal).
 func httpErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

@@ -1,0 +1,377 @@
+// Package admit is the overload-protection layer of the query plane:
+// admission control, deadline-aware queueing with per-tenant round-robin
+// fairness, a statistics-free greedy cost estimator, and an epoch-keyed
+// result cache.
+//
+// The problem it solves is congestion collapse: without it, a burst of
+// queries piles goroutines onto the workspace pool, every query misses its
+// deadline together, and the server degrades for everyone. The controller
+// bounds concurrent query execution to a GOMAXPROCS-scaled slot count,
+// queues a bounded backlog behind it, and sheds everything else *before*
+// the peel starts — a shed request costs one mutex acquisition and returns
+// a typed ErrOverloaded the client can back off on, never a timeout.
+//
+// Shedding is deadline-aware: each request carries a greedy cost estimate
+// (see Estimator), and a request whose estimated start time already
+// overruns its context deadline is rejected immediately instead of
+// occupying a queue slot it can only waste. Queued requests whose context
+// fires are removed and their slot freed, so abandoned clients never hold
+// capacity.
+//
+// Fairness is per tenant: waiters queue under their Request.Tenant and
+// slots drain round-robin across tenants, so one hot tenant saturating the
+// queue cannot starve the rest — every tenant with waiters gets every
+// T-th slot.
+package admit
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is the typed load-shedding error: the request was rejected
+// by admission control before any work ran. Match with errors.Is; the
+// concrete *OverloadError carries a Retry-After hint.
+var ErrOverloaded = errors.New("admit: overloaded, request shed")
+
+// OverloadError is the concrete shed error: why the request was rejected
+// and how long the client should back off. errors.Is(err, ErrOverloaded)
+// matches it.
+type OverloadError struct {
+	// Reason distinguishes the shed paths: "deadline" (estimated start time
+	// overruns the request deadline) or "queue full".
+	Reason string
+	// RetryAfter estimates when capacity frees up (the current backlog
+	// drained at full concurrency) — the HTTP layer rounds it up into a
+	// Retry-After header.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("admit: overloaded (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match every OverloadError.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// Config tunes the overload-protection layer. The zero value enables it
+// with defaults sized for the host.
+type Config struct {
+	// Disabled bypasses admission control and caching entirely (every
+	// Acquire admits immediately). For tools and tests that drive the
+	// manager without an overload story.
+	Disabled bool
+	// MaxConcurrent bounds queries executing simultaneously. Default
+	// 2×GOMAXPROCS: queries are CPU-bound, so more in flight only adds
+	// scheduler pressure and memory for pooled workspaces, not throughput.
+	MaxConcurrent int
+	// QueueSize bounds the admission queue across all tenants; a request
+	// arriving to a full queue is shed with ErrOverloaded. Default 256.
+	QueueSize int
+	// CacheEntries bounds the epoch-keyed result cache. 0 selects the
+	// default 1024; negative disables caching.
+	CacheEntries int
+	// InitialCostNS seeds the estimator's ns-per-cost-unit before any query
+	// has calibrated it (see Estimator.Observe). 0 selects the default.
+	InitialCostNS int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.InitialCostNS <= 0 {
+		c.InitialCostNS = defaultCostNS
+	}
+	return c
+}
+
+// TenantCounters is the per-tenant slice of the admission counters,
+// surfaced in /stats so fairness is observable.
+type TenantCounters struct {
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Canceled int64 `json:"canceled_in_queue"`
+}
+
+// Counters is a point-in-time view of the controller.
+type Counters struct {
+	Admitted          int64                     `json:"queries_admitted"`
+	ShedDeadline      int64                     `json:"queries_shed_deadline"`
+	ShedQueueFull     int64                     `json:"queries_shed_queue_full"`
+	CanceledInQueue   int64                     `json:"queries_canceled_in_queue"`
+	QueueDepth        int                       `json:"query_queue_depth"`
+	Inflight          int                       `json:"query_inflight"`
+	EstimatedStartDelay time.Duration           `json:"-"`
+	Tenants           map[string]TenantCounters `json:"-"`
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	est     time.Duration
+	ready   chan struct{}
+	granted bool // slot handed over while the waiter may be cancelling
+}
+
+// tenantQ is one tenant's FIFO of waiters plus its counters.
+type tenantQ struct {
+	name     string
+	waiters  []*waiter
+	counters TenantCounters
+}
+
+// Controller is the admission gate. One instance guards one manager's query
+// path; all methods are safe for concurrent use.
+type Controller struct {
+	mu       sync.Mutex
+	disabled bool
+	limit    int
+	queueCap int
+
+	inflight int
+	queued   int
+	// backlog sums the cost estimates of everything admitted-but-running
+	// plus everything queued: backlog/limit is the greedy estimate of when
+	// a newly arriving request could start.
+	backlog time.Duration
+
+	tenants map[string]*tenantQ
+	// ring holds the tenants that currently have waiters; slots drain
+	// round-robin over it (rr is the next index to serve).
+	ring []*tenantQ
+	rr   int
+
+	admitted      int64
+	shedDeadline  int64
+	shedQueueFull int64
+	canceled      int64
+
+	// lastShedNano feeds Overloaded(): the gate reports overload while the
+	// queue is non-empty or a shed happened within the last second.
+	lastShedNano atomic.Int64
+}
+
+// NewController builds a gate from cfg (zero value = defaults).
+func NewController(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{
+		disabled: cfg.Disabled,
+		limit:    cfg.MaxConcurrent,
+		queueCap: cfg.QueueSize,
+		tenants:  make(map[string]*tenantQ),
+	}
+}
+
+// Deadliner is the subset of context.Context admission needs. Using the
+// small interface keeps the hot path free of context-package internals and
+// makes the controller trivially testable.
+type Deadliner interface {
+	Deadline() (time.Time, bool)
+	Done() <-chan struct{}
+	Err() error
+}
+
+// Acquire admits one request of estimated duration est for the given
+// tenant, blocking in the fair queue while the gate is at capacity. On
+// success it returns a release function that MUST be called exactly once
+// when the request finishes. On overload it returns an *OverloadError
+// (errors.Is ErrOverloaded); if ctx fires while queued, the queue slot is
+// freed and ctx.Err() returned.
+func (c *Controller) Acquire(ctx Deadliner, tenant string, est time.Duration) (release func(), err error) {
+	if c.disabled {
+		return func() {}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	tq := c.tenant(tenant)
+	// Fast path: a free slot and nobody waiting ahead — admit immediately.
+	// The deadline check is skipped here on purpose: the request starts
+	// *now*, so its estimated start time cannot overrun any deadline.
+	if c.inflight < c.limit && c.queued == 0 {
+		c.inflight++
+		c.backlog += est
+		c.admitted++
+		tq.counters.Admitted++
+		c.mu.Unlock()
+		return c.releaseOnce(est), nil
+	}
+	// At capacity. Estimate when this request could start: the whole
+	// backlog drained at full concurrency. Requests that would start after
+	// their deadline are shed now — queueing them only converts a cheap 429
+	// into an expensive timeout.
+	startDelay := c.backlog / time.Duration(c.limit)
+	if dl, ok := ctx.Deadline(); ok && time.Now().Add(startDelay+est).After(dl) {
+		c.shedDeadline++
+		tq.counters.Rejected++
+		c.mu.Unlock()
+		c.lastShedNano.Store(time.Now().UnixNano())
+		return nil, &OverloadError{Reason: "deadline", RetryAfter: startDelay}
+	}
+	if c.queued >= c.queueCap {
+		c.shedQueueFull++
+		tq.counters.Rejected++
+		c.mu.Unlock()
+		c.lastShedNano.Store(time.Now().UnixNano())
+		return nil, &OverloadError{Reason: "queue full", RetryAfter: startDelay}
+	}
+	w := &waiter{est: est, ready: make(chan struct{})}
+	if len(tq.waiters) == 0 {
+		c.ring = append(c.ring, tq)
+	}
+	tq.waiters = append(tq.waiters, w)
+	c.queued++
+	c.backlog += est
+	c.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return c.releaseOnce(est), nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: reclassify as canceled (the
+			// request never runs) so Admitted keeps matching executed queries
+			// exactly, then hand the slot onward through the normal release
+			// path.
+			c.admitted--
+			tq.counters.Admitted--
+			c.canceled++
+			tq.counters.Canceled++
+			c.mu.Unlock()
+			c.release(est)
+			return nil, ctx.Err()
+		}
+		c.removeWaiter(tq, w)
+		c.canceled++
+		tq.counters.Canceled++
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseOnce wraps release in a sync.Once so a double call cannot corrupt
+// the slot accounting.
+func (c *Controller) releaseOnce(est time.Duration) func() {
+	var once sync.Once
+	return func() { once.Do(func() { c.release(est) }) }
+}
+
+func (c *Controller) release(est time.Duration) {
+	c.mu.Lock()
+	c.inflight--
+	c.backlog -= est
+	c.grantLocked()
+	c.mu.Unlock()
+}
+
+// grantLocked hands free slots to queued waiters, one tenant at a time in
+// round-robin order. Caller holds c.mu.
+func (c *Controller) grantLocked() {
+	for c.inflight < c.limit && c.queued > 0 {
+		if c.rr >= len(c.ring) {
+			c.rr = 0
+		}
+		tq := c.ring[c.rr]
+		w := tq.waiters[0]
+		tq.waiters = tq.waiters[1:]
+		if len(tq.waiters) == 0 {
+			c.ring = append(c.ring[:c.rr], c.ring[c.rr+1:]...)
+			// rr now points at the next tenant already; no advance.
+		} else {
+			c.rr++
+		}
+		c.queued--
+		c.inflight++
+		c.admitted++
+		tq.counters.Admitted++
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// removeWaiter unlinks a cancelled waiter from its tenant queue. Caller
+// holds c.mu.
+func (c *Controller) removeWaiter(tq *tenantQ, w *waiter) {
+	for i, x := range tq.waiters {
+		if x == w {
+			tq.waiters = append(tq.waiters[:i], tq.waiters[i+1:]...)
+			c.queued--
+			c.backlog -= w.est
+			break
+		}
+	}
+	if len(tq.waiters) == 0 {
+		for i, x := range c.ring {
+			if x == tq {
+				c.ring = append(c.ring[:i], c.ring[i+1:]...)
+				if c.rr > i {
+					c.rr--
+				}
+				break
+			}
+		}
+	}
+}
+
+func (c *Controller) tenant(name string) *tenantQ {
+	tq := c.tenants[name]
+	if tq == nil {
+		tq = &tenantQ{name: name}
+		c.tenants[name] = tq
+	}
+	return tq
+}
+
+// Overloaded reports whether the gate is currently shedding or saturated:
+// the queue is non-empty, or a request was shed within the last second.
+// /healthz uses it to distinguish "overloaded" (shedding, still healthy)
+// from "degraded" (read-only after a WAL failure).
+func (c *Controller) Overloaded() bool {
+	if c.disabled {
+		return false
+	}
+	if time.Now().UnixNano()-c.lastShedNano.Load() < int64(time.Second) {
+		return true
+	}
+	c.mu.Lock()
+	q := c.queued
+	c.mu.Unlock()
+	return q > 0
+}
+
+// Counters snapshots the admission statistics, including the per-tenant
+// slices.
+func (c *Controller) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Counters{
+		Admitted:        c.admitted,
+		ShedDeadline:    c.shedDeadline,
+		ShedQueueFull:   c.shedQueueFull,
+		CanceledInQueue: c.canceled,
+		QueueDepth:      c.queued,
+		Inflight:        c.inflight,
+	}
+	if c.limit > 0 {
+		out.EstimatedStartDelay = c.backlog / time.Duration(c.limit)
+	}
+	if len(c.tenants) > 0 {
+		out.Tenants = make(map[string]TenantCounters, len(c.tenants))
+		for name, tq := range c.tenants {
+			out.Tenants[name] = tq.counters
+		}
+	}
+	return out
+}

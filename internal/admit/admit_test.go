@@ -1,0 +1,264 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAcquireFastPath(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 2, QueueSize: 4})
+	r1, err := c.Acquire(context.Background(), "a", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(context.Background(), "b", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Counters(); got.Inflight != 2 || got.Admitted != 2 {
+		t.Fatalf("counters after two admits: %+v", got)
+	}
+	r1()
+	r1() // double release must be a no-op (sync.Once)
+	r2()
+	if got := c.Counters(); got.Inflight != 0 {
+		t.Fatalf("inflight %d after release, want 0", got.Inflight)
+	}
+	if c.Overloaded() {
+		t.Fatal("gate reports overloaded with no queue and no sheds")
+	}
+}
+
+// TestFastPathIgnoresDeadline: a request admitted immediately starts now,
+// so even an expensive estimate against a near deadline must not shed it.
+func TestFastPathIgnoresDeadline(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, QueueSize: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	release, err := c.Acquire(ctx, "a", time.Hour)
+	if err != nil {
+		t.Fatalf("fast path shed an immediately startable request: %v", err)
+	}
+	release()
+}
+
+func TestDeadlineShed(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, QueueSize: 16})
+	hold, err := c.Acquire(context.Background(), "hog", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	// Backlog is 1s at limit 1, so the estimated start is ~1s out; a 10ms
+	// deadline cannot be met and the request must shed immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = c.Acquire(ctx, "late", time.Millisecond)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want *OverloadError, got %T", err)
+	}
+	if oe.Reason != "deadline" || oe.RetryAfter <= 0 {
+		t.Fatalf("unexpected shed detail: %+v", oe)
+	}
+	st := c.Counters()
+	if st.ShedDeadline != 1 || st.Tenants["late"].Rejected != 1 {
+		t.Fatalf("shed not counted: %+v", st)
+	}
+	if !c.Overloaded() {
+		t.Fatal("gate not overloaded right after a shed")
+	}
+}
+
+func TestQueueFullShed(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, QueueSize: 1})
+	hold, err := c.Acquire(context.Background(), "hog", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan struct{})
+	go func() {
+		release, err := c.Acquire(context.Background(), "waiter", time.Millisecond)
+		if err != nil {
+			t.Errorf("queued waiter: %v", err)
+		} else {
+			release()
+		}
+		close(queued)
+	}()
+	waitFor(t, "queue depth 1", func() bool { return c.Counters().QueueDepth == 1 })
+	_, err = c.Acquire(context.Background(), "spill", time.Millisecond)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue full" {
+		t.Fatalf("want queue-full *OverloadError, got %v", err)
+	}
+	hold()
+	<-queued
+	if st := c.Counters(); st.ShedQueueFull != 1 || st.Admitted != 2 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+func TestCancelInQueueFreesSlot(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, QueueSize: 8})
+	hold, err := c.Acquire(context.Background(), "hog", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, "gone", time.Millisecond)
+		errc <- err
+	}()
+	waitFor(t, "waiter queued", func() bool { return c.Counters().QueueDepth == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v", err)
+	}
+	st := c.Counters()
+	if st.QueueDepth != 0 || st.CanceledInQueue != 1 || st.Tenants["gone"].Canceled != 1 {
+		t.Fatalf("counters after cancel: %+v", st)
+	}
+	hold()
+	// The slot is reusable: a fresh request admits on the fast path.
+	release, err := c.Acquire(context.Background(), "next", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}
+
+// TestRoundRobinFairness pins the drain order: with tenants A (4 waiters),
+// B (1), C (1) queued in that arrival order behind a held slot, grants
+// rotate A, B, C before A gets a second turn.
+func TestRoundRobinFairness(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, QueueSize: 16})
+	hold, err := c.Acquire(context.Background(), "hog", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 8)
+	var wg sync.WaitGroup
+	enqueue := func(tenant string) {
+		depth := c.Counters().QueueDepth
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := c.Acquire(context.Background(), tenant, time.Millisecond)
+			if err != nil {
+				t.Errorf("tenant %s: %v", tenant, err)
+				return
+			}
+			order <- tenant
+			release() // releasing grants the next waiter, keeping the order strict
+		}()
+		waitFor(t, "waiter enqueued", func() bool { return c.Counters().QueueDepth == depth+1 })
+	}
+	for _, tenant := range []string{"A", "A", "A", "A", "B", "C"} {
+		enqueue(tenant)
+	}
+	hold()
+	wg.Wait()
+	close(order)
+	var got []string
+	for tenant := range order {
+		got = append(got, tenant)
+	}
+	want := []string{"A", "B", "C", "A", "A", "A"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("grant order %v, want %v", got, want)
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	c := NewController(Config{Disabled: true, MaxConcurrent: 1})
+	var releases []func()
+	for i := 0; i < 10; i++ {
+		release, err := c.Acquire(context.Background(), "x", time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, release)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if st := c.Counters(); st.Admitted != 0 || st.Inflight != 0 {
+		t.Fatalf("disabled gate should count nothing: %+v", st)
+	}
+	if c.Overloaded() {
+		t.Fatal("disabled gate reports overloaded")
+	}
+}
+
+// TestAdmittedMatchesClientSuccesses hammers the gate from many goroutines
+// with aggressive deadlines under churn (run with -race): at the end, the
+// Admitted counter must equal the number of Acquire calls that returned
+// success — including the grant/cancel race, which must be reclassified as
+// canceled, never counted as admitted — and the gate must drain to zero.
+func TestAdmittedMatchesClientSuccesses(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 2, QueueSize: 8})
+	var succeeded, shed, canceled atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(),
+					time.Duration(1+i%5)*100*time.Microsecond)
+				release, err := c.Acquire(ctx, fmt.Sprintf("t%d", w%3), 50*time.Microsecond)
+				switch {
+				case err == nil:
+					succeeded.Add(1)
+					time.Sleep(20 * time.Microsecond)
+					release()
+				case errors.Is(err, ErrOverloaded):
+					shed.Add(1)
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					canceled.Add(1)
+				default:
+					t.Errorf("unexpected error %v", err)
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Counters()
+	if st.Admitted != succeeded.Load() {
+		t.Fatalf("admitted=%d but %d Acquire calls succeeded (shed=%d canceled=%d): the grant/cancel race leaks admissions",
+			st.Admitted, succeeded.Load(), shed.Load(), canceled.Load())
+	}
+	if st.Inflight != 0 || st.QueueDepth != 0 {
+		t.Fatalf("gate did not drain: %+v", st)
+	}
+	var tenantAdmitted int64
+	for _, tc := range st.Tenants {
+		tenantAdmitted += tc.Admitted
+	}
+	if tenantAdmitted != st.Admitted {
+		t.Fatalf("per-tenant admitted sums to %d, total says %d", tenantAdmitted, st.Admitted)
+	}
+}

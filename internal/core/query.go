@@ -129,6 +129,10 @@ type Request struct {
 	// Verify re-checks the output against the CTC conditions (connected
 	// k-truss containing Q) and fails loudly on violation. Meant for tests.
 	Verify bool
+	// Tenant identifies the requesting tenant for admission fairness and
+	// per-tenant accounting in the serve layer ("" = the anonymous tenant).
+	// It does not affect the answer and is not part of the cache identity.
+	Tenant string
 }
 
 // Validate checks the request against a graph with n vertices, returning a
@@ -216,6 +220,16 @@ type QueryStats struct {
 	// WorkspaceReused reports whether the query ran on a pooled workspace
 	// (false = this query paid the one-time workspace allocation).
 	WorkspaceReused bool
+	// QueueWait is the time the query spent in the admission queue before a
+	// concurrency slot was granted (0 when it ran outside the serve layer or
+	// was admitted immediately).
+	QueueWait time.Duration
+	// CacheHit reports that the answer was served from the epoch-keyed
+	// result cache; the phase timings then describe the original execution
+	// that populated the entry, not this request.
+	CacheHit bool
+	// Tenant echoes the request's tenant ("" = anonymous).
+	Tenant string
 }
 
 // Result is the answer to one Search: the community itself plus the

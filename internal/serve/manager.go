@@ -22,8 +22,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/steiner"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
 	"repro/internal/wal"
@@ -38,6 +40,13 @@ var ErrClosed = errors.New("serve: manager closed")
 // none is accepted. The process must be restarted (recovering from the log)
 // to leave this state.
 var ErrDegraded = errors.New("serve: degraded (write-ahead log failure), updates disabled")
+
+// ErrOverloaded is returned by Query/QueryBatch when admission control
+// sheds the request before any work runs: the gate is at capacity and
+// either the admission queue is full or the request's estimated start time
+// already overruns its context deadline. Match with errors.Is; the HTTP
+// layer maps it to 429 with a Retry-After hint (see admit.OverloadError).
+var ErrOverloaded = admit.ErrOverloaded
 
 // Op selects the kind of an Update.
 type Op uint8
@@ -93,6 +102,13 @@ type Options struct {
 	// which covered segments are pruned) every this many publishes.
 	// Default 32. Ignored without WAL.
 	CheckpointEvery int
+	// Admission configures the overload-protection layer every Query and
+	// QueryBatch routes through: GOMAXPROCS-scaled concurrency limiting,
+	// a bounded deadline-aware admission queue with per-tenant round-robin
+	// fairness, and the epoch-keyed result cache. The zero value enables it
+	// with defaults; set Admission.Disabled to bypass the gate (the cache
+	// still applies unless Admission.CacheEntries < 0).
+	Admission admit.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -135,6 +151,26 @@ type Stats struct {
 	Adds          int64         `json:"applied_adds"`
 	Removes       int64         `json:"applied_removes"`
 	Rejected      int64         `json:"rejected_ops"`
+
+	// Overload-protection observability (PR 7). QueriesExecuted counts
+	// queries that actually acquired a snapshot and ran; it must always
+	// equal QueriesAdmitted minus the queries still in flight — a rejected
+	// request consuming a workspace would break that invariant, and the
+	// overload harness fails the build on it.
+	QueriesAdmitted   int64                           `json:"queries_admitted"`
+	QueriesExecuted   int64                           `json:"queries_executed"`
+	ShedDeadline      int64                           `json:"queries_shed_deadline"`
+	ShedQueueFull     int64                           `json:"queries_shed_queue_full"`
+	CanceledInQueue   int64                           `json:"queries_canceled_in_queue"`
+	QueryQueueDepth   int                             `json:"query_queue_depth"`
+	QueryInflight     int                             `json:"query_inflight"`
+	Overloaded        bool                            `json:"overloaded"`
+	EstCostNSPerUnit  int64                           `json:"est_cost_ns_per_unit"`
+	CacheHits         int64                           `json:"cache_hits"`
+	CacheMisses       int64                           `json:"cache_misses"`
+	CacheEntries      int                             `json:"cache_entries"`
+	CacheHitRatio     float64                         `json:"cache_hit_ratio"`
+	Tenants           map[string]admit.TenantCounters `json:"tenants,omitempty"`
 
 	// Durability observability; zero values when no WAL is configured.
 	WALEnabled       bool   `json:"wal_enabled"`
@@ -204,6 +240,17 @@ type Manager struct {
 	degraded   atomic.Bool
 	walErr     atomic.Value // string: the failure that degraded the manager
 	walDropped atomic.Int64
+
+	// Overload-protection layer (PR 7): every Query/QueryBatch passes the
+	// admission gate before it may acquire a snapshot reference or a pooled
+	// workspace, consults the epoch-keyed result cache first, and feeds the
+	// cost estimator's calibration on completion. execQ counts queries that
+	// actually reached a snapshot — the overload harness asserts it equals
+	// the gate's admitted count, proving shed requests consumed nothing.
+	gate  *admit.Controller
+	cache *admit.Cache
+	est   *admit.Estimator
+	execQ atomic.Int64
 }
 
 // NewManager builds the epoch-1 snapshot from g (running a full truss
@@ -247,6 +294,13 @@ func newStoppedManager(inc *truss.Incremental, ix0 *trussindex.Index, epochBase 
 		pending:   make(map[graph.EdgeKey]bool),
 		epochBase: epochBase,
 	}
+	m.gate = admit.NewController(m.opts.Admission)
+	cacheMax := m.opts.Admission.CacheEntries
+	if cacheMax == 0 {
+		cacheMax = 1024
+	}
+	m.cache = admit.NewCache(cacheMax)
+	m.est = admit.NewEstimator(m.opts.Admission.InitialCostNS)
 	m.msgs = make(chan msg, m.opts.QueueSize)
 	m.quit = make(chan struct{})
 	m.done = make(chan struct{})
@@ -342,34 +396,177 @@ func (m *Manager) Close() {
 	}
 }
 
-// Query answers one community search against the latest published epoch:
-// acquire a snapshot reference, search, release. The snapshot's epoch is
-// stamped into the result's stats, so callers can correlate answers with
-// /stats staleness. Cancellation flows through ctx into the search (a
-// disconnected HTTP client sheds its in-flight query); the snapshot
-// reference is released even on cancellation, so retirement is never
-// blocked by abandoned queries.
+// Query answers one community search against the latest published epoch,
+// routed through the overload-protection layer:
+//
+//  1. an already-cancelled ctx is rejected before anything else — it never
+//     touches the snapshot refcount or the workspace pool;
+//  2. validation and the cache lookup run against the current snapshot
+//     *without* taking a reference (its graph and index are immutable, and
+//     a shed request must stay refcount-free);
+//  3. a cache hit under the current epoch returns immediately, bypassing
+//     admission — cached answers cost no capacity, which is what keeps
+//     repeat-heavy traffic served even while the gate is shedding;
+//  4. otherwise the request passes the admission gate (deadline-aware,
+//     per-tenant fair; ErrOverloaded when shed) before the snapshot is
+//     acquired and the search runs.
+//
+// The snapshot's epoch is stamped into the result's stats, so callers can
+// correlate answers with /stats staleness. Cancellation flows through ctx
+// into the search (a disconnected HTTP client sheds its in-flight query and
+// frees its queue slot); the snapshot reference is released even on
+// cancellation, so retirement is never blocked by abandoned queries.
 func (m *Manager) Query(ctx context.Context, req core.Request) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cur := m.cur.Load()
+	if err := req.Validate(cur.g.N()); err != nil {
+		return nil, err
+	}
+	if res, cerr, ok := m.cache.Get(cur.epoch, req); ok {
+		return cachedResult(res, cerr, req)
+	}
+	units := m.est.Units(cur.ix, req)
+	t0 := time.Now()
+	release, aerr := m.gate.Acquire(ctx, req.Tenant, m.est.Duration(units))
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+	wait := time.Since(t0)
+
 	snap := m.Acquire()
 	defer snap.Release()
-	return snap.Query(ctx, req)
+	m.execQ.Add(1)
+	e0 := time.Now()
+	res, err := snap.Query(ctx, req)
+	m.est.Observe(units, time.Since(e0))
+	if err != nil {
+		if cacheableErr(err) {
+			m.cache.Put(snap.epoch, req, nil, err)
+		}
+		return nil, err
+	}
+	res.Stats.QueueWait = wait
+	res.Stats.Tenant = req.Tenant
+	m.cache.Put(snap.epoch, req, res, nil)
+	return res, nil
+}
+
+// cachedResult materializes a cache hit: the stored Result is shared, so
+// the caller gets a shallow copy with per-request stats restamped (the
+// phase timings keep describing the execution that populated the entry).
+func cachedResult(res *core.Result, err error, req core.Request) (*core.Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	cp := *res
+	cp.Stats.CacheHit = true
+	cp.Stats.QueueWait = 0
+	cp.Stats.Tenant = req.Tenant
+	return &cp, nil
+}
+
+// cacheableErr reports whether a query failure is a deterministic property
+// of the epoch (and therefore cacheable): the three "no such community"
+// shapes. Cancellation and internal errors are never cached.
+func cacheableErr(err error) bool {
+	return errors.Is(err, trussindex.ErrNoCommunity) ||
+		errors.Is(err, truss.ErrNoCommunity) ||
+		errors.Is(err, steiner.ErrDisconnected)
 }
 
 // QueryBatch answers the requests in order against one latest-epoch
 // snapshot on one pooled workspace (see core.Searcher.SearchBatch); every
 // result is stamped with the snapshot's epoch, so the batch is also an
-// atomic read — all answers describe the same graph state.
+// atomic read — all answers describe the same graph state. The batch
+// passes the admission gate once, with the summed cost estimate of its
+// cache misses; individual cache hits are filled in without consuming
+// capacity.
 func (m *Manager) QueryBatch(ctx context.Context, reqs []core.Request) ([]core.BatchItem, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	items := make([]core.BatchItem, len(reqs))
+	if len(reqs) == 0 {
+		return items, nil
+	}
+	cur := m.cur.Load()
+	n := cur.g.N()
+	var missIdx []int
+	var units int64
+	var tenant string
+	for i := range reqs {
+		if reqs[i].Tenant != "" {
+			tenant = reqs[i].Tenant
+		}
+		if err := reqs[i].Validate(n); err != nil {
+			items[i].Err = err
+			continue
+		}
+		if res, cerr, ok := m.cache.Get(cur.epoch, reqs[i]); ok {
+			r, e := cachedResult(res, cerr, reqs[i])
+			items[i] = core.BatchItem{Result: r, Err: e}
+			continue
+		}
+		missIdx = append(missIdx, i)
+		units += m.est.Units(cur.ix, reqs[i])
+	}
+	if len(missIdx) == 0 {
+		return items, nil
+	}
+	t0 := time.Now()
+	release, aerr := m.gate.Acquire(ctx, tenant, m.est.Duration(units))
+	if aerr != nil {
+		for _, i := range missIdx {
+			items[i].Err = aerr
+		}
+		return items, aerr
+	}
+	defer release()
+	wait := time.Since(t0)
+
 	snap := m.Acquire()
 	defer snap.Release()
-	items, err := snap.searcher.SearchBatch(ctx, reqs)
-	for i := range items {
-		if items[i].Result != nil {
-			items[i].Result.Stats.Epoch = snap.epoch
+	m.execQ.Add(1)
+	if snap.epoch != cur.epoch {
+		// A publish raced the cache pass. Cached answers came from the old
+		// epoch, so recompute everything instead of mixing graph states —
+		// the batch must stay an atomic read of one epoch.
+		missIdx = missIdx[:0]
+		for i := range reqs {
+			if err := reqs[i].Validate(n); err == nil {
+				items[i] = core.BatchItem{}
+				missIdx = append(missIdx, i)
+			}
+		}
+	}
+	miss := make([]core.Request, len(missIdx))
+	for j, i := range missIdx {
+		miss[j] = reqs[i]
+	}
+	e0 := time.Now()
+	sub, err := snap.searcher.SearchBatch(ctx, miss)
+	m.est.Observe(units, time.Since(e0))
+	for j, i := range missIdx {
+		items[i] = sub[j]
+		if r := sub[j].Result; r != nil {
+			r.Stats.Epoch = snap.epoch
+			r.Stats.QueueWait = wait
+			r.Stats.Tenant = reqs[i].Tenant
+			m.cache.Put(snap.epoch, reqs[i], r, nil)
+		} else if cacheableErr(sub[j].Err) {
+			m.cache.Put(snap.epoch, reqs[i], nil, sub[j].Err)
 		}
 	}
 	return items, err
 }
+
+// Overloaded reports whether the admission gate is currently shedding or
+// saturated (queue non-empty, or a shed within the last second). /healthz
+// uses it to distinguish "overloaded" from WAL-failure "degraded".
+func (m *Manager) Overloaded() bool { return m.gate.Overloaded() }
 
 // Stats assembles the current counters and snapshot dimensions.
 func (m *Manager) Stats() Stats {
@@ -409,6 +606,25 @@ func (m *Manager) Stats() Stats {
 		st.WALLastError = e
 	}
 	st.WALDropped = m.walDropped.Load()
+
+	ac := m.gate.Counters()
+	st.QueriesAdmitted = ac.Admitted
+	st.QueriesExecuted = m.execQ.Load()
+	st.ShedDeadline = ac.ShedDeadline
+	st.ShedQueueFull = ac.ShedQueueFull
+	st.CanceledInQueue = ac.CanceledInQueue
+	st.QueryQueueDepth = ac.QueueDepth
+	st.QueryInflight = ac.Inflight
+	st.Overloaded = m.gate.Overloaded()
+	st.EstCostNSPerUnit = m.est.CostNS()
+	st.Tenants = ac.Tenants
+	cs := m.cache.Stats()
+	st.CacheHits = cs.Hits
+	st.CacheMisses = cs.Misses
+	st.CacheEntries = cs.Entries
+	if total := cs.Hits + cs.Misses; total > 0 {
+		st.CacheHitRatio = float64(cs.Hits) / float64(total)
+	}
 	return st
 }
 
@@ -659,6 +875,10 @@ func (m *Manager) install(ix *trussindex.Index, g *graph.Graph, full bool) {
 	if m.opts.OnPublish != nil {
 		m.opts.OnPublish(snap)
 	}
+	// Publish invalidates the result cache by construction (the epoch is
+	// part of every key); the sweep just frees the stale generation's
+	// memory promptly instead of waiting for LRU churn.
+	m.cache.Sweep(epoch)
 	if prev != nil {
 		prev.Release()
 	}

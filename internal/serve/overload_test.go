@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func overloadTestManager(t *testing.T, cfg admit.Config) (*Manager, [][]int) {
+	t.Helper()
+	g, truth := gen.CommunityGraph(gen.CommunityParams{
+		N: 300, NumCommunities: 15, MinSize: 8, MaxSize: 20,
+		Overlap: 0.25, PIntra: 0.55, BackgroundEdges: 200, Seed: 0xA11CE,
+	})
+	m := NewManager(g, Options{
+		PublishDirty:    4,
+		PublishInterval: 20 * time.Millisecond,
+		Admission:       cfg,
+	})
+	t.Cleanup(m.Close)
+	var qs [][]int
+	for _, comm := range truth {
+		qs = append(qs, []int{comm[0], comm[len(comm)-1]})
+	}
+	return m, qs
+}
+
+// TestQueryCancelledBeforeAnyWork: a context that is already dead must be
+// rejected before Query touches the snapshot refcount, the admission gate,
+// or the cache — satellite (a) of the overload PR.
+func TestQueryCancelledBeforeAnyWork(t *testing.T) {
+	m, qs := overloadTestManager(t, admit.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Query(ctx, core.Request{Q: qs[0]}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := m.QueryBatch(ctx, []core.Request{{Q: qs[0]}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch: want context.Canceled, got %v", err)
+	}
+	st := m.Stats()
+	if st.QueriesAdmitted != 0 || st.QueriesExecuted != 0 {
+		t.Fatalf("dead-ctx queries reached the gate: admitted=%d executed=%d",
+			st.QueriesAdmitted, st.QueriesExecuted)
+	}
+	if st.CacheMisses != 0 || st.CacheHits != 0 {
+		t.Fatalf("dead-ctx queries touched the cache: %+v", st)
+	}
+	if st.LiveSnapshots != 1 {
+		t.Fatalf("live snapshots %d, want 1", st.LiveSnapshots)
+	}
+}
+
+// TestCacheEpochInvalidation: two identical requests share one execution
+// through the epoch-keyed cache; a publish between identical requests makes
+// the next one recompute against the fresh epoch — invalidation needs no
+// bookkeeping because the epoch is part of the key.
+func TestCacheEpochInvalidation(t *testing.T) {
+	m, qs := overloadTestManager(t, admit.Config{})
+	ctx := context.Background()
+	req := core.Request{Q: qs[0]}
+
+	r1, err := m.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.CacheHit {
+		t.Fatal("first query hit an empty cache")
+	}
+	r2, err := m.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Stats.CacheHit {
+		t.Fatal("identical repeat under the same epoch missed the cache")
+	}
+	if r2.Stats.Epoch != r1.Stats.Epoch || r2.N() != r1.N() || r2.K != r1.K {
+		t.Fatalf("cached answer diverged: (%d,%d,%d) vs (%d,%d,%d)",
+			r2.Stats.Epoch, r2.N(), r2.K, r1.Stats.Epoch, r1.N(), r1.K)
+	}
+
+	// Publish a new epoch between identical requests.
+	if err := m.Apply(Update{Op: OpAdd, U: 0, V: 299}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := m.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Stats.CacheHit {
+		t.Fatal("request served from the previous epoch's cache after a publish")
+	}
+	if r3.Stats.Epoch <= r1.Stats.Epoch {
+		t.Fatalf("epoch did not advance: %d then %d", r1.Stats.Epoch, r3.Stats.Epoch)
+	}
+	st := m.Stats()
+	if st.CacheHits != 1 {
+		t.Fatalf("cache hits %d, want exactly 1", st.CacheHits)
+	}
+}
+
+// TestQueryStatsStamps: QueueWait/Tenant/CacheHit ride through the serve
+// layer — satellite (b).
+func TestQueryStatsStamps(t *testing.T) {
+	m, qs := overloadTestManager(t, admit.Config{})
+	res, err := m.Query(context.Background(), core.Request{Q: qs[1], Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Tenant != "alice" || res.Stats.CacheHit {
+		t.Fatalf("stats stamps: %+v", res.Stats)
+	}
+	hit, err := m.Query(context.Background(), core.Request{Q: qs[1], Tenant: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Stats.CacheHit || hit.Stats.Tenant != "bob" || hit.Stats.QueueWait != 0 {
+		t.Fatalf("cache-hit stamps: %+v", hit.Stats)
+	}
+	st := m.Stats()
+	if st.Tenants["alice"].Admitted != 1 {
+		t.Fatalf("tenant accounting: %+v", st.Tenants)
+	}
+}
+
+// TestErrorTaxonomy is the errors.Is table for the serve layer — each
+// failure mode keeps its typed identity through Query (satellite (c)).
+func TestErrorTaxonomy(t *testing.T) {
+	// A long clique chain plus a star: a Basic k=2 query peels one vertex
+	// per round, slow enough to hold the single execution slot while the
+	// shed path is exercised. InitialCostNS is enormous, so with the slot
+	// held, any deadline request is shed; CacheEntries < 0 keeps repeats
+	// executing.
+	const count, size, leaves = 220, 8, 1500
+	var edges [][2]int
+	base := 0
+	for c := 0; c < count; c++ {
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, [2]int{base + i, base + j})
+			}
+		}
+		base += size - 1
+	}
+	n := base + 1
+	for l := 0; l < leaves; l++ {
+		edges = append(edges, [2]int{0, n + l})
+	}
+	g := graph.FromEdges(n+leaves, edges)
+	m := NewManager(g, Options{Admission: admit.Config{
+		MaxConcurrent: 1, QueueSize: 4, CacheEntries: -1, InitialCostNS: 1 << 40,
+	}})
+	defer m.Close()
+	slowQ := []int{1, (size-1)*count - 1}
+	bg := context.Background()
+
+	// Occupy the only slot with the slow query.
+	holdCtx, holdCancel := context.WithCancel(bg)
+	held := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(held)
+		_, _ = m.Query(holdCtx, core.Request{Q: slowQ, Algo: core.AlgoBasic, K: 2})
+	}()
+	<-held
+	waitForStat(t, m, func(st Stats) bool { return st.QueryInflight == 1 })
+
+	// Deadline-aware shed: typed ErrOverloaded, never a timeout.
+	dctx, dcancel := context.WithTimeout(bg, 10*time.Millisecond)
+	defer dcancel()
+	_, err := m.Query(dctx, core.Request{Q: slowQ})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("shed: want ErrOverloaded, got %v", err)
+	}
+	var oe *admit.OverloadError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("shed error lacks the Retry-After hint: %v", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("shed error must not read as a timeout")
+	}
+
+	// Cancellation before entry.
+	cctx, ccancel := context.WithCancel(bg)
+	ccancel()
+	if _, err := m.Query(cctx, core.Request{Q: slowQ}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled: got %v", err)
+	}
+
+	// Validation errors stay typed.
+	if _, err := m.Query(bg, core.Request{}); !errors.Is(err, core.ErrEmptyQuery) {
+		t.Fatalf("empty query: got %v", err)
+	}
+
+	holdCancel()
+	wg.Wait()
+	st := m.Stats()
+	if st.QueriesAdmitted != st.QueriesExecuted {
+		t.Fatalf("admitted=%d executed=%d after sheds — a rejected request consumed capacity",
+			st.QueriesAdmitted, st.QueriesExecuted)
+	}
+}
+
+func waitForStat(t *testing.T, m *Manager, cond func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond(m.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for stats condition (last: %+v)", m.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTenantFairnessUnderLoad drives N tenants of bursty closed-loop load
+// over a live updater with the cache disabled (every query must pass the
+// gate) and asserts no tenant's admitted share falls below 1/(2N) — the
+// round-robin drain at work. Run under -race in CI (satellite (c)/(e)).
+func TestTenantFairnessUnderLoad(t *testing.T) {
+	const tenants = 3
+	m, qs := overloadTestManager(t, admit.Config{
+		MaxConcurrent: 1, QueueSize: 64, CacheEntries: -1,
+	})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Live updater: keep epochs publishing while the gate is contended.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			op := OpRemove
+			if i%2 == 1 {
+				op = OpAdd
+			}
+			_ = m.Apply(Update{Op: op, U: qs[2][0], V: qs[2][1]})
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Bursty tenants: 3 goroutines each, alternating hammer and idle
+	// phases offset per tenant so the queue composition keeps shifting.
+	for tn := 0; tn < tenants; tn++ {
+		name := fmt.Sprintf("t%d", tn)
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(tn, g int) {
+				defer wg.Done()
+				for i := 0; !stop.Load(); i++ {
+					if (i+tn*7)%20 == 19 {
+						time.Sleep(time.Millisecond) // burst gap
+						continue
+					}
+					req := core.Request{Q: qs[(i+g)%len(qs)], Tenant: name, Algo: core.AlgoTrussOnly}
+					ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+					_, _ = m.Query(ctx, req)
+					cancel()
+				}
+			}(tn, g)
+		}
+	}
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	st := m.Stats()
+	var total int64
+	for tn := 0; tn < tenants; tn++ {
+		total += st.Tenants[fmt.Sprintf("t%d", tn)].Admitted
+	}
+	if total == 0 {
+		t.Fatal("no queries admitted")
+	}
+	floor := total / (2 * tenants)
+	for tn := 0; tn < tenants; tn++ {
+		name := fmt.Sprintf("t%d", tn)
+		if got := st.Tenants[name].Admitted; got < floor {
+			t.Errorf("tenant %s admitted %d < fair-share floor %d (total %d): starved",
+				name, got, floor, total)
+		}
+	}
+	if st.QueriesAdmitted != st.QueriesExecuted {
+		t.Fatalf("admitted=%d executed=%d after the stress", st.QueriesAdmitted, st.QueriesExecuted)
+	}
+	waitForStat(t, m, func(st Stats) bool { return st.QueryInflight == 0 && st.QueryQueueDepth == 0 })
+}
+
+// TestAdmissionDisabledBypass: Options.Admission.Disabled keeps the legacy
+// unthrottled behavior for tools that manage their own concurrency.
+func TestAdmissionDisabledBypass(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	m := NewManager(g, Options{Admission: admit.Config{Disabled: true, CacheEntries: -1}})
+	defer m.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := m.Query(context.Background(), core.Request{Q: []int{0, 1}, Algo: core.AlgoTrussOnly}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.QueriesAdmitted != 0 || st.QueriesExecuted != 5 {
+		t.Fatalf("disabled gate: admitted=%d executed=%d", st.QueriesAdmitted, st.QueriesExecuted)
+	}
+	if st.Overloaded {
+		t.Fatal("disabled gate reports overloaded")
+	}
+}
