@@ -28,11 +28,15 @@ import (
 // (blocking until killed) instead of the test suite.
 func TestMain(m *testing.M) {
 	if addr := os.Getenv("CTCSERVE_HELPER_ADDR"); addr != "" {
-		err := run(addr, "", os.Getenv("CTCSERVE_HELPER_LOAD"), "",
-			os.Getenv("CTCSERVE_HELPER_WAL"), serve.Options{
+		err := run(runConfig{
+			addr:     addr,
+			loadPath: os.Getenv("CTCSERVE_HELPER_LOAD"),
+			walDir:   os.Getenv("CTCSERVE_HELPER_WAL"),
+			opts: serve.Options{
 				PublishDirty:    8,
 				PublishInterval: 50 * time.Millisecond,
-			})
+			},
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ctcserve helper:", err)
 			os.Exit(1)

@@ -10,10 +10,12 @@
 //
 // Endpoints:
 //
-//	POST /query   {"q":[1,2],"algo":"lctc|basic|bulk|truss","k":0}
-//	POST /update  {"op":"add","u":1,"v":2}  or  {"edges":[...],"flush":true}
-//	GET  /stats   epoch, dirty count, snapshot age, queue depth, counters
-//	GET  /healthz liveness plus current epoch
+//	POST /query          {"q":[1,2],"algo":"lctc|basic|bulk|truss","k":0}
+//	POST /update         {"op":"add","u":1,"v":2}  or  {"edges":[...],"flush":true}
+//	GET  /stats          epoch, dirty count, snapshot age, queue depth, counters
+//	GET  /healthz        liveness plus current epoch and build identity
+//	GET  /metrics        Prometheus text exposition (the telemetry plane)
+//	GET  /debug/slowlog  ring buffer of queries slower than -slow-query
 //
 // With -save, the final snapshot is persisted (versioned trussindex format,
 // written atomically: temp file + fsync + rename) on clean shutdown
@@ -39,13 +41,25 @@
 // code "overloaded" and a Retry-After hint instead of queueing into a
 // timeout; /healthz reports {"status":"overloaded"} (still 200 — shedding
 // is healthy) while the gate is saturated.
+//
+// Observability: /metrics exposes the full telemetry plane (query latency
+// per algorithm and tenant, phase breakdowns, admission and cache counters,
+// WAL fsync latency, epoch age, workspace-pool stats) in Prometheus text
+// format; queries slower than -slow-query land in the /debug/slowlog ring
+// with their phase breakdown; writer-loop events (publishes, checkpoints,
+// fsync stalls, degraded transitions, admission sheds) are logged via
+// log/slog at -log-level. With -debug-addr, a second listener serves
+// net/http/pprof (CPU/heap/goroutine profiling), kept off the public
+// address on purpose.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +68,7 @@ import (
 	"repro/internal/admit"
 	"repro/internal/gen"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
 	"repro/internal/wal"
@@ -73,17 +88,37 @@ func main() {
 		inflight  = flag.Int("max-inflight", 0, "concurrent query execution slots (0 = 2x GOMAXPROCS)")
 		admitQ    = flag.Int("admit-queue", 0, "bounded admission queue size; arrivals past it get 429 (0 = default 256)")
 		cacheN    = flag.Int("cache-entries", 0, "epoch-keyed result cache entries (0 = default 1024, negative = disabled)")
+		slowQ     = flag.Duration("slow-query", 250*time.Millisecond, "queries at least this slow enter /debug/slowlog (negative = disabled)")
+		slowN     = flag.Int("slowlog", 128, "slow-query ring-buffer entries")
+		debugAddr = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty = no pprof)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
 	flag.Parse()
-	if err := run(*addr, *netName, *loadPath, *savePath, *walDir, serve.Options{
-		QueueSize:       *queue,
-		PublishDirty:    *dirty,
-		PublishInterval: *interval,
-		CheckpointEvery: *ckptEvery,
-		Admission: admit.Config{
-			MaxConcurrent: *inflight,
-			QueueSize:     *admitQ,
-			CacheEntries:  *cacheN,
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctcserve:", err)
+		os.Exit(2)
+	}
+	if err := run(runConfig{
+		addr:      *addr,
+		netName:   *netName,
+		loadPath:  *loadPath,
+		savePath:  *savePath,
+		walDir:    *walDir,
+		debugAddr: *debugAddr,
+		slowQuery: *slowQ,
+		slowlogN:  *slowN,
+		logger:    logger,
+		opts: serve.Options{
+			QueueSize:       *queue,
+			PublishDirty:    *dirty,
+			PublishInterval: *interval,
+			CheckpointEvery: *ckptEvery,
+			Admission: admit.Config{
+				MaxConcurrent: *inflight,
+				QueueSize:     *admitQ,
+				CacheEntries:  *cacheN,
+			},
 		},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ctcserve:", err)
@@ -91,9 +126,32 @@ func main() {
 	}
 }
 
+// newLogger builds the process logger: structured key=value text on stderr.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// runConfig is everything run needs; main translates flags into it.
+type runConfig struct {
+	addr      string
+	netName   string
+	loadPath  string
+	savePath  string
+	walDir    string
+	debugAddr string
+	slowQuery time.Duration
+	slowlogN  int
+	logger    *slog.Logger
+	opts      serve.Options
+}
+
 // baseIndex builds the starting index: a deserialized snapshot with -load,
 // otherwise a full decomposition of the generated network.
-func baseIndex(netName, loadPath string) (*trussindex.Index, error) {
+func baseIndex(netName, loadPath string, logger *slog.Logger) (*trussindex.Index, error) {
 	if loadPath != "" {
 		f, err := os.Open(loadPath)
 		if err != nil {
@@ -104,8 +162,8 @@ func baseIndex(netName, loadPath string) (*trussindex.Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("loading %s: %w", loadPath, err)
 		}
-		fmt.Printf("ctcserve: loaded index %s (n=%d m=%d maxTruss=%d)\n",
-			loadPath, ix.Graph().N(), ix.Graph().M(), ix.MaxTruss())
+		logger.Info("loaded index", "path", loadPath,
+			"n", ix.Graph().N(), "m", ix.Graph().M(), "max_truss", ix.MaxTruss())
 		return ix, nil
 	}
 	nw, err := gen.NetworkByName(netName)
@@ -113,43 +171,90 @@ func baseIndex(netName, loadPath string) (*trussindex.Index, error) {
 		return nil, err
 	}
 	g := nw.Graph()
-	fmt.Printf("ctcserve: network %s (n=%d m=%d), decomposing...\n", netName, g.N(), g.M())
+	logger.Info("decomposing network", "net", netName, "n", g.N(), "m", g.M())
 	t0 := time.Now()
 	ix := trussindex.BuildFromDecomposition(g, truss.Decompose(g))
-	fmt.Printf("ctcserve: decomposed in %v\n", time.Since(t0))
+	logger.Info("decomposed", "duration", time.Since(t0))
 	return ix, nil
 }
 
-func run(addr, netName, loadPath, savePath, walDir string, opts serve.Options) error {
+func run(cfg runConfig) error {
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	start := time.Now()
+
+	// The telemetry plane: one registry for the whole process, the query
+	// tracer, uptime and build identity. The manager registers its families
+	// into the same registry at construction.
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg)
+	reg.NewGaugeFunc("ctc_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(start).Seconds() })
+	tracer := telemetry.NewTracer(reg, telemetry.TracerOptions{
+		SlowThreshold:  cfg.slowQuery,
+		SlowLogEntries: cfg.slowlogN,
+	})
+	cfg.opts.Metrics = reg
+	cfg.opts.Tracer = tracer
+	cfg.opts.Logger = logger
+
+	// The startup banner: one structured line carrying every knob an
+	// operator needs to correlate a log archive with a configuration.
+	b := telemetry.Build()
+	logger.Info("ctcserve starting",
+		"addr", cfg.addr, "net", cfg.netName, "load", cfg.loadPath,
+		"wal", cfg.walDir, "durable", cfg.walDir != "",
+		"publish_dirty", cfg.opts.PublishDirty, "publish_interval", cfg.opts.PublishInterval,
+		"update_queue", cfg.opts.QueueSize, "checkpoint_every", cfg.opts.CheckpointEvery,
+		"max_inflight", cfg.opts.Admission.MaxConcurrent,
+		"admit_queue", cfg.opts.Admission.QueueSize,
+		"cache_entries", cfg.opts.Admission.CacheEntries,
+		"slow_query", cfg.slowQuery, "debug_addr", cfg.debugAddr,
+		"go_version", b.GoVersion, "revision", b.Revision)
+
 	var mgr *serve.Manager
-	if walDir != "" {
-		m, recovered, err := serve.OpenDurable(walDir,
-			func() (*trussindex.Index, error) { return baseIndex(netName, loadPath) },
-			wal.Options{}, opts)
+	if cfg.walDir != "" {
+		m, recovered, err := serve.OpenDurable(cfg.walDir,
+			func() (*trussindex.Index, error) { return baseIndex(cfg.netName, cfg.loadPath, logger) },
+			wal.Options{}, cfg.opts)
 		if err != nil {
-			return fmt.Errorf("opening wal %s: %w", walDir, err)
+			return fmt.Errorf("opening wal %s: %w", cfg.walDir, err)
 		}
 		mgr = m
 		if recovered {
 			st := mgr.Stats()
-			fmt.Printf("ctcserve: recovered from %s (epoch=%d n=%d m=%d, checkpoint seq %d)\n",
-				walDir, st.Epoch, st.Vertices, st.Edges, st.WALCheckpointSeq)
+			logger.Info("recovered from write-ahead log", "dir", cfg.walDir,
+				"epoch", st.Epoch, "n", st.Vertices, "m", st.Edges,
+				"checkpoint_seq", st.WALCheckpointSeq)
 		} else {
-			fmt.Printf("ctcserve: initialized wal %s\n", walDir)
+			logger.Info("initialized write-ahead log", "dir", cfg.walDir)
 		}
 	} else {
-		ix, err := baseIndex(netName, loadPath)
+		ix, err := baseIndex(cfg.netName, cfg.loadPath, logger)
 		if err != nil {
 			return err
 		}
-		mgr = serve.NewManagerFromIndex(ix, opts)
+		mgr = serve.NewManagerFromIndex(ix, cfg.opts)
 	}
 	defer mgr.Close()
 
-	srv := &http.Server{Addr: addr, Handler: newServer(mgr)}
+	srv := &http.Server{Addr: cfg.addr, Handler: newServerWith(mgr, reg, tracer)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("ctcserve: listening on %s\n", addr)
+	logger.Info("listening", "addr", cfg.addr)
+
+	if cfg.debugAddr != "" {
+		dsrv := &http.Server{Addr: cfg.debugAddr, Handler: debugMux()}
+		go func() {
+			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Warn("debug listener failed", "addr", cfg.debugAddr, "err", err)
+			}
+		}()
+		defer dsrv.Close()
+		logger.Info("pprof listening", "addr", cfg.debugAddr)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -157,7 +262,7 @@ func run(addr, netName, loadPath, savePath, walDir string, opts serve.Options) e
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		fmt.Printf("ctcserve: %v, shutting down\n", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		// Drain in-flight requests (bounded) before persisting the snapshot.
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		if err := srv.Shutdown(ctx); err != nil {
@@ -165,18 +270,31 @@ func run(addr, netName, loadPath, savePath, walDir string, opts serve.Options) e
 		}
 		cancel()
 	}
-	if savePath != "" {
-		if err := saveSnapshot(mgr, savePath); err != nil {
+	if cfg.savePath != "" {
+		if err := saveSnapshot(mgr, cfg.savePath, logger); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// debugMux serves net/http/pprof on its own mux, for the -debug-addr
+// listener only: profiling endpoints expose internals (and the CPU profile
+// stalls the world a little), so they never mount on the public address.
+func debugMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // saveSnapshot flushes pending updates and persists the resulting epoch
 // atomically: a failure at any point (including mid-write) leaves a
 // previously saved index at path untouched and readable.
-func saveSnapshot(mgr *serve.Manager, path string) error {
+func saveSnapshot(mgr *serve.Manager, path string, logger *slog.Logger) error {
 	_ = mgr.Flush()
 	snap := mgr.Acquire()
 	defer snap.Release()
@@ -189,6 +307,6 @@ func saveSnapshot(mgr *serve.Manager, path string) error {
 	if err != nil {
 		return fmt.Errorf("saving %s: %w", path, err)
 	}
-	fmt.Printf("ctcserve: saved epoch %d to %s (%d bytes)\n", snap.Epoch(), path, n)
+	logger.Info("saved snapshot", "epoch", snap.Epoch(), "path", path, "bytes", n)
 	return nil
 }

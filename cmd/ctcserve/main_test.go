@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -14,6 +15,12 @@ import (
 	"repro/internal/serve"
 	"repro/internal/trussindex"
 )
+
+// discardLogger returns a logger that drops everything; tests exercising
+// code paths that log don't want the noise on stderr.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
 
 func testManager(t *testing.T) *serve.Manager {
 	t.Helper()
@@ -175,7 +182,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 func TestSaveLoadRoundTrip(t *testing.T) {
 	mgr := testManager(t)
 	path := filepath.Join(t.TempDir(), "index.ctc")
-	if err := saveSnapshot(mgr, path); err != nil {
+	if err := saveSnapshot(mgr, path, discardLogger()); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/steiner"
+	"repro/internal/telemetry"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
 )
@@ -26,13 +27,29 @@ type server struct {
 	start time.Time
 }
 
+// newServer builds the API without the telemetry endpoints (tests and
+// embedders that wire no registry).
 func newServer(mgr *serve.Manager) http.Handler {
+	return newServerWith(mgr, nil, nil)
+}
+
+// newServerWith builds the full API: the query/update/stats plane plus,
+// when wired, GET /metrics (Prometheus text exposition of reg) and
+// GET /debug/slowlog (the tracer's slow-query ring). pprof is NOT mounted
+// here — it lives on the separate -debug-addr listener.
+func newServerWith(mgr *serve.Manager, reg *telemetry.Registry, tracer *telemetry.Tracer) http.Handler {
 	s := &server{mgr: mgr, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	}
+	if tracer != nil {
+		mux.Handle("GET /debug/slowlog", tracer.SlowLogHandler())
+	}
 	return mux
 }
 
@@ -64,16 +81,17 @@ type queryRequest struct {
 
 // queryStats mirrors core.QueryStats on the wire (microsecond timings).
 type queryStats struct {
-	SeedUS          int64  `json:"seed_us"`
-	ExpandUS        int64  `json:"expand_us"`
-	PeelUS          int64  `json:"peel_us"`
-	SeedEdges       int    `json:"seed_edges"`
-	PeelRounds      int    `json:"peel_rounds"`
-	EdgesPeeled     int    `json:"edges_peeled"`
-	WorkspaceReused bool   `json:"workspace_reused"`
-	QueueWaitUS     int64  `json:"queue_wait_us"`
-	CacheHit        bool   `json:"cache_hit"`
-	Tenant          string `json:"tenant,omitempty"`
+	SeedUS           int64  `json:"seed_us"`
+	ExpandUS         int64  `json:"expand_us"`
+	PeelUS           int64  `json:"peel_us"`
+	SeedEdges        int    `json:"seed_edges"`
+	PeelRounds       int    `json:"peel_rounds"`
+	EdgesPeeled      int    `json:"edges_peeled"`
+	WorkspaceReused  bool   `json:"workspace_reused"`
+	QueueWaitUS      int64  `json:"queue_wait_us"`
+	TotalWithQueueUS int64  `json:"total_with_queue_us"`
+	CacheHit         bool   `json:"cache_hit"`
+	Tenant           string `json:"tenant,omitempty"`
 }
 
 type queryResponse struct {
@@ -154,16 +172,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Vertices:  res.Vertices(),
 		ElapsedUS: st.Total.Microseconds(),
 		Stats: queryStats{
-			SeedUS:          st.Seed.Microseconds(),
-			ExpandUS:        st.Expand.Microseconds(),
-			PeelUS:          st.Peel.Microseconds(),
-			SeedEdges:       st.SeedEdges,
-			PeelRounds:      st.PeelRounds,
-			EdgesPeeled:     st.EdgesPeeled,
-			WorkspaceReused: st.WorkspaceReused,
-			QueueWaitUS:     st.QueueWait.Microseconds(),
-			CacheHit:        st.CacheHit,
-			Tenant:          st.Tenant,
+			SeedUS:           st.Seed.Microseconds(),
+			ExpandUS:         st.Expand.Microseconds(),
+			PeelUS:           st.Peel.Microseconds(),
+			SeedEdges:        st.SeedEdges,
+			PeelRounds:       st.PeelRounds,
+			EdgesPeeled:      st.EdgesPeeled,
+			WorkspaceReused:  st.WorkspaceReused,
+			QueueWaitUS:      st.QueueWait.Microseconds(),
+			TotalWithQueueUS: st.TotalWithQueue().Microseconds(),
+			CacheHit:         st.CacheHit,
+			Tenant:           st.Tenant,
 		},
 	})
 }
@@ -290,6 +309,9 @@ type statsResponse struct {
 	serve.Stats
 	SnapshotAgeMS float64 `json:"snapshot_age_ms"`
 	UptimeS       float64 `json:"uptime_s"`
+	// Build identifies the binary: Go toolchain version, and the VCS
+	// revision/dirty flag when the build stamped them.
+	Build telemetry.BuildInfo `json:"build"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -298,6 +320,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Stats:         st,
 		SnapshotAgeMS: float64(st.SnapshotAge.Microseconds()) / 1000,
 		UptimeS:       time.Since(s.start).Seconds(),
+		Build:         telemetry.Build(),
 	})
 }
 
@@ -326,18 +349,22 @@ func writeUpdateError(w http.ResponseWriter, err error) {
 // but fully functional — do NOT restart it, that only loses the warm
 // cache; 200).
 type healthzResponse struct {
-	Status     string `json:"status"` // ok | degraded | overloaded
-	Epoch      int64  `json:"epoch"`
-	Degraded   bool   `json:"degraded"`
-	Overloaded bool   `json:"overloaded"`
-	WALError   string `json:"wal_error,omitempty"`
-	QueueDepth int    `json:"query_queue_depth"`
+	Status     string  `json:"status"` // ok | degraded | overloaded
+	Epoch      int64   `json:"epoch"`
+	Degraded   bool    `json:"degraded"`
+	Overloaded bool    `json:"overloaded"`
+	WALError   string  `json:"wal_error,omitempty"`
+	QueueDepth int     `json:"query_queue_depth"`
+	UptimeS    float64 `json:"uptime_s"`
+	GoVersion  string  `json:"go_version"`
+	Revision   string  `json:"revision,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.mgr.Acquire()
 	defer snap.Release()
 	st := s.mgr.Stats()
+	b := telemetry.Build()
 	hr := healthzResponse{
 		Status:     "ok",
 		Epoch:      snap.Epoch(),
@@ -345,6 +372,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Overloaded: st.Overloaded,
 		WALError:   st.WALLastError,
 		QueueDepth: st.QueryQueueDepth,
+		UptimeS:    time.Since(s.start).Seconds(),
+		GoVersion:  b.GoVersion,
+		Revision:   b.Revision,
 	}
 	switch {
 	case hr.Degraded:

@@ -106,14 +106,14 @@ type TenantCounters struct {
 
 // Counters is a point-in-time view of the controller.
 type Counters struct {
-	Admitted          int64                     `json:"queries_admitted"`
-	ShedDeadline      int64                     `json:"queries_shed_deadline"`
-	ShedQueueFull     int64                     `json:"queries_shed_queue_full"`
-	CanceledInQueue   int64                     `json:"queries_canceled_in_queue"`
-	QueueDepth        int                       `json:"query_queue_depth"`
-	Inflight          int                       `json:"query_inflight"`
-	EstimatedStartDelay time.Duration           `json:"-"`
-	Tenants           map[string]TenantCounters `json:"-"`
+	Admitted            int64                     `json:"queries_admitted"`
+	ShedDeadline        int64                     `json:"queries_shed_deadline"`
+	ShedQueueFull       int64                     `json:"queries_shed_queue_full"`
+	CanceledInQueue     int64                     `json:"queries_canceled_in_queue"`
+	QueueDepth          int                       `json:"query_queue_depth"`
+	Inflight            int                       `json:"query_inflight"`
+	EstimatedStartDelay time.Duration             `json:"-"`
+	Tenants             map[string]TenantCounters `json:"-"`
 }
 
 // waiter is one queued admission request.
@@ -349,6 +349,14 @@ func (c *Controller) Overloaded() bool {
 	q := c.queued
 	c.mu.Unlock()
 	return q > 0
+}
+
+// QuickCounters returns the scalar admission counters without building the
+// per-tenant map — cheap enough to call several times per metrics scrape.
+func (c *Controller) QuickCounters() (admitted, shedDeadline, shedQueueFull, canceled int64, queueDepth, inflight int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitted, c.shedDeadline, c.shedQueueFull, c.canceled, c.queued, c.inflight
 }
 
 // Counters snapshots the admission statistics, including the per-tenant

@@ -24,6 +24,16 @@ const defaultCostNS = 50
 type Estimator struct {
 	// nsPerUnit is the EWMA-calibrated wall-nanoseconds per cost unit.
 	nsPerUnit atomic.Int64
+
+	// Cumulative calibration-error accounting: for every observed query,
+	// predictedNS adds the estimate the admission decision was priced at
+	// (units × the scale in force at completion), actualNS the measured
+	// execution time, and absErrNS the absolute difference. The ratio
+	// absErrNS/actualNS is the estimator's observable relative error.
+	predictedNS atomic.Int64
+	actualNS    atomic.Int64
+	absErrNS    atomic.Int64
+	observed    atomic.Int64
 }
 
 // NewEstimator builds an estimator seeded with initialNS nanoseconds per
@@ -105,6 +115,23 @@ func (e *Estimator) Observe(units int64, actual time.Duration) {
 	}
 	old := e.nsPerUnit.Load()
 	e.nsPerUnit.Store(old + (sample-old)/8)
+
+	predicted := units * old
+	errNS := predicted - actual.Nanoseconds()
+	if errNS < 0 {
+		errNS = -errNS
+	}
+	e.predictedNS.Add(predicted)
+	e.actualNS.Add(actual.Nanoseconds())
+	e.absErrNS.Add(errNS)
+	e.observed.Add(1)
+}
+
+// ErrorStats returns the cumulative calibration-error counters: total
+// predicted and actual nanoseconds, total absolute error, and the number of
+// observations. All monotone, safe for scrape-time func metrics.
+func (e *Estimator) ErrorStats() (predictedNS, actualNS, absErrNS, observations int64) {
+	return e.predictedNS.Load(), e.actualNS.Load(), e.absErrNS.Load(), e.observed.Load()
 }
 
 // CostNS returns the current calibrated ns-per-unit scale (a /stats gauge).

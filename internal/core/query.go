@@ -207,7 +207,14 @@ type QueryStats struct {
 	Peel time.Duration
 	// Total is the end-to-end pipeline time of the query — every phase plus
 	// the Verify re-check when requested. Request validation (a cheap O(|Q|)
-	// scan that runs before a workspace is even acquired) is not included.
+	// scan that runs before a workspace is even acquired) is not included,
+	// and neither is admission-queue wait — that is QueueWait, which is
+	// stamped by the serve layer after the pipeline finishes.
+	//
+	// Invariant: Total >= Seed + Expand + Peel (Total is measured by one
+	// outer clock around the whole pipeline, the phases by inner clocks, so
+	// inter-phase glue can only add to Total, never subtract). Use
+	// TotalWithQueue for the client-observed latency.
 	Total time.Duration
 	// SeedEdges counts the edges of the starting subgraph the peel works on
 	// (G0 for Basic/BulkDelete/TrussOnly, the extracted k-truss for LCTC) —
@@ -230,6 +237,13 @@ type QueryStats struct {
 	CacheHit bool
 	// Tenant echoes the request's tenant ("" = anonymous).
 	Tenant string
+}
+
+// TotalWithQueue is the client-observed latency of the query through the
+// serve layer: the pipeline time plus the admission-queue wait. Outside the
+// serve layer (QueueWait == 0) it equals Total.
+func (s *QueryStats) TotalWithQueue() time.Duration {
+	return s.Total + s.QueueWait
 }
 
 // Result is the answer to one Search: the community itself plus the

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestQueryStatsTotalInvariant pins the documented QueryStats contract:
+// Total covers the whole pipeline, so Total >= Seed + Expand + Peel for
+// every algorithm, QueueWait is NOT folded into Total (it belongs to the
+// serving layer), and TotalWithQueue adds it back for the client view.
+func TestQueryStatsTotalInvariant(t *testing.T) {
+	s := paperSearcher()
+	for _, algo := range []Algo{AlgoLCTC, AlgoBasic, AlgoBulkDelete, AlgoTrussOnly} {
+		res, err := s.Search(context.Background(), Request{Q: []int{0, 1, 2}, Algo: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		st := res.Stats
+		phases := st.Seed + st.Expand + st.Peel
+		if st.Total < phases {
+			t.Errorf("%v: Total %v < Seed+Expand+Peel %v", algo, st.Total, phases)
+		}
+		if st.QueueWait != 0 {
+			t.Errorf("%v: QueueWait %v != 0 for a direct Search call", algo, st.QueueWait)
+		}
+		if got := st.TotalWithQueue(); got != st.Total {
+			t.Errorf("%v: TotalWithQueue %v != Total %v with zero QueueWait", algo, got, st.Total)
+		}
+	}
+}
+
+// TestTotalWithQueue checks the arithmetic directly: queue wait stacked on
+// top of execution time.
+func TestTotalWithQueue(t *testing.T) {
+	st := QueryStats{Total: 30 * time.Millisecond, QueueWait: 12 * time.Millisecond}
+	if got, want := st.TotalWithQueue(), 42*time.Millisecond; got != want {
+		t.Fatalf("TotalWithQueue = %v, want %v", got, want)
+	}
+}

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/metrics"
+	"repro/internal/quality"
 	"repro/internal/steiner"
 )
 
@@ -46,8 +46,8 @@ func RunAblationSteiner(nw *gen.Network, cfg Config) *Figure {
 		XLabel: "metric", X: []string{"community k", "seed tree min truss"},
 		YLabel: "avg trussness",
 		Series: []Series{
-			{Name: "truss-dist (γ=3)", Y: []float64{metrics.Mean(kTruss), metrics.Mean(treeTruss)}},
-			{Name: "hop-dist (γ=0)", Y: []float64{metrics.Mean(kHop), metrics.Mean(treeHop)}},
+			{Name: "truss-dist (γ=3)", Y: []float64{quality.Mean(kTruss), quality.Mean(treeTruss)}},
+			{Name: "hop-dist (γ=0)", Y: []float64{quality.Mean(kHop), quality.Mean(treeHop)}},
 		},
 	}
 }
@@ -93,8 +93,8 @@ func RunAblationBulkRule(nw *gen.Network, cfg Config) *Figure {
 		XLabel: "metric", X: []string{"avg diameter", "avg time (s)"},
 		YLabel: "value",
 		Series: []Series{
-			{Name: "BD (bulk)", Y: []float64{metrics.Mean(diamBD), metrics.Mean(timeBD)}},
-			{Name: "Basic (single)", Y: []float64{metrics.Mean(diamBasic), metrics.Mean(timeBasic)}},
+			{Name: "BD (bulk)", Y: []float64{quality.Mean(diamBD), quality.Mean(timeBD)}},
+			{Name: "Basic (single)", Y: []float64{quality.Mean(diamBasic), quality.Mean(timeBasic)}},
 		},
 	}
 }

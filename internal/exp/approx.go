@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/metrics"
+	"repro/internal/quality"
 )
 
 // RunDiamApprox reproduces Figure 13 (Facebook): the average diameter and
@@ -58,11 +58,11 @@ func RunDiamApprox(nw *gen.Network, cfg Config) []*Figure {
 		}
 		cfg.progressf("Fig13 l=%d: %d queries\n", l, done)
 		for _, a := range algos {
-			diam[a] = append(diam[a], metrics.Mean(perDiam[a]))
-			trussn[a] = append(trussn[a], metrics.Mean(perTruss[a]))
+			diam[a] = append(diam[a], quality.Mean(perDiam[a]))
+			trussn[a] = append(trussn[a], quality.Mean(perTruss[a]))
 		}
-		diam["LB-OPT"] = append(diam["LB-OPT"], metrics.Mean(lbs))
-		diam["UB-OPT"] = append(diam["UB-OPT"], metrics.Mean(ubs))
+		diam["LB-OPT"] = append(diam["LB-OPT"], quality.Mean(lbs))
+		diam["UB-OPT"] = append(diam["UB-OPT"], quality.Mean(ubs))
 	}
 	fd := &Figure{ID: "Fig13a", Title: nw.Name + ": community diameter vs inter-distance",
 		XLabel: "l", X: xs, YLabel: "diameter"}
@@ -110,8 +110,8 @@ func RunVaryK(nw *gen.Network, cfg Config) *Figure {
 			lbs = append(lbs, float64(c.QueryDist()))
 		}
 		cfg.progressf("Fig14 k=%d: %d queries\n", k, len(ds))
-		lctcD = append(lctcD, metrics.Mean(ds))
-		lbD = append(lbD, metrics.Mean(lbs))
+		lctcD = append(lctcD, quality.Mean(ds))
+		lbD = append(lbD, quality.Mean(lbs))
 	}
 	return &Figure{
 		ID: "Fig14", Title: nw.Name + ": diameter vs fixed maximum trussness k",

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/metrics"
+	"repro/internal/quality"
 )
 
 // pointAccumulator gathers per-query measurements for one x value of an
@@ -51,7 +51,7 @@ func runOneQuery(s *core.Searcher, q []int, cfg Config, acc *pointAccumulator) b
 			return
 		}
 		acc.times[name] = append(acc.times[name], secs)
-		acc.percents[name] = append(acc.percents[name], metrics.KeptPercent(c.N(), g0N))
+		acc.percents[name] = append(acc.percents[name], quality.KeptPercent(c.N(), g0N))
 		acc.densities[name] = append(acc.densities[name], c.Density())
 	}
 	run("Basic", s.Basic, &core.Options{Timeout: cfg.basicTimeout()})
@@ -96,7 +96,7 @@ func figuresFromAccumulators(id, network, xlabel string, xs []string, accs []*po
 				} else if len(vals) == 0 {
 					ys[i] = Inf
 				} else {
-					ys[i] = metrics.Mean(vals)
+					ys[i] = quality.Mean(vals)
 				}
 			}
 			f.Series = append(f.Series, Series{Name: algo, Y: ys})

@@ -4,7 +4,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/metrics"
+	"repro/internal/quality"
 )
 
 // gtNetworks are the five ground-truth networks of Exp-3 (all but Facebook).
@@ -60,7 +60,7 @@ func RunGroundTruth(cfg Config, networks []*gen.Network) []*Figure {
 					return
 				}
 				a := acc[name]
-				a.f1s = append(a.f1s, metrics.F1(r.Vertices, gq.Community))
+				a.f1s = append(a.f1s, quality.F1(r.Vertices, gq.Community))
 				a.ts = append(a.ts, secs)
 				a.vs = append(a.vs, float64(r.N()))
 				a.es = append(a.es, float64(r.M()))
@@ -84,7 +84,7 @@ func RunGroundTruth(cfg Config, networks []*gen.Network) []*Figure {
 					return
 				}
 				a := acc[name]
-				a.f1s = append(a.f1s, metrics.F1(c.Vertices(), gq.Community))
+				a.f1s = append(a.f1s, quality.F1(c.Vertices(), gq.Community))
 				a.ts = append(a.ts, secs)
 				a.vs = append(a.vs, float64(c.N()))
 				a.es = append(a.es, float64(c.M()))
@@ -93,10 +93,10 @@ func RunGroundTruth(cfg Config, networks []*gen.Network) []*Figure {
 			runCore("LCTC", s.LCTC)
 		}
 		for _, m := range gtMethods {
-			f1[m] = append(f1[m], metrics.Mean(acc[m].f1s))
-			times[m] = append(times[m], metrics.Mean(acc[m].ts))
-			sizeV[m] = append(sizeV[m], metrics.Mean(acc[m].vs))
-			sizeE[m] = append(sizeE[m], metrics.Mean(acc[m].es))
+			f1[m] = append(f1[m], quality.Mean(acc[m].f1s))
+			times[m] = append(times[m], quality.Mean(acc[m].ts))
+			sizeV[m] = append(sizeV[m], quality.Mean(acc[m].vs))
+			sizeE[m] = append(sizeE[m], quality.Mean(acc[m].es))
 		}
 	}
 	mkFig := func(id, ylabel string, data map[string][]float64, methods []string) *Figure {

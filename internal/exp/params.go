@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/metrics"
+	"repro/internal/quality"
 )
 
 // lctcParamSweep measures LCTC's community size, F1 score and query time
@@ -33,13 +33,13 @@ func lctcParamSweep(nw *gen.Network, id, xlabel string, xs []string,
 				continue
 			}
 			vs = append(vs, float64(c.N()))
-			fs = append(fs, metrics.F1(c.Vertices(), gq.Community))
+			fs = append(fs, quality.F1(c.Vertices(), gq.Community))
 			ts = append(ts, secs)
 		}
 		cfg.progressf("%s %s=%s: %d queries\n", id, xlabel, xs[i], len(vs))
-		sizes[i] = metrics.Mean(vs)
-		f1s[i] = metrics.Mean(fs)
-		times[i] = metrics.Mean(ts)
+		sizes[i] = quality.Mean(vs)
+		f1s[i] = quality.Mean(fs)
+		times[i] = quality.Mean(ts)
 	}
 	title := func(y string) string { return fmt.Sprintf("%s: LCTC %s vs %s", nw.Name, y, xlabel) }
 	return []*Figure{

@@ -1,8 +1,8 @@
-// Package metrics implements the evaluation measures of Section 6:
+// Package quality implements the evaluation measures of Section 6:
 // precision/recall/F1 against ground-truth communities, kept-node
 // percentage (free-rider elimination), edge density, and the Lemma-2
 // diameter bounds used in Exp-4.
-package metrics
+package quality
 
 import (
 	"sort"

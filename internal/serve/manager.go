@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/steiner"
+	"repro/internal/telemetry"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
 	"repro/internal/wal"
@@ -109,6 +111,21 @@ type Options struct {
 	// with defaults; set Admission.Disabled to bypass the gate (the cache
 	// still applies unless Admission.CacheEntries < 0).
 	Admission admit.Config
+	// Metrics, when set, registers the manager's metric families
+	// (ctc_epoch*, ctc_admission_*, ctc_cache_*, ctc_wal_*, ...) in the
+	// registry at construction. Subsystem counters are read at scrape time
+	// (func metrics); latency distributions record into histograms. One
+	// registry must serve at most one manager (duplicate names panic).
+	Metrics *telemetry.Registry
+	// Tracer, when set, receives one QueryRecord per Query (and per
+	// QueryBatch item): per-algo/per-tenant latency histograms, outcome
+	// counters, phase breakdowns, and the slow-query log. Nil disables
+	// per-query tracing at the cost of a single pointer check.
+	Tracer *telemetry.Tracer
+	// Logger, when set, receives structured writer-loop events: publishes
+	// (Debug), full rebuilds and checkpoints (Info), fsync stalls and
+	// rate-limited admission sheds (Warn), degraded transitions (Error).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -157,20 +174,20 @@ type Stats struct {
 	// equal QueriesAdmitted minus the queries still in flight — a rejected
 	// request consuming a workspace would break that invariant, and the
 	// overload harness fails the build on it.
-	QueriesAdmitted   int64                           `json:"queries_admitted"`
-	QueriesExecuted   int64                           `json:"queries_executed"`
-	ShedDeadline      int64                           `json:"queries_shed_deadline"`
-	ShedQueueFull     int64                           `json:"queries_shed_queue_full"`
-	CanceledInQueue   int64                           `json:"queries_canceled_in_queue"`
-	QueryQueueDepth   int                             `json:"query_queue_depth"`
-	QueryInflight     int                             `json:"query_inflight"`
-	Overloaded        bool                            `json:"overloaded"`
-	EstCostNSPerUnit  int64                           `json:"est_cost_ns_per_unit"`
-	CacheHits         int64                           `json:"cache_hits"`
-	CacheMisses       int64                           `json:"cache_misses"`
-	CacheEntries      int                             `json:"cache_entries"`
-	CacheHitRatio     float64                         `json:"cache_hit_ratio"`
-	Tenants           map[string]admit.TenantCounters `json:"tenants,omitempty"`
+	QueriesAdmitted  int64                           `json:"queries_admitted"`
+	QueriesExecuted  int64                           `json:"queries_executed"`
+	ShedDeadline     int64                           `json:"queries_shed_deadline"`
+	ShedQueueFull    int64                           `json:"queries_shed_queue_full"`
+	CanceledInQueue  int64                           `json:"queries_canceled_in_queue"`
+	QueryQueueDepth  int                             `json:"query_queue_depth"`
+	QueryInflight    int                             `json:"query_inflight"`
+	Overloaded       bool                            `json:"overloaded"`
+	EstCostNSPerUnit int64                           `json:"est_cost_ns_per_unit"`
+	CacheHits        int64                           `json:"cache_hits"`
+	CacheMisses      int64                           `json:"cache_misses"`
+	CacheEntries     int                             `json:"cache_entries"`
+	CacheHitRatio    float64                         `json:"cache_hit_ratio"`
+	Tenants          map[string]admit.TenantCounters `json:"tenants,omitempty"`
 
 	// Durability observability; zero values when no WAL is configured.
 	WALEnabled       bool   `json:"wal_enabled"`
@@ -251,6 +268,15 @@ type Manager struct {
 	cache *admit.Cache
 	est   *admit.Estimator
 	execQ atomic.Int64
+
+	// Telemetry plane (PR 8): all optional. tracer/logger are read-only
+	// after construction; metrics holds the recording histogram handles
+	// (nil-safe when Options.Metrics is unset); lastShedLog rate-limits the
+	// shed warning.
+	tracer      *telemetry.Tracer
+	logger      *slog.Logger
+	metrics     managerMetrics
+	lastShedLog atomic.Int64
 }
 
 // NewManager builds the epoch-1 snapshot from g (running a full truss
@@ -304,6 +330,13 @@ func newStoppedManager(inc *truss.Incremental, ix0 *trussindex.Index, epochBase 
 	m.msgs = make(chan msg, m.opts.QueueSize)
 	m.quit = make(chan struct{})
 	m.done = make(chan struct{})
+	m.tracer = m.opts.Tracer
+	m.logger = m.opts.Logger
+	if m.opts.Metrics != nil {
+		// Before the first publish and before WAL recovery, so the initial
+		// build and replay-time fsyncs land in the histograms.
+		m.registerMetrics(m.opts.Metrics)
+	}
 	if ix0 != nil {
 		m.install(ix0, ix0.Graph(), false)
 	} else {
@@ -416,7 +449,22 @@ func (m *Manager) Close() {
 // into the search (a disconnected HTTP client sheds its in-flight query and
 // frees its queue slot); the snapshot reference is released even on
 // cancellation, so retirement is never blocked by abandoned queries.
+//
+// With Options.Tracer set, every call is also recorded into the telemetry
+// plane (outcome counters, latency histograms, the slow-query log); the
+// instrumentation is two clock reads and a handful of atomic adds — no
+// allocations, no locks.
 func (m *Manager) Query(ctx context.Context, req core.Request) (*core.Result, error) {
+	if m.tracer == nil {
+		return m.query(ctx, req)
+	}
+	t0 := time.Now()
+	res, err := m.query(ctx, req)
+	m.observeQuery(req, res, err, time.Since(t0))
+	return res, err
+}
+
+func (m *Manager) query(ctx context.Context, req core.Request) (*core.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -484,7 +532,26 @@ func cacheableErr(err error) bool {
 // passes the admission gate once, with the summed cost estimate of its
 // cache misses; individual cache hits are filled in without consuming
 // capacity.
+//
+// With Options.Tracer set, each item is recorded individually (using its
+// own phase breakdown; the total for an item is its pipeline time plus the
+// batch's shared queue wait).
 func (m *Manager) QueryBatch(ctx context.Context, reqs []core.Request) ([]core.BatchItem, error) {
+	items, err := m.queryBatch(ctx, reqs)
+	if m.tracer != nil {
+		for i := range items {
+			res := items[i].Result
+			total := time.Duration(0)
+			if res != nil {
+				total = res.Stats.TotalWithQueue()
+			}
+			m.observeQuery(reqs[i], res, items[i].Err, total)
+		}
+	}
+	return items, err
+}
+
+func (m *Manager) queryBatch(ctx context.Context, reqs []core.Request) ([]core.BatchItem, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -718,10 +785,12 @@ func (m *Manager) commitAndApply(ups []Update) {
 			m.degrade("append", err, len(ups))
 			return
 		}
+		s0 := time.Now()
 		if err := w.Sync(); err != nil {
 			m.degrade("sync", err, len(ups))
 			return
 		}
+		m.logFsyncStall(time.Since(s0), len(ups))
 	}
 	for _, u := range ups {
 		m.applyUpdate(u)
@@ -734,6 +803,7 @@ func (m *Manager) degrade(stage string, err error, dropped int) {
 	m.walErr.Store(stage + ": " + err.Error())
 	m.degraded.Store(true)
 	m.walDropped.Add(int64(dropped))
+	m.logDegraded(stage, err, dropped)
 }
 
 // drainOnClose commits and applies everything still queued, publishes once
@@ -809,12 +879,17 @@ func (m *Manager) applyUpdate(up Update) {
 // as the new epoch. Runs on the writer goroutine only (and once from
 // newManager before the goroutine starts).
 func (m *Manager) publish() {
+	t0 := time.Now()
+	applied := m.dirty
 	full := false
 	if len(m.pending) > 0 {
 		full = m.rebase()
 	}
 	d := m.inc.Snapshot()
 	m.install(trussindex.BuildFromDecomposition(d.G, d), d.G, full)
+	dur := time.Since(t0)
+	m.metrics.publishLatency.Observe(dur)
+	m.logPublish(m.cur.Load().epoch, full, applied, dur)
 	m.maybeCheckpoint()
 }
 
@@ -835,6 +910,7 @@ func (m *Manager) maybeCheckpoint() {
 		return
 	}
 	snap := m.cur.Load()
+	c0 := time.Now()
 	err := w.WriteCheckpoint(uint64(snap.epoch), func(dst io.Writer) error {
 		_, err := snap.ix.WriteTo(dst)
 		return err
@@ -843,6 +919,9 @@ func (m *Manager) maybeCheckpoint() {
 		m.degrade("checkpoint", err, 0)
 		return
 	}
+	dur := time.Since(c0)
+	m.metrics.checkpointLatency.Observe(dur)
+	m.logCheckpoint(snap.epoch, dur)
 	m.sinceCkpt = 0
 }
 

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/trussindex"
+)
+
+// fsyncStallThreshold: a group-commit fsync slower than this is logged as a
+// stall — on healthy local storage an fsync is well under a millisecond, so
+// 100ms means the disk (or the fault-injection FS) is misbehaving.
+const fsyncStallThreshold = 100 * time.Millisecond
+
+// shedLogInterval rate-limits the admission-shed warning: under sustained
+// overload every rejected request would otherwise emit a log line, turning
+// the log itself into a second overload victim.
+const shedLogInterval = time.Second
+
+// managerMetrics holds the manager's sample-recording metric handles (the
+// scrape-time func metrics need no handles). All nil when Options.Metrics
+// is unset; every recording site is nil-safe.
+type managerMetrics struct {
+	publishLatency    *telemetry.Histogram
+	checkpointLatency *telemetry.Histogram
+	walFsync          *telemetry.Histogram
+}
+
+// registerMetrics registers the manager's metric families in
+// opts.Metrics. Counters the subsystems already keep (gate, cache, WAL,
+// workspace pool, the manager's own atomics) are exposed as func metrics
+// read at scrape time; only per-sample latency distributions get recording
+// handles. Called once from newStoppedManager, before the writer goroutine
+// starts and before WAL recovery replays — so fsync latencies during replay
+// are already captured.
+func (m *Manager) registerMetrics(reg *telemetry.Registry) {
+	// --- Serving plane: epochs, snapshots, the update queue. ---
+	reg.NewGaugeFunc("ctc_epoch",
+		"Epoch of the currently served snapshot.",
+		func() float64 { return float64(m.cur.Load().epoch) })
+	reg.NewGaugeFunc("ctc_epoch_age_seconds",
+		"Age of the currently served snapshot.",
+		func() float64 { return time.Since(m.cur.Load().created).Seconds() })
+	reg.NewGaugeFunc("ctc_snapshots_live",
+		"Snapshots not yet retired (current plus any pinned by in-flight queries).",
+		func() float64 { return float64(m.liveSnaps.Load()) })
+	reg.NewCounterFunc("ctc_snapshots_retired_total",
+		"Snapshots whose refcount reached zero and were retired.",
+		func() int64 { return m.retired.Load() })
+	reg.NewGaugeFunc("ctc_update_queue_depth",
+		"Updates waiting in the writer's queue.",
+		func() float64 { return float64(len(m.msgs)) })
+	reg.NewGaugeFunc("ctc_update_queue_capacity",
+		"Capacity of the writer's update queue.",
+		func() float64 { return float64(cap(m.msgs)) })
+	reg.NewGaugeFunc("ctc_dirty_updates",
+		"Updates applied since the last publish (pending in the next snapshot).",
+		func() float64 { return float64(m.dirtyGauge.Load()) })
+	reg.NewCounterFunc("ctc_publishes_total",
+		"Snapshot publishes (epoch handoffs).",
+		func() int64 { return m.publishes.Load() })
+	reg.NewCounterFunc("ctc_full_rebuilds_total",
+		"Publishes that fell back to a full re-decomposition.",
+		func() int64 { return m.fulls.Load() })
+	reg.NewCounterFunc("ctc_updates_added_total",
+		"Edge insertions applied.", func() int64 { return m.adds.Load() })
+	reg.NewCounterFunc("ctc_updates_removed_total",
+		"Edge deletions applied.", func() int64 { return m.removes.Load() })
+	reg.NewCounterFunc("ctc_updates_rejected_total",
+		"Structurally invalid updates rejected.", func() int64 { return m.rejected.Load() })
+	reg.NewGaugeFunc("ctc_graph_vertices",
+		"Vertices in the served snapshot.",
+		func() float64 { return float64(m.cur.Load().g.N()) })
+	reg.NewGaugeFunc("ctc_graph_edges",
+		"Edges in the served snapshot.",
+		func() float64 { return float64(m.cur.Load().g.M()) })
+	reg.NewGaugeFunc("ctc_max_truss",
+		"Maximum trussness in the served snapshot.",
+		func() float64 { return float64(m.cur.Load().ix.MaxTruss()) })
+	reg.NewGaugeFunc("ctc_degraded",
+		"1 while the manager is read-only after a WAL failure, else 0.",
+		func() float64 {
+			if m.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	m.metrics.publishLatency = reg.NewHistogram("ctc_publish_duration_seconds",
+		"Wall time of one publish: rebase (if pending foreign edges), index freeze, epoch install.", nil)
+
+	// --- Admission plane. ---
+	reg.NewCounterFunc("ctc_admission_admitted_total",
+		"Queries admitted by the gate.",
+		func() int64 { a, _, _, _, _, _ := m.gate.QuickCounters(); return a })
+	reg.NewCounterFunc("ctc_admission_shed_deadline_total",
+		"Queries shed because their estimated start overran the deadline.",
+		func() int64 { _, d, _, _, _, _ := m.gate.QuickCounters(); return d })
+	reg.NewCounterFunc("ctc_admission_shed_queue_full_total",
+		"Queries shed because the admission queue was full.",
+		func() int64 { _, _, q, _, _, _ := m.gate.QuickCounters(); return q })
+	reg.NewCounterFunc("ctc_admission_canceled_total",
+		"Queries canceled while waiting in the admission queue.",
+		func() int64 { _, _, _, c, _, _ := m.gate.QuickCounters(); return c })
+	reg.NewGaugeFunc("ctc_admission_queue_depth",
+		"Requests waiting in the admission queue.",
+		func() float64 { _, _, _, _, q, _ := m.gate.QuickCounters(); return float64(q) })
+	reg.NewGaugeFunc("ctc_admission_inflight",
+		"Queries currently holding a concurrency slot.",
+		func() float64 { _, _, _, _, _, i := m.gate.QuickCounters(); return float64(i) })
+	reg.NewCounterFunc("ctc_queries_executed_total",
+		"Queries that acquired a snapshot and ran (admitted minus still in flight).",
+		func() int64 { return m.execQ.Load() })
+
+	// --- Result cache. ---
+	reg.NewCounterFunc("ctc_cache_hits_total",
+		"Result-cache hits.", func() int64 { return m.cache.Stats().Hits })
+	reg.NewCounterFunc("ctc_cache_misses_total",
+		"Result-cache misses.", func() int64 { return m.cache.Stats().Misses })
+	reg.NewGaugeFunc("ctc_cache_entries",
+		"Live result-cache entries.", func() float64 { return float64(m.cache.Stats().Entries) })
+	reg.NewGaugeFunc("ctc_cache_hit_ratio",
+		"Lifetime cache hit ratio (hits / (hits + misses)).",
+		func() float64 {
+			cs := m.cache.Stats()
+			if total := cs.Hits + cs.Misses; total > 0 {
+				return float64(cs.Hits) / float64(total)
+			}
+			return 0
+		})
+
+	// --- Cost estimator calibration. ---
+	reg.NewGaugeFunc("ctc_estimator_cost_ns_per_unit",
+		"Calibrated nanoseconds per abstract cost unit.",
+		func() float64 { return float64(m.est.CostNS()) })
+	reg.NewCounterFunc("ctc_estimator_predicted_ns_total",
+		"Cumulative predicted execution nanoseconds across observed queries.",
+		func() int64 { p, _, _, _ := m.est.ErrorStats(); return p })
+	reg.NewCounterFunc("ctc_estimator_actual_ns_total",
+		"Cumulative measured execution nanoseconds across observed queries.",
+		func() int64 { _, a, _, _ := m.est.ErrorStats(); return a })
+	reg.NewCounterFunc("ctc_estimator_abs_error_ns_total",
+		"Cumulative |predicted - actual| nanoseconds (divide by actual_ns_total for relative error).",
+		func() int64 { _, _, e, _ := m.est.ErrorStats(); return e })
+
+	// --- Workspace pool (process-global counters). ---
+	reg.NewCounterFunc("ctc_workspace_acquires_total",
+		"Workspace acquisitions from the per-index pool.",
+		func() int64 { a, _, _ := trussindex.ReadPoolStats(); return a })
+	reg.NewCounterFunc("ctc_workspace_fresh_total",
+		"Workspace acquisitions that missed the pool and allocated.",
+		func() int64 { _, f, _ := trussindex.ReadPoolStats(); return f })
+	reg.NewCounterFunc("ctc_workspace_releases_total",
+		"Workspaces returned to the pool.",
+		func() int64 { _, _, r := trussindex.ReadPoolStats(); return r })
+
+	// --- Write-ahead log, when configured. ---
+	if w := m.opts.WAL; w != nil {
+		m.metrics.walFsync = reg.NewHistogram("ctc_wal_fsync_duration_seconds",
+			"Latency of WAL group-commit fsyncs.", telemetry.DefFsyncBuckets)
+		w.SetSyncObserver(func(d time.Duration) { m.metrics.walFsync.Observe(d) })
+		m.metrics.checkpointLatency = reg.NewHistogram("ctc_wal_checkpoint_duration_seconds",
+			"Wall time of one WAL checkpoint (index serialization plus segment pruning).", nil)
+		reg.NewCounterFunc("ctc_wal_appends_total",
+			"Records appended to the WAL.", func() int64 { return w.Stats().Appends })
+		reg.NewCounterFunc("ctc_wal_syncs_total",
+			"Completed WAL group commits.", func() int64 { return w.Stats().Syncs })
+		reg.NewGaugeFunc("ctc_wal_bytes",
+			"Bytes across live WAL segments.", func() float64 { return float64(w.Stats().Bytes) })
+		reg.NewGaugeFunc("ctc_wal_segments",
+			"Live WAL segment files.", func() float64 { return float64(w.Stats().Segments) })
+		reg.NewGaugeFunc("ctc_wal_durable_seq",
+			"Highest WAL sequence covered by a completed fsync.",
+			func() float64 { return float64(w.Stats().DurableSeq) })
+		reg.NewGaugeFunc("ctc_wal_checkpoint_seq",
+			"Sequence of the newest WAL checkpoint (0 if none).",
+			func() float64 { return float64(w.Stats().CheckpointSeq) })
+		reg.NewCounterFunc("ctc_wal_dropped_updates_total",
+			"Updates dropped (not applied) because the manager was degraded.",
+			func() int64 { return m.walDropped.Load() })
+	}
+}
+
+// observeQuery feeds one finished Query into the tracer: outcome
+// classification, the phase breakdown from the result's stats, and the
+// client-observed total (queue wait included). The QueryRecord stays on the
+// stack, so an instrumented query path adds two time.Now calls and the
+// tracer's atomic adds — no allocations.
+func (m *Manager) observeQuery(req core.Request, res *core.Result, err error, total time.Duration) {
+	rec := telemetry.QueryRecord{
+		Algo:    req.Algo.String(),
+		Tenant:  req.Tenant,
+		Outcome: outcomeOf(err),
+		Total:   total,
+	}
+	if res != nil {
+		st := &res.Stats
+		rec.Epoch = st.Epoch
+		rec.CacheHit = st.CacheHit
+		rec.Seed, rec.Expand, rec.Peel = st.Seed, st.Expand, st.Peel
+		rec.QueueWait = st.QueueWait
+		rec.SeedEdges, rec.PeelRounds, rec.EdgesPeeled = st.SeedEdges, st.PeelRounds, st.EdgesPeeled
+	}
+	m.tracer.Observe(rec)
+	if rec.Outcome == "shed" {
+		m.logShed(req, err)
+	}
+}
+
+// outcomeOf classifies a query error into the bounded outcome label set of
+// ctc_queries_total.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrOverloaded):
+		return "shed"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case cacheableErr(err):
+		return "no_community"
+	case errors.Is(err, core.ErrEmptyQuery),
+		errors.Is(err, core.ErrVertexOutOfRange),
+		errors.Is(err, core.ErrBadParam):
+		return "bad_request"
+	default:
+		return "error"
+	}
+}
+
+// logShed emits the admission-shed warning, rate-limited to one line per
+// shedLogInterval — under sustained overload the metrics carry the volume,
+// the log carries the fact.
+func (m *Manager) logShed(req core.Request, err error) {
+	if m.logger == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := m.lastShedLog.Load()
+	if now-last < int64(shedLogInterval) || !m.lastShedLog.CompareAndSwap(last, now) {
+		return
+	}
+	m.logger.Warn("query shed by admission control",
+		"tenant", req.Tenant, "algo", req.Algo.String(), "err", err)
+}
+
+// logPublish emits the per-publish writer-loop event.
+func (m *Manager) logPublish(epoch int64, full bool, applied int, d time.Duration) {
+	if m.logger == nil {
+		return
+	}
+	if full {
+		// Full rebuilds are rare and expensive — worth Info.
+		m.logger.Info("published snapshot (full rebuild)",
+			"epoch", epoch, "duration", d)
+		return
+	}
+	m.logger.Debug("published snapshot",
+		"epoch", epoch, "dirty_applied", applied, "duration", d)
+}
+
+// logCheckpoint emits the checkpoint event.
+func (m *Manager) logCheckpoint(epoch int64, d time.Duration) {
+	if m.logger == nil {
+		return
+	}
+	m.logger.Info("wrote WAL checkpoint", "epoch", epoch, "duration", d)
+}
+
+// logFsyncStall warns when a group commit took pathologically long.
+func (m *Manager) logFsyncStall(d time.Duration, batch int) {
+	if m.logger == nil || d < fsyncStallThreshold {
+		return
+	}
+	m.logger.Warn("WAL fsync stall", "duration", d, "batch", batch)
+}
+
+// logDegraded records the transition into read-only degraded mode.
+func (m *Manager) logDegraded(stage string, err error, dropped int) {
+	if m.logger == nil {
+		return
+	}
+	m.logger.Error("WAL failure, manager degraded to read-only",
+		"stage", stage, "err", err, "dropped_updates", dropped)
+}
+
+// Logger returns the manager's structured logger (nil when not configured).
+func (m *Manager) Logger() *slog.Logger { return m.logger }
+
+// Tracer returns the manager's query tracer (nil when not configured).
+func (m *Manager) Tracer() *telemetry.Tracer { return m.tracer }

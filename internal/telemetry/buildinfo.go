@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: the Go toolchain version and,
+// when the binary was built inside a version-controlled checkout, the VCS
+// revision and dirty flag. Fields the build did not stamp are empty.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identity (cached after the first call —
+// debug.ReadBuildInfo parses the embedded module data each time).
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo adds the standard ctc_build_info info metric (constant
+// 1, labeled with the Go version and VCS revision) plus a go_goroutines
+// gauge to reg.
+func RegisterBuildInfo(reg *Registry) {
+	b := Build()
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	reg.NewInfo("ctc_build_info",
+		"Build identity of the running binary; the value is always 1.",
+		[][2]string{{"go_version", b.GoVersion}, {"revision", rev}})
+	reg.NewGaugeFunc("go_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}

@@ -1,0 +1,340 @@
+package telemetry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteTo renders every registered family in Prometheus text exposition
+// format (version 0.0.4): families in name order, each with its # HELP and
+// # TYPE line, histogram children as cumulative _bucket series plus _sum
+// and _count. Scraping never blocks recording — values are read from the
+// live atomics.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	for _, f := range r.sortedFamilies() {
+		if err := f.write(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (c *countingWriter) printf(format string, args ...any) error {
+	n, err := fmt.Fprintf(c.w, format, args...)
+	c.n += int64(n)
+	return err
+}
+
+// write renders one family.
+func (f *family) write(w *countingWriter) error {
+	typ := "gauge"
+	switch f.kind {
+	case kindCounter, kindCounterFunc, kindCounterVec:
+		typ = "counter"
+	case kindHistogram, kindHistogramVec:
+		typ = "histogram"
+	}
+	if err := w.printf("# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, typ); err != nil {
+		return err
+	}
+	switch f.kind {
+	case kindCounter:
+		return w.printf("%s %s\n", f.name, formatValue(float64(f.counter.Value())))
+	case kindCounterFunc:
+		return w.printf("%s %s\n", f.name, formatValue(float64(f.counterFn())))
+	case kindGauge:
+		return w.printf("%s %s\n", f.name, formatValue(float64(f.gauge.Value())))
+	case kindGaugeFunc:
+		return w.printf("%s %s\n", f.name, formatValue(f.gaugeFn()))
+	case kindInfo:
+		return w.printf("%s{%s} 1\n", f.name, f.infoLabels)
+	case kindHistogram:
+		return writeHistogram(w, f.name, "", f.hist)
+	case kindCounterVec:
+		for _, child := range f.vecSnapshot() {
+			// child.value is pre-escaped by vecSnapshot — emit verbatim.
+			if err := w.printf("%s{%s=\"%s\"} %s\n", f.name, f.label, child.value,
+				formatValue(float64(child.counter.Value()))); err != nil {
+				return err
+			}
+		}
+		return nil
+	case kindHistogramVec:
+		for _, child := range f.vecSnapshot() {
+			sel := fmt.Sprintf("%s=\"%s\"", f.label, child.value)
+			if err := writeHistogram(w, f.name, sel, child.hist); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// vecChild is one (label value, handle) pair of a vec snapshot.
+type vecChild struct {
+	value   string
+	counter *Counter
+	hist    *Histogram
+}
+
+// vecSnapshot copies a vec's children out under the read lock, sorted by
+// label value for deterministic exposition.
+func (f *family) vecSnapshot() []vecChild {
+	f.vecMu.RLock()
+	out := make([]vecChild, 0, len(f.vecOrder))
+	for _, v := range f.vecOrder {
+		out = append(out, vecChild{value: escapeLabel(v), counter: f.vecCounters[v], hist: f.vecHists[v]})
+	}
+	f.vecMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+// writeHistogram emits one histogram child: cumulative buckets (including
+// the +Inf bucket), _sum and _count. sel is the extra label selector
+// (`algo="lctc"`) or "".
+func writeHistogram(w *countingWriter, name, sel string, h *Histogram) error {
+	snap := h.Snapshot()
+	bracket := func(le string) string {
+		if sel == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s,le=%q}", sel, le)
+	}
+	plain := ""
+	if sel != "" {
+		plain = "{" + sel + "}"
+	}
+	var cum uint64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		if err := w.printf("%s_bucket%s %d\n", name, bracket(formatValue(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += snap.Counts[len(snap.Bounds)]
+	if err := w.printf("%s_bucket%s %d\n", name, bracket("+Inf"), cum); err != nil {
+		return err
+	}
+	if err := w.printf("%s_sum%s %g\n", name, plain, snap.Sum); err != nil {
+		return err
+	}
+	return w.printf("%s_count%s %d\n", name, plain, snap.Count)
+}
+
+// Handler serves the registry at GET /metrics in text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}
+
+// ---- Minimal text-format parser -------------------------------------------
+//
+// ParseText implements just enough of the Prometheus text format to
+// validate this registry's own output in tests and tools: HELP/TYPE
+// headers, scalar samples, and labeled samples. It is a validator, not a
+// general scraper.
+
+// ParsedSample is one sample line: the metric name (including _bucket/_sum/
+// _count suffixes for histograms), its raw label pairs, and the value.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one family: the HELP/TYPE header plus its samples in
+// exposition order.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParseText parses text exposition format into families keyed by name.
+// Every sample must belong to a family whose # TYPE line preceded it
+// (histogram samples match their base family by stripping the _bucket/
+// _sum/_count suffix).
+func ParseText(r io.Reader) (map[string]*ParsedFamily, error) {
+	fams := make(map[string]*ParsedFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			f := fams[name]
+			if f == nil {
+				f = &ParsedFamily{Name: name}
+				fams[name] = f
+			}
+			f.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &ParsedFamily{Name: name}
+				fams[name] = f
+			}
+			if f.Type != "" && f.Type != typ {
+				return nil, fmt.Errorf("line %d: family %s re-typed %s -> %s", lineNo, name, f.Type, typ)
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := fams[baseName(s.Name, fams)]
+		if fam == nil || fam.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s before its # TYPE header", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// baseName resolves a sample name to its family name: exact match first,
+// then the histogram suffixes stripped.
+func baseName(name string, fams map[string]*ParsedFamily) string {
+	if _, ok := fams[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok {
+			if _, exists := fams[b]; exists {
+				return b
+			}
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return s, errors.New("unterminated label set")
+		}
+		if err := parseLabels(line[i+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("no value on sample line %q", line)
+		}
+	}
+	valStr := strings.Fields(rest)
+	if len(valStr) == 0 {
+		return s, fmt.Errorf("no value on sample line %q", line)
+	}
+	v, err := parseFloat(valStr[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `k="v",k2="v2"` into dst, unescaping values.
+func parseLabels(s string, dst map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed labels %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value after %s", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated value for label %s", key)
+		}
+		dst[key] = val.String()
+		s = s[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}

@@ -1,0 +1,453 @@
+// Package telemetry is the observability plane of the serving stack: a
+// dependency-free metrics registry whose hot-path operations (counter
+// increments, gauge stores, histogram observations) are single atomic
+// instructions with zero allocations, a Prometheus text-exposition writer
+// for /metrics scraping, a per-query phase tracer feeding per-algo and
+// per-tenant latency histograms, and a ring-buffered slow-query log.
+//
+// Design rules, in order of importance:
+//
+//   - Recording a sample must never allocate and never take a lock. Metric
+//     handles are resolved once at wiring time (a *Counter, *Gauge or
+//     *Histogram pointer); the per-sample path is atomic adds only. Vec
+//     children are cached behind an RWMutex — resolve them once and keep
+//     the pointer, or accept one read-lock per sample.
+//   - Every metric op is safe on a nil receiver (a no-op), so instrumented
+//     packages hold possibly-nil handles instead of branching on "telemetry
+//     enabled" at every site.
+//   - Readers never perturb writers: Snapshot/WriteTo read the atomics
+//     without stopping them, so a scrape observes each bucket at some point
+//     during its execution (bucket cumulativity is still exact because the
+//     cumulative sums are computed from one read of the per-bucket counts).
+//   - Func metrics (CounterFunc/GaugeFunc) read external state at scrape
+//     time, so subsystems that already keep atomic counters (the admission
+//     gate, the WAL, the workspace pool) are exposed without double
+//     accounting.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value. The zero value is usable;
+// all methods are nil-safe no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (n < 0 is ignored — counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is usable; all
+// methods are nil-safe no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefLatencyBuckets are the default histogram bounds for query-shaped
+// latencies, in seconds: 100µs to 10s, roughly ×2.5 per step. Sixteen
+// buckets keeps Observe's linear scan trivially cheap while resolving both
+// a 12µs cache hit (first bucket) and a 9s pathological peel (last).
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefFsyncBuckets are the default bounds for fsync-shaped latencies,
+// in seconds: 50µs (NVMe) up to 1s (a stalling disk).
+var DefFsyncBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
+// Histogram is a fixed-bucket latency histogram: cumulative-on-read bucket
+// counts, a sum, and a derived count, matching the Prometheus histogram
+// data model. Observe is lock-free: one linear scan over ~14 bounds plus
+// two atomic adds. All methods are nil-safe.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds in seconds; +Inf is implicit
+	counts []atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// newHistogram builds a histogram over the given ascending bucket bounds
+// (seconds). Bounds are copied; an empty slice gets DefLatencyBuckets.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	if !sort.Float64sAreSorted(b) {
+		panic("telemetry: histogram bounds must be ascending")
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// HistogramSnapshot is one consistent read of a histogram: per-bucket
+// (non-cumulative) counts, the derived total count, and the sum in seconds.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds; Counts has one extra +Inf slot
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot reads the histogram without stopping writers. Count is derived
+// from the bucket counts read, so cumulative bucket emission is always
+// internally consistent (Sum may trail by in-flight observations).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		snap.Counts[i] = c
+		snap.Count += c
+	}
+	snap.Sum = float64(h.sumNS.Load()) / float64(time.Second)
+	return snap
+}
+
+// metricKind discriminates family entries in the registry.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindCounterFunc
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindCounterVec
+	kindHistogramVec
+	kindInfo
+)
+
+// family is one registered metric family: a name, help text, and either a
+// scalar handle, a func, a vec of labeled children, or a constant info
+// sample.
+type family struct {
+	name  string
+	help  string
+	kind  metricKind
+	label string // vec label key, "" otherwise
+
+	counter   *Counter
+	counterFn func() int64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
+
+	vecMu       sync.RWMutex
+	vecCounters map[string]*Counter
+	vecHists    map[string]*Histogram
+	vecOrder    []string
+	vecMax      int
+	histBounds  []float64
+
+	infoLabels string // pre-rendered {k="v",...} for kindInfo
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Register every family once at wiring time; duplicate
+// names panic (a programmer error, like a duplicate flag).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) add(f *family) {
+	if !validMetricName(f.name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", f.name))
+	}
+	r.families[f.name] = f
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be monotone non-decreasing and safe for concurrent use.
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) {
+	r.add(&family{name: name, help: help, kind: kindCounterFunc, counterFn: fn})
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&family{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at scrape
+// time. fn must be safe for concurrent use.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
+// NewHistogram registers and returns a histogram over the given ascending
+// bucket bounds in seconds (nil = DefLatencyBuckets).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.add(&family{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// NewInfo registers a constant gauge-1 sample carrying build-style labels
+// (the node_exporter "info metric" pattern). Label order is preserved.
+func (r *Registry) NewInfo(name, help string, labels [][2]string) {
+	var b strings.Builder
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[1]))
+		b.WriteByte('"')
+	}
+	r.add(&family{name: name, help: help, kind: kindInfo, infoLabels: b.String()})
+}
+
+// vecDefaultMax bounds the children of one vec so an unbounded label (a
+// tenant name from the wire) cannot grow the registry without limit; the
+// excess lands on the "_other" child.
+const vecDefaultMax = 64
+
+// VecOverflowLabel is the label value that absorbs samples past a vec's
+// child limit.
+const VecOverflowLabel = "_other"
+
+// CounterVec is a counter family with one label dimension.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers a labeled counter family. Children are created on
+// first With and capped at a bounded cardinality (overflow lands on
+// VecOverflowLabel).
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	f := &family{
+		name: name, help: help, kind: kindCounterVec, label: label,
+		vecCounters: make(map[string]*Counter), vecMax: vecDefaultMax,
+	}
+	r.add(f)
+	return &CounterVec{f: f}
+}
+
+// With returns the child counter for the label value, creating it on first
+// use. Resolve once and keep the pointer on hot paths. Nil-safe.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	f := v.f
+	f.vecMu.RLock()
+	c := f.vecCounters[value]
+	f.vecMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	f.vecMu.Lock()
+	defer f.vecMu.Unlock()
+	if c = f.vecCounters[value]; c != nil {
+		return c
+	}
+	if len(f.vecOrder) >= f.vecMax {
+		// Cardinality cap: the excess value lands on the shared overflow
+		// child (created here if this is the first overflowing sample).
+		value = VecOverflowLabel
+		if c = f.vecCounters[value]; c != nil {
+			return c
+		}
+	}
+	c = &Counter{}
+	f.vecCounters[value] = c
+	f.vecOrder = append(f.vecOrder, value)
+	return c
+}
+
+// HistogramVec is a histogram family with one label dimension.
+type HistogramVec struct{ f *family }
+
+// NewHistogramVec registers a labeled histogram family over the given
+// bucket bounds (nil = DefLatencyBuckets); children share the bounds.
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	f := &family{
+		name: name, help: help, kind: kindHistogramVec, label: label,
+		vecHists: make(map[string]*Histogram), vecMax: vecDefaultMax,
+		histBounds: append([]float64(nil), bounds...),
+	}
+	r.add(f)
+	return &HistogramVec{f: f}
+}
+
+// With returns the child histogram for the label value, creating it on
+// first use. Resolve once and keep the pointer on hot paths. Nil-safe.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	f := v.f
+	f.vecMu.RLock()
+	h := f.vecHists[value]
+	f.vecMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	f.vecMu.Lock()
+	defer f.vecMu.Unlock()
+	if h = f.vecHists[value]; h != nil {
+		return h
+	}
+	if len(f.vecOrder) >= f.vecMax {
+		value = VecOverflowLabel
+		if h = f.vecHists[value]; h != nil {
+			return h
+		}
+	}
+	h = newHistogram(f.histBounds)
+	f.vecHists[value] = h
+	f.vecOrder = append(f.vecOrder, value)
+	return h
+}
+
+// sortedFamilies snapshots the registered families in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// formatValue renders a sample value the way Prometheus expects: integers
+// without an exponent, non-integers in shortest-float form, +Inf spelled
+// out.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// escapeLabel escapes a label value per the text-format rules.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes HELP text per the text-format rules.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

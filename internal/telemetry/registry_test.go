@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("t_counter", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-1) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("t_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every hot-path op must be a no-op on nil, so uninstrumented wiring
+	// costs one branch.
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var hv *HistogramVec
+	var tr *Tracer
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	_ = h.Snapshot()
+	if cv.With("x") != nil {
+		t.Fatal("nil CounterVec.With should return nil")
+	}
+	if hv.With("x") != nil {
+		t.Fatal("nil HistogramVec.With should return nil")
+	}
+	tr.Observe(QueryRecord{Outcome: "ok"})
+	if tr.SlowQueries() != nil {
+		t.Fatal("nil tracer slowlog should be nil")
+	}
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil values should read 0")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket 0 (<= 1ms)
+	h.Observe(time.Millisecond)       // bucket 0 (le is inclusive)
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(50 * time.Millisecond)  // bucket 2
+	h.Observe(time.Second)            // +Inf bucket
+	snap := h.Snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	wantSum := 0.0005 + 0.001 + 0.005 + 0.05 + 1
+	if math.Abs(snap.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", snap.Sum, wantSum)
+	}
+}
+
+func TestVecChildrenAndOverflow(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("t_vec_total", "labeled", "tenant")
+	if cv.With("a") != cv.With("a") {
+		t.Fatal("With must return the same child for the same value")
+	}
+	cv.f.vecMax = 3
+	cv.With("a").Inc()
+	cv.With("b").Inc()
+	cv.With("c").Inc()
+	// Past the cap: both land on the shared overflow child.
+	cv.With("d").Inc()
+	cv.With("e").Add(2)
+	if got := cv.With("d").Value(); got != 3 {
+		t.Fatalf("overflow child = %d, want 3", got)
+	}
+	if cv.With("d") != cv.With(VecOverflowLabel) {
+		t.Fatal("overflowing values must share the overflow child")
+	}
+
+	hv := r.NewHistogramVec("t_vec_seconds", "labeled hist", "algo", []float64{1})
+	hv.f.vecMax = 1
+	hv.With("x").Observe(time.Second)
+	hv.With("y").Observe(time.Second)
+	if hv.With("y") != hv.With(VecOverflowLabel) {
+		t.Fatal("histogram overflow must share the overflow child")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.NewCounter("dup_total", "second")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name should panic")
+		}
+	}()
+	r.NewCounter("bad name!", "nope")
+}
+
+func TestConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("race_total", "counter")
+	h := r.NewHistogram("race_seconds", "hist", nil)
+	hv := r.NewHistogramVec("race_vec_seconds", "vec", "algo", nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			algo := fmt.Sprintf("algo%d", w)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+				hv.With(algo).Observe(time.Millisecond)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if _, err := r.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := ParseText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("scrape %d unparseable: %v\n%s", i, err, sb.String())
+		}
+		validateHistogramFamily(t, fams["race_seconds"], "race_seconds")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRecordZeroAlloc pins the hot-path contract: counter increments,
+// gauge stores, histogram observations, resolved-vec observations and
+// Tracer.Observe allocate nothing.
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("za_total", "c")
+	g := r.NewGauge("za_gauge", "g")
+	h := r.NewHistogram("za_seconds", "h", nil)
+	hv := r.NewHistogramVec("za_vec_seconds", "hv", "algo", nil)
+	child := hv.With("LCTC")
+	tr := NewTracer(r, TracerOptions{SlowThreshold: time.Hour})
+	rec := QueryRecord{
+		Algo: "LCTC", Outcome: "ok", Epoch: 3,
+		Seed: time.Millisecond, Expand: time.Millisecond, Peel: time.Millisecond,
+		Total: 3 * time.Millisecond,
+	}
+	tr.Observe(rec) // create the algo/tenant/outcome children once
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"CounterInc", func() { c.Inc() }},
+		{"GaugeSet", func() { g.Set(42) }},
+		{"HistogramObserve", func() { h.Observe(time.Millisecond) }},
+		{"VecResolvedObserve", func() { child.Observe(time.Millisecond) }},
+		{"VecWithObserve", func() { hv.With("LCTC").Observe(time.Millisecond) }},
+		{"TracerObserve", func() { tr.Observe(rec) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestSlowlogPushZeroAlloc: the slow path copies into a preallocated ring
+// slot — recording a slow query allocates nothing either.
+func TestSlowlogPushZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, TracerOptions{SlowThreshold: time.Nanosecond})
+	rec := QueryRecord{Algo: "Basic", Outcome: "ok", Total: time.Second, Time: time.Unix(0, 1)}
+	tr.Observe(rec)
+	if allocs := testing.AllocsPerRun(200, func() { tr.Observe(rec) }); allocs != 0 {
+		t.Errorf("slow-path Observe allocates %.1f/op, want 0", allocs)
+	}
+}

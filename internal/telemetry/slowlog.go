@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// slowEntry is the wire shape of one slowlog record: timings in
+// microseconds, matching the /query response's stats block.
+type slowEntry struct {
+	Time        string `json:"time"`
+	Algo        string `json:"algo"`
+	Tenant      string `json:"tenant,omitempty"`
+	Epoch       int64  `json:"epoch"`
+	Outcome     string `json:"outcome"`
+	CacheHit    bool   `json:"cache_hit,omitempty"`
+	SeedUS      int64  `json:"seed_us"`
+	ExpandUS    int64  `json:"expand_us"`
+	PeelUS      int64  `json:"peel_us"`
+	QueueWaitUS int64  `json:"queue_wait_us"`
+	TotalUS     int64  `json:"total_us"`
+	SeedEdges   int    `json:"seed_edges"`
+	PeelRounds  int    `json:"peel_rounds"`
+	EdgesPeeled int    `json:"edges_peeled"`
+}
+
+type slowLogResponse struct {
+	ThresholdMS float64     `json:"threshold_ms"`
+	Total       int64       `json:"total_slow"`
+	Entries     []slowEntry `json:"entries"`
+}
+
+// SlowLogHandler serves the slow-query ring as JSON at GET /debug/slowlog:
+// newest first, phase breakdown in microseconds, plus the configured
+// threshold and the all-time slow count.
+func (t *Tracer) SlowLogHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp := slowLogResponse{Entries: []slowEntry{}}
+		if t != nil {
+			resp.ThresholdMS = float64(t.slowThreshold.Microseconds()) / 1000
+			resp.Total = t.SlowTotal()
+			for _, rec := range t.SlowQueries() {
+				resp.Entries = append(resp.Entries, slowEntry{
+					Time:        rec.Time.Format(time.RFC3339Nano),
+					Algo:        rec.Algo,
+					Tenant:      rec.Tenant,
+					Epoch:       rec.Epoch,
+					Outcome:     rec.Outcome,
+					CacheHit:    rec.CacheHit,
+					SeedUS:      rec.Seed.Microseconds(),
+					ExpandUS:    rec.Expand.Microseconds(),
+					PeelUS:      rec.Peel.Microseconds(),
+					QueueWaitUS: rec.QueueWait.Microseconds(),
+					TotalUS:     rec.Total.Microseconds(),
+					SeedEdges:   rec.SeedEdges,
+					PeelRounds:  rec.PeelRounds,
+					EdgesPeeled: rec.EdgesPeeled,
+				})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}

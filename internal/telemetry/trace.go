@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// QueryRecord is one completed (or shed) query as the telemetry plane sees
+// it: identity (algo, tenant, epoch), the phase breakdown from
+// core.QueryStats, the client-observed total, and the outcome. It is a
+// plain value — building one on the stack and passing it to
+// Tracer.Observe allocates nothing.
+type QueryRecord struct {
+	// Time is the completion time (stamped by Observe if zero).
+	Time time.Time `json:"time"`
+	// Algo is the algorithm's display name ("LCTC", "Basic", "BD",
+	// "Truss"), or "" for requests shed before dispatch.
+	Algo string `json:"algo"`
+	// Tenant is the requesting tenant ("" = anonymous).
+	Tenant string `json:"tenant,omitempty"`
+	// Epoch is the serving epoch the query ran against (0 if it never
+	// reached a snapshot).
+	Epoch int64 `json:"epoch"`
+	// Outcome classifies how the query ended: "ok", "no_community",
+	// "bad_request", "canceled", "deadline", "shed", or "error".
+	Outcome string `json:"outcome"`
+	// CacheHit reports an epoch-keyed cache answer (the phase fields are
+	// then zero — the stored breakdown describes the original execution,
+	// not this request).
+	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// Phase breakdown (wall clock). Total is the client-observed latency
+	// including queue wait; Seed/Expand/Peel are the pipeline phases.
+	Seed      time.Duration `json:"seed"`
+	Expand    time.Duration `json:"expand"`
+	Peel      time.Duration `json:"peel"`
+	QueueWait time.Duration `json:"queue_wait"`
+	Total     time.Duration `json:"total"`
+
+	// Work volume, for judging whether a slow query was big or stuck.
+	SeedEdges   int `json:"seed_edges"`
+	PeelRounds  int `json:"peel_rounds"`
+	EdgesPeeled int `json:"edges_peeled"`
+}
+
+// TracerOptions tunes a Tracer. The zero value selects the defaults.
+type TracerOptions struct {
+	// SlowThreshold: queries whose client-observed total reaches it enter
+	// the slow-query log. Default 250ms; negative disables the slowlog.
+	SlowThreshold time.Duration
+	// SlowLogEntries bounds the slowlog ring. Default 128.
+	SlowLogEntries int
+}
+
+func (o TracerOptions) withDefaults() TracerOptions {
+	if o.SlowThreshold == 0 {
+		o.SlowThreshold = 250 * time.Millisecond
+	}
+	if o.SlowLogEntries <= 0 {
+		o.SlowLogEntries = 128
+	}
+	return o
+}
+
+// Tracer turns per-query records into metrics and the slow-query log. All
+// methods are nil-safe, so an uninstrumented manager passes a nil *Tracer
+// and pays a single pointer comparison per query.
+type Tracer struct {
+	slowThreshold time.Duration
+	slowlog       *slowLog
+
+	latency       *HistogramVec // by algo
+	tenantLatency *HistogramVec // by tenant
+	phase         *HistogramVec // by phase: seed | expand | peel
+	queueWait     *Histogram
+	outcomes      *CounterVec
+	slowTotal     *Counter
+
+	// Pre-resolved phase children: Observe must not take the vec's read
+	// lock three times per query.
+	phaseSeed, phaseExpand, phasePeel *Histogram
+}
+
+// NewTracer builds a tracer and registers its metric families
+// (ctc_query_*) in reg.
+func NewTracer(reg *Registry, opt TracerOptions) *Tracer {
+	opt = opt.withDefaults()
+	t := &Tracer{
+		slowThreshold: opt.SlowThreshold,
+		slowlog:       newSlowLog(opt.SlowLogEntries),
+		latency: reg.NewHistogramVec("ctc_query_duration_seconds",
+			"Client-observed query latency (queue wait included), by algorithm.",
+			"algo", nil),
+		tenantLatency: reg.NewHistogramVec("ctc_query_tenant_duration_seconds",
+			"Client-observed query latency (queue wait included), by tenant (bounded cardinality; excess tenants land on \"_other\").",
+			"tenant", nil),
+		phase: reg.NewHistogramVec("ctc_query_phase_duration_seconds",
+			"Per-phase execution time of non-cached queries: seed (FindG0/Steiner), expand (LCTC expansion+extraction), peel (free-rider removal).",
+			"phase", nil),
+		queueWait: reg.NewHistogram("ctc_query_queue_wait_seconds",
+			"Time spent in the admission queue before a concurrency slot was granted.", nil),
+		outcomes: reg.NewCounterVec("ctc_queries_total",
+			"Completed queries by outcome: ok, no_community, bad_request, canceled, deadline, shed, error.",
+			"outcome"),
+		slowTotal: reg.NewCounter("ctc_slow_queries_total",
+			"Queries whose client-observed total reached the slow-query threshold."),
+	}
+	t.phaseSeed = t.phase.With("seed")
+	t.phaseExpand = t.phase.With("expand")
+	t.phasePeel = t.phase.With("peel")
+	return t
+}
+
+// SlowThreshold returns the configured slow-query threshold.
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.slowThreshold
+}
+
+// Observe records one query. Zero allocations once the record's algo and
+// tenant children exist (algo children are a fixed set of four; tenant
+// children are capped by the vec's cardinality bound).
+func (t *Tracer) Observe(rec QueryRecord) {
+	if t == nil {
+		return
+	}
+	t.outcomes.With(rec.Outcome).Inc()
+	if rec.Algo != "" {
+		t.latency.With(rec.Algo).Observe(rec.Total)
+	}
+	t.tenantLatency.With(rec.Tenant).Observe(rec.Total)
+	if !rec.CacheHit {
+		t.queueWait.Observe(rec.QueueWait)
+		// Zero-duration phases are structural (Expand outside LCTC, Peel
+		// under TrussOnly), not fast executions; observing them would pile
+		// fake samples into the first bucket.
+		if rec.Seed > 0 {
+			t.phaseSeed.Observe(rec.Seed)
+		}
+		if rec.Expand > 0 {
+			t.phaseExpand.Observe(rec.Expand)
+		}
+		if rec.Peel > 0 {
+			t.phasePeel.Observe(rec.Peel)
+		}
+	}
+	if t.slowThreshold > 0 && rec.Total >= t.slowThreshold {
+		t.slowTotal.Inc()
+		if rec.Time.IsZero() {
+			rec.Time = time.Now()
+		}
+		t.slowlog.push(rec)
+	}
+}
+
+// SlowQueries returns the slow-query log, newest first.
+func (t *Tracer) SlowQueries() []QueryRecord {
+	if t == nil {
+		return nil
+	}
+	return t.slowlog.snapshot()
+}
+
+// SlowTotal returns how many queries crossed the slow threshold.
+func (t *Tracer) SlowTotal() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.slowTotal.Value()
+}
+
+// slowLog is a fixed-capacity ring of the most recent slow queries.
+// push copies the record into a preallocated slot — no allocation, one
+// short mutex hold, and only on the (rare) slow path.
+type slowLog struct {
+	mu    sync.Mutex
+	buf   []QueryRecord
+	next  int
+	count int
+}
+
+func newSlowLog(capacity int) *slowLog {
+	return &slowLog{buf: make([]QueryRecord, capacity)}
+}
+
+func (l *slowLog) push(rec QueryRecord) {
+	l.mu.Lock()
+	l.buf[l.next] = rec
+	l.next = (l.next + 1) % len(l.buf)
+	if l.count < len(l.buf) {
+		l.count++
+	}
+	l.mu.Unlock()
+}
+
+// snapshot copies the ring out, newest first.
+func (l *slowLog) snapshot() []QueryRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryRecord, l.count)
+	for i := 0; i < l.count; i++ {
+		out[i] = l.buf[(l.next-1-i+len(l.buf))%len(l.buf)]
+	}
+	return out
+}

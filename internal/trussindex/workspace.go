@@ -2,10 +2,26 @@ package trussindex
 
 import (
 	"context"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/truss"
 )
+
+// Process-global workspace-pool counters. Package-level (not per-Index) so
+// they stay monotone across epoch publishes, which retire and rebuild the
+// index — a requirement for exposing them as Prometheus counters.
+var (
+	poolAcquires atomic.Int64 // AcquireWorkspace calls
+	poolFresh    atomic.Int64 // acquires that missed the pool and allocated
+	poolReleases atomic.Int64 // Release calls
+)
+
+// ReadPoolStats returns the cumulative workspace-pool counters: total
+// acquires, pool misses that allocated a fresh workspace, and releases.
+func ReadPoolStats() (acquires, fresh, releases int64) {
+	return poolAcquires.Load(), poolFresh.Load(), poolReleases.Load()
+}
 
 // Workspace is the pooled per-query scratch of an Index: epoch-stamped
 // visit marks and value arrays, a stamped union-find, reusable BFS queues
@@ -91,10 +107,12 @@ type Workspace struct {
 // AcquireWorkspace returns a workspace for this index, creating one if the
 // pool is empty. Pair it with Release.
 func (ix *Index) AcquireWorkspace() *Workspace {
+	poolAcquires.Add(1)
 	if ws, ok := ix.pool.Get().(*Workspace); ok {
 		ws.reused = true
 		return ws
 	}
+	poolFresh.Add(1)
 	n := ix.g.N()
 	return &Workspace{
 		ix:     ix,
@@ -110,6 +128,7 @@ func (ix *Index) AcquireWorkspace() *Workspace {
 // Release returns the workspace to its index's pool, dropping the query
 // context so a pooled workspace never pins a caller's context alive.
 func (ws *Workspace) Release() {
+	poolReleases.Add(1)
 	ws.ctx = nil
 	ws.ix.pool.Put(ws)
 }

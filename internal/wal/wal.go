@@ -133,6 +133,19 @@ type Log struct {
 	syncs      int64
 	lastSync   time.Duration
 	pendingSeq uint64 // highest appended-but-unsynced seq
+
+	// syncObs, when set, receives the latency of every real fsync (telemetry
+	// histogram feed). Install with SetSyncObserver before appending starts.
+	syncObs func(time.Duration)
+}
+
+// SetSyncObserver installs fn to be called with each fsync's latency.
+// Must be called before concurrent use of the log (wiring time); fn must
+// not call back into the log.
+func (l *Log) SetSyncObserver(fn func(time.Duration)) {
+	l.mu.Lock()
+	l.syncObs = fn
+	l.mu.Unlock()
 }
 
 // Open opens (or initializes) the log directory, repairing any torn tail
@@ -379,6 +392,9 @@ func (l *Log) syncLocked() error {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
 		l.lastSync = time.Since(t0)
+		if l.syncObs != nil {
+			l.syncObs(l.lastSync)
+		}
 	}
 	l.syncs++
 	if l.pendingSeq > l.durableSeq {

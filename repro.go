@@ -35,8 +35,8 @@ import (
 	"repro/internal/directed"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/metrics"
 	"repro/internal/prob"
+	"repro/internal/quality"
 	"repro/internal/tcp"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
@@ -259,7 +259,7 @@ func FreezeDynamic(dy *Dynamic) *Client {
 }
 
 // F1 scores a detected community against a ground-truth community.
-func F1(detected, truth []int) float64 { return metrics.F1(detected, truth) }
+func F1(detected, truth []int) float64 { return quality.F1(detected, truth) }
 
 // WriteDOT renders a community subgraph in Graphviz DOT format with the
 // given vertices highlighted (vertex → fill color).
