@@ -10,7 +10,7 @@
 //
 // Endpoints:
 //
-//	POST /query          {"q":[1,2],"algo":"lctc|basic|bulk|truss","k":0}
+//	POST /query          {"q":[1,2],"algo":"lctc|basic|bulk|truss|dtruss|prob|mdc|qdc","k":0}
 //	POST /update         {"op":"add","u":1,"v":2}  or  {"edges":[...],"flush":true}
 //	GET  /stats          epoch, dirty count, snapshot age, queue depth, counters
 //	GET  /healthz        liveness plus current epoch and build identity
@@ -66,6 +66,7 @@ import (
 	"time"
 
 	"repro/internal/admit"
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
@@ -195,6 +196,7 @@ func run(cfg runConfig) error {
 	tracer := telemetry.NewTracer(reg, telemetry.TracerOptions{
 		SlowThreshold:  cfg.slowQuery,
 		SlowLogEntries: cfg.slowlogN,
+		AlgoLabels:     core.AlgoNames(),
 	})
 	cfg.opts.Metrics = reg
 	cfg.opts.Tracer = tracer

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/admit"
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
@@ -34,7 +35,7 @@ func telemetryManager(t *testing.T, slow time.Duration) (*serve.Manager, *teleme
 	})
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterBuildInfo(reg)
-	tracer := telemetry.NewTracer(reg, telemetry.TracerOptions{SlowThreshold: slow})
+	tracer := telemetry.NewTracer(reg, telemetry.TracerOptions{SlowThreshold: slow, AlgoLabels: core.AlgoNames()})
 	opts := serve.Options{
 		PublishDirty:    4,
 		PublishInterval: 10 * time.Millisecond,

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestMultiModelHTTPSmoke drives every ported model end to end over real
+// HTTP: POST /query with the new algo spellings and model parameters, then
+// scrape /metrics and check the per-algo latency series exist for all of
+// them (pre-registered at tracer construction via AlgoLabels, so even a
+// model that has answered nothing exports its series).
+func TestMultiModelHTTPSmoke(t *testing.T) {
+	mgr, reg, tracer := telemetryManager(t, time.Hour)
+	ts := httptest.NewServer(newServerWith(mgr, reg, tracer))
+	defer ts.Close()
+	c := ts.Client()
+
+	cases := []queryRequest{
+		{Q: []int{5, 9}, Algo: "dtruss"},
+		{Q: []int{5, 9}, Algo: "dtruss", Direction: "lowhigh"},
+		{Q: []int{5, 9}, Algo: "dtruss", Direction: "hash"},
+		{Q: []int{5, 9}, Algo: "prob"},
+		{Q: []int{5, 9}, Algo: "prob", MinProb: 0.7},
+		{Q: []int{5, 9}, Algo: "mdc"},
+		{Q: []int{5, 9}, Algo: "qdc"},
+	}
+	answered := 0
+	for _, qr := range cases {
+		var out queryResponse
+		code := postJSON(t, c, ts.URL+"/query", qr, &out)
+		if code != http.StatusOK && code != http.StatusNotFound {
+			t.Fatalf("query %+v: status %d", qr, code)
+		}
+		if code != http.StatusOK {
+			continue
+		}
+		answered++
+		want, err := core.ParseAlgo(qr.Algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Algo != want.String() {
+			t.Fatalf("query %+v: algo %q, want %q", qr, out.Algo, want.String())
+		}
+		if out.N == 0 || out.Epoch == 0 {
+			t.Fatalf("query %+v: degenerate response %+v", qr, out)
+		}
+	}
+	if answered == 0 {
+		t.Fatal("no model produced a community on the smoke graph")
+	}
+
+	// Invalid model parameters are 400s with the bad_request taxonomy, not
+	// 422 internals.
+	for _, qr := range []queryRequest{
+		{Q: []int{5}, Algo: "dtruss", Direction: "sideways"},
+		{Q: []int{5}, Algo: "prob", MinProb: 1.5},
+		{Q: []int{5}, Algo: "prob", MinProb: -0.1},
+	} {
+		if code := postJSON(t, c, ts.URL+"/query", qr, nil); code != http.StatusBadRequest {
+			t.Fatalf("query %+v: status %d, want 400", qr, code)
+		}
+	}
+
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(body)
+	for _, name := range core.AlgoNames() {
+		series := `ctc_query_duration_seconds_count{algo="` + name + `"}`
+		if !strings.Contains(exposition, series) {
+			t.Errorf("/metrics missing pre-registered series %s", series)
+		}
+	}
+}

@@ -63,7 +63,11 @@ func Key(epoch int64, req core.Request) string {
 	buf = append(buf, '|')
 	buf = strconv.AppendInt(buf, int64(req.Algo), 10)
 	buf = append(buf, '|')
-	buf = strconv.AppendInt(buf, int64(req.K), 10)
+	k := req.K
+	if req.Algo == core.AlgoMDC || req.Algo == core.AlgoQDC {
+		k = 0 // the baselines ignore K entirely
+	}
+	buf = strconv.AppendInt(buf, int64(k), 10)
 	buf = append(buf, '|')
 	eta := req.Eta
 	if eta <= 0 {
@@ -86,6 +90,21 @@ func Key(epoch int64, req core.Request) string {
 	buf = strconv.AppendUint(buf, math.Float64bits(gamma), 16)
 	buf = append(buf, '|')
 	buf = strconv.AppendInt(buf, int64(req.DistanceMode), 10)
+	buf = append(buf, '|')
+	dir := req.Direction
+	if req.Algo != core.AlgoDTruss {
+		dir = 0 // only DTruss orients; don't fragment the other algorithms
+	}
+	buf = strconv.AppendInt(buf, int64(dir), 10)
+	buf = append(buf, '|')
+	minProb := req.MinProb
+	if minProb == 0 {
+		minProb = core.DefaultMinProb
+	}
+	if req.Algo != core.AlgoProbTruss {
+		minProb = 0 // only ProbTruss reads it
+	}
+	buf = strconv.AppendUint(buf, math.Float64bits(minProb), 16)
 	last := -1
 	for _, v := range q {
 		if v == last {

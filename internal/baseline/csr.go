@@ -1,0 +1,381 @@
+package baseline
+
+// This file holds the dense CSR ports of the two baselines: map-free twins
+// of MDC and QDC (dense removal-step/membership arrays instead of maps, no
+// induced-graph rebuild for the peel) that take the serving plane's pooled
+// workspace for cooperative cancellation. The map-based MDC/QDC above are
+// retained as differential oracles; both sides must produce identical
+// Results (csr_test.go enforces it), which pins every tie-break: bucket
+// pops come from the slice tail, heap entries are lazy, and candidate
+// evaluation replays the oracle's exact Connected/Component/InducedMutable
+// sequence.
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/trussindex"
+)
+
+// Stats reports the execution shape of one baseline search.
+type Stats struct {
+	// Candidates counts the peel candidates considered (ball for MDC,
+	// Q-component for QDC).
+	Candidates int
+	// PeelSteps counts vertices removed by the greedy peel.
+	PeelSteps int
+	// Snapshots counts snapshot reconstructions evaluated.
+	Snapshots int
+	// Seed is the candidate-set setup time (distance ball for MDC, proximity
+	// iteration for QDC); Peel the greedy peel plus snapshot evaluation.
+	Seed, Peel time.Duration
+}
+
+// cancelStride is how many peel steps run between cancellation polls.
+const cancelStride = 1024
+
+// MDCW is the dense-port twin of MDC, running on flat arrays with
+// cancellation polled through ws. Results are identical to MDC's.
+func MDCW(g *graph.Graph, q []int, opt *MDCOptions, ws *trussindex.Workspace) (*Result, *Stats, error) {
+	if len(q) == 0 {
+		return nil, nil, ErrNoCommunity
+	}
+	tSeed := time.Now()
+	n := g.N()
+	isQuery := make([]bool, n)
+	for _, v := range q {
+		isQuery[v] = true
+	}
+	// Distance ball around Q (query vertices always included).
+	qd := graph.QueryDistances(g, q)
+	bound := opt.distBound()
+	ball := make([]int, 0)
+	inBall := make([]bool, n)
+	for v, d := range qd {
+		if isQuery[v] || (d != graph.Unreachable && d <= bound) {
+			ball = append(ball, v)
+			inBall[v] = true
+		}
+	}
+	st := &Stats{Candidates: len(ball)}
+	// Q must be connected within the ball (single-vertex queries are
+	// trivially connected, matching graph.Connected on the induced graph).
+	if len(q) > 1 {
+		reach := graph.BFSMarked(ballAdj{g, inBall}, q[0], ws.ValA, ws.StampA, ws.QueueA)
+		ws.QueueA = reach
+		for _, v := range q[1:] {
+			if !ws.StampA.Marked(int32(v)) {
+				return nil, nil, ErrNoCommunity
+			}
+		}
+	}
+	st.Seed = time.Since(tSeed)
+	tPeel := time.Now()
+	defer func() { st.Peel = time.Since(tPeel) }()
+	// Bucket-queue peel of the min-degree non-query vertex on ball-induced
+	// degrees, identical to the oracle's (pops from the bucket tail, lazy
+	// stale entries).
+	deg := make([]int, n)
+	maxDeg := 0
+	for _, v := range ball {
+		d := 0
+		for _, w := range g.Neighbors(v) {
+			if inBall[w] {
+				d++
+			}
+		}
+		deg[v] = d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]int32, maxDeg+1)
+	for _, v := range ball {
+		if !isQuery[v] {
+			buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+		}
+	}
+	removed := make([]bool, n)
+	removalStep := make([]int, n)
+	for i := range removalStep {
+		removalStep[i] = -1
+	}
+	var minDegAt []int
+	cur := 0
+	step := 0
+	nonQuery := len(ball) - len(q)
+	for peeled := 0; peeled < nonQuery; peeled++ {
+		if peeled%cancelStride == 0 {
+			if err := ws.Canceled(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if cur > maxDeg {
+			break
+		}
+		var pick = -1
+		for cur <= maxDeg {
+			b := buckets[cur]
+			if len(b) == 0 {
+				cur++
+				continue
+			}
+			v := int(b[len(b)-1])
+			buckets[cur] = b[:len(b)-1]
+			if removed[v] || deg[v] != cur {
+				continue
+			}
+			pick = v
+			break
+		}
+		if pick < 0 {
+			break
+		}
+		mind := deg[pick]
+		for _, qv := range q {
+			if !removed[qv] && deg[qv] < mind {
+				mind = deg[qv]
+			}
+		}
+		minDegAt = append(minDegAt, mind)
+		removed[pick] = true
+		removalStep[pick] = step
+		for _, w := range g.Neighbors(pick) {
+			wv := int(w)
+			if inBall[wv] && !removed[wv] {
+				deg[wv]--
+				if !isQuery[wv] {
+					buckets[deg[wv]] = append(buckets[deg[wv]], w)
+				}
+				if deg[wv] < cur {
+					cur = deg[wv]
+				}
+			}
+		}
+		step++
+	}
+	st.PeelSteps = step
+	// Candidate steps: new-max min degrees, plus (under a size bound) the
+	// latest step at each distinct min degree, ordered by (minDeg, step).
+	type cand struct{ step, minDeg int }
+	var cands []cand
+	bestMD := -1
+	for t, md := range minDegAt {
+		if md > bestMD {
+			bestMD = md
+			cands = append(cands, cand{step: t, minDeg: md})
+		}
+	}
+	if opt.sizeBound() > 0 {
+		lastAt := make([]int, maxDeg+1)
+		for i := range lastAt {
+			lastAt[i] = -1
+		}
+		for t, md := range minDegAt {
+			lastAt[md] = t
+		}
+		for md, t := range lastAt {
+			if t >= 0 {
+				cands = append(cands, cand{step: t, minDeg: md})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].minDeg != cands[j].minDeg {
+				return cands[i].minDeg < cands[j].minDeg
+			}
+			return cands[i].step < cands[j].step
+		})
+	}
+	sizeBound := opt.sizeBound()
+	ballMu := graph.NewMutable(g, ball)
+	var fallback *Result
+	for i := len(cands) - 1; i >= 0; i-- {
+		if err := ws.Canceled(); err != nil {
+			return nil, nil, err
+		}
+		st.Snapshots++
+		c := cands[i]
+		keep := make([]int, 0, len(ball))
+		for _, v := range ball {
+			if s := removalStep[v]; s < 0 || s >= c.step {
+				keep = append(keep, v)
+			}
+		}
+		mu := graph.InducedMutable(ballMu, keep)
+		if !graph.Connected(mu, q) {
+			continue
+		}
+		comp := graph.Component(mu, q[0])
+		mu = graph.InducedMutable(mu, comp)
+		if sizeBound > 0 && mu.N() > sizeBound {
+			if fallback == nil || mu.N() < fallback.N() {
+				fallback = newResult("MDC", mu, float64(minDegreeOf(mu)))
+			}
+			continue
+		}
+		return newResult("MDC", mu, float64(minDegreeOf(mu))), st, nil
+	}
+	if fallback != nil {
+		return fallback, st, nil
+	}
+	return nil, nil, ErrNoCommunity
+}
+
+// ballAdj is the ball-restricted adjacency view used for the feasibility
+// BFS: the induced subgraph on inBall without materializing it.
+type ballAdj struct {
+	g  *graph.Graph
+	in []bool
+}
+
+func (b ballAdj) NumIDs() int        { return b.g.N() }
+func (b ballAdj) Present(v int) bool { return v >= 0 && v < len(b.in) && b.in[v] }
+func (b ballAdj) ForEachNeighbor(v int, fn func(u int)) {
+	for _, w := range b.g.Neighbors(v) {
+		if b.in[w] {
+			fn(int(w))
+		}
+	}
+}
+
+// QDCW is the dense-port twin of QDC: identical proximity iteration, lazy
+// min-heap peel and snapshot scoring, with flat membership/removal arrays
+// and cancellation polled through ws. Results are identical to QDC's.
+func QDCW(g *graph.Graph, q []int, opt *QDCOptions, ws *trussindex.Workspace) (*Result, *Stats, error) {
+	if len(q) == 0 {
+		return nil, nil, ErrNoCommunity
+	}
+	tSeed := time.Now()
+	if !graph.Connected(g, q) {
+		return nil, nil, ErrNoCommunity
+	}
+	pi := proximity(g, q, opt.alpha(), opt.iterations())
+	comp := graph.Component(g, q[0])
+	st := &Stats{Candidates: len(comp), Seed: time.Since(tSeed)}
+	tPeel := time.Now()
+	defer func() { st.Peel = time.Since(tPeel) }()
+	n := g.N()
+	isQuery := make([]bool, n)
+	for _, v := range q {
+		isQuery[v] = true
+	}
+	const tiny = 1e-12
+	weight := func(v int) float64 {
+		p := pi[v]
+		if p < tiny {
+			p = tiny
+		}
+		return 1 / p
+	}
+	inComp := make([]bool, n)
+	deg := make([]int, n)
+	sumW := 0.0
+	edges := 0
+	for _, v := range comp {
+		inComp[v] = true
+		sumW += weight(v)
+	}
+	for _, v := range comp {
+		for _, w := range g.Neighbors(v) {
+			if inComp[w] {
+				deg[v]++
+				if int(w) > v {
+					edges++
+				}
+			}
+		}
+	}
+	h := &qdcHeap{}
+	for _, v := range comp {
+		if !isQuery[v] {
+			h.pushEntry(int32(v), float64(deg[v])*pi[v])
+		}
+	}
+	removed := make([]bool, n)
+	removalStep := make([]int, n)
+	for i := range removalStep {
+		removalStep[i] = -1
+	}
+	type snap struct {
+		step  int
+		score float64
+	}
+	snaps := []snap{{step: 0, score: float64(edges) / sumW}}
+	step := 0
+	pops := 0
+	for h.Len() > 0 {
+		if pops%cancelStride == 0 {
+			if err := ws.Canceled(); err != nil {
+				return nil, nil, err
+			}
+		}
+		pops++
+		v32, key := h.popEntry()
+		v := int(v32)
+		if removed[v] || key != float64(deg[v])*pi[v] {
+			continue // stale
+		}
+		removed[v] = true
+		removalStep[v] = step
+		sumW -= weight(v)
+		edges -= deg[v]
+		for _, w := range g.Neighbors(v) {
+			wv := int(w)
+			if inComp[wv] && !removed[wv] {
+				deg[wv]--
+				if !isQuery[wv] {
+					h.pushEntry(w, float64(deg[wv])*pi[wv])
+				}
+			}
+		}
+		step++
+		if sumW > 0 {
+			snaps = append(snaps, snap{step: step, score: float64(edges) / sumW})
+		}
+	}
+	st.PeelSteps = step
+	order := make([]int, len(snaps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return snaps[order[a]].score > snaps[order[b]].score })
+	const maxTries = 30
+	if len(order) > maxTries {
+		order = append(order[:maxTries:maxTries], 0)
+	}
+	compMu := graph.NewMutable(g, comp)
+	for _, oi := range order {
+		if err := ws.Canceled(); err != nil {
+			return nil, nil, err
+		}
+		st.Snapshots++
+		sp := snaps[oi].step
+		keep := make([]int, 0, len(comp))
+		for _, v := range comp {
+			if s := removalStep[v]; s < 0 || s >= sp {
+				keep = append(keep, v)
+			}
+		}
+		mu := graph.InducedMutable(compMu, keep)
+		if !graph.Connected(mu, q) {
+			continue
+		}
+		qComp := graph.Component(mu, q[0])
+		mu = graph.InducedMutable(mu, qComp)
+		w := 0.0
+		for _, v := range mu.Vertices() {
+			w += weight(v)
+		}
+		score := 0.0
+		if w > 0 {
+			score = float64(mu.M()) / w
+		}
+		return newResult("QDC", mu, score), st, nil
+	}
+	return nil, nil, ErrNoCommunity
+}
+
+// ensure the heap interface stays satisfied if the oracle file changes.
+var _ heap.Interface = (*qdcHeap)(nil)

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/trussindex"
+)
+
+func acquireWS(g *graph.Graph) *trussindex.Workspace {
+	return trussindex.Build(g).AcquireWorkspace()
+}
+
+// sameResult asserts the dense port reproduced the oracle answer exactly:
+// same member set, edge count, and objective score (bit-for-bit — both
+// sides run identical float operation sequences).
+func sameResult(t *testing.T, tag string, got, want *Result) {
+	t.Helper()
+	if got.Algorithm != want.Algorithm {
+		t.Fatalf("%s: algorithm %q, want %q", tag, got.Algorithm, want.Algorithm)
+	}
+	if !reflect.DeepEqual(got.Vertices, want.Vertices) {
+		t.Fatalf("%s: vertices %v, want %v", tag, got.Vertices, want.Vertices)
+	}
+	if got.EdgeCount != want.EdgeCount {
+		t.Fatalf("%s: edges %d, want %d", tag, got.EdgeCount, want.EdgeCount)
+	}
+	if math.Float64bits(got.Score) != math.Float64bits(want.Score) {
+		t.Fatalf("%s: score %v, want %v", tag, got.Score, want.Score)
+	}
+}
+
+// TestMDCWMatchesOracle and TestQDCWMatchesOracle are the differential
+// harnesses: the dense ports must be indistinguishable from the retained
+// map-based oracles on the paper graph and a sweep of random graphs,
+// including agreeing on infeasible queries.
+func TestMDCWMatchesOracle(t *testing.T) {
+	opts := []*MDCOptions{nil, {DistBound: 1}, {SizeBound: 6}, {DistBound: 3, SizeBound: 4}}
+	run := func(t *testing.T, g *graph.Graph, q []int, ws *trussindex.Workspace, tag string) {
+		t.Helper()
+		for i, opt := range opts {
+			want, wantErr := MDC(g, q, opt)
+			got, _, gotErr := MDCW(g, q, opt, ws)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s opt %d q %v: oracle err %v, port err %v", tag, i, q, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if !errors.Is(gotErr, ErrNoCommunity) {
+					t.Fatalf("%s opt %d: port error %v, want ErrNoCommunity", tag, i, gotErr)
+				}
+				continue
+			}
+			sameResult(t, tag, got, want)
+		}
+	}
+	pg := paperGraph()
+	ws := acquireWS(pg)
+	run(t, pg, []int{0, 1}, ws, "paper")
+	run(t, pg, []int{2}, ws, "paper-single")
+	ws.Release()
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 40, 0.15)
+		ws := acquireWS(g)
+		rng := rand.New(rand.NewSource(seed + 300))
+		run(t, g, []int{rng.Intn(40), rng.Intn(40)}, ws, "random")
+		ws.Release()
+	}
+}
+
+func TestQDCWMatchesOracle(t *testing.T) {
+	opts := []*QDCOptions{nil, {Alpha: 0.5}, {Iterations: 5}}
+	run := func(t *testing.T, g *graph.Graph, q []int, ws *trussindex.Workspace, tag string) {
+		t.Helper()
+		for i, opt := range opts {
+			want, wantErr := QDC(g, q, opt)
+			got, _, gotErr := QDCW(g, q, opt, ws)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s opt %d q %v: oracle err %v, port err %v", tag, i, q, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if !errors.Is(gotErr, ErrNoCommunity) {
+					t.Fatalf("%s opt %d: port error %v, want ErrNoCommunity", tag, i, gotErr)
+				}
+				continue
+			}
+			sameResult(t, tag, got, want)
+		}
+	}
+	pg := paperGraph()
+	ws := acquireWS(pg)
+	run(t, pg, []int{0, 1}, ws, "paper")
+	run(t, pg, []int{2}, ws, "paper-single")
+	ws.Release()
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 40, 0.15)
+		ws := acquireWS(g)
+		rng := rand.New(rand.NewSource(seed + 400))
+		run(t, g, []int{rng.Intn(40), rng.Intn(40)}, ws, "random")
+		ws.Release()
+	}
+}
+
+func TestBaselineCSRCancellation(t *testing.T) {
+	g := randomGraph(7, 60, 0.2)
+	ws := acquireWS(g)
+	defer ws.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ws.SetContext(ctx)
+	defer ws.SetContext(context.Background())
+	if _, _, err := MDCW(g, []int{0, 1}, nil, ws); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MDCW err = %v, want context.Canceled", err)
+	}
+	if _, _, err := QDCW(g, []int{0, 1}, nil, ws); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QDCW err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBaselineCSREmptyQuery(t *testing.T) {
+	g := paperGraph()
+	ws := acquireWS(g)
+	defer ws.Release()
+	if _, _, err := MDCW(g, nil, nil, ws); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("MDCW err = %v, want ErrNoCommunity", err)
+	}
+	if _, _, err := QDCW(g, nil, nil, ws); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("QDCW err = %v, want ErrNoCommunity", err)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/directed"
+	"repro/internal/graph"
+	"repro/internal/prob"
+	"repro/internal/trussindex"
+)
+
+// modelTestGraph is the K5-plus-pendant graph the request tests use.
+func modelTestGraph() *graph.Graph {
+	return graph.FromEdges(6, [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4},
+		{2, 3}, {2, 4}, {3, 4}, {4, 5},
+	})
+}
+
+// TestModelRequestValidation pins the parameter domains of the multi-model
+// fields: Direction outside the enum and MinProb outside (0,1] (or NaN)
+// are bad requests, never panics or silent clamps.
+func TestModelRequestValidation(t *testing.T) {
+	s := NewSearcher(trussindex.Build(modelTestGraph()))
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"unknown direction", Request{Q: []int{0}, Algo: AlgoDTruss, Direction: directionModeEnd}},
+		{"direction high bits", Request{Q: []int{0}, Algo: AlgoDTruss, Direction: DirectionMode(99)}},
+		{"negative MinProb", Request{Q: []int{0}, Algo: AlgoProbTruss, MinProb: -0.5}},
+		{"MinProb above 1", Request{Q: []int{0}, Algo: AlgoProbTruss, MinProb: 1.5}},
+		{"NaN MinProb", Request{Q: []int{0}, Algo: AlgoProbTruss, MinProb: math.NaN()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := s.Search(ctx, tc.req); !errors.Is(err, ErrBadParam) {
+				t.Fatalf("Search(%+v) err = %v, want ErrBadParam", tc.req, err)
+			}
+		})
+	}
+}
+
+// TestParseModelSpellings pins the registry spellings of the new algorithms
+// and the direction modes.
+func TestParseModelSpellings(t *testing.T) {
+	for spelling, want := range map[string]Algo{
+		"dtruss": AlgoDTruss, "directed": AlgoDTruss,
+		"prob": AlgoProbTruss, "probtruss": AlgoProbTruss,
+		"mdc": AlgoMDC, "qdc": AlgoQDC,
+	} {
+		got, err := ParseAlgo(spelling)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgo(%q) = %v, %v; want %v", spelling, got, err, want)
+		}
+	}
+	for spelling, want := range map[string]DirectionMode{
+		"": DirBoth, "both": DirBoth, "lowhigh": DirLowHigh,
+		"highlow": DirHighLow, "hash": DirHash,
+	} {
+		got, err := ParseDirection(spelling)
+		if err != nil || got != want {
+			t.Errorf("ParseDirection(%q) = %v, %v; want %v", spelling, got, err, want)
+		}
+	}
+	if _, err := ParseDirection("sideways"); !errors.Is(err, ErrBadParam) {
+		t.Errorf("ParseDirection(sideways) err = %v, want ErrBadParam", err)
+	}
+	names := AlgoNames()
+	if len(names) != int(algoEnd) {
+		t.Fatalf("AlgoNames lists %d algos, registry has %d", len(names), algoEnd)
+	}
+}
+
+// TestModelDispatch runs every new model end to end through Search and
+// checks the answer against the model package called directly — the
+// dispatch layer must add admission-friendly stats and a fresh Community
+// without changing the answer.
+func TestModelDispatch(t *testing.T) {
+	g := modelTestGraph()
+	s := NewSearcher(trussindex.Build(g))
+	ctx := context.Background()
+	q := []int{0, 1}
+
+	t.Run("DTruss", func(t *testing.T) {
+		res, err := s.Search(ctx, Request{Q: q, Algo: AlgoDTruss, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := directed.Search(directed.FromCSR(g, directed.OrientBoth), q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(res.K) != want.Kc {
+			t.Fatalf("K = %d, want kc %d", res.K, want.Kc)
+		}
+		if !reflect.DeepEqual(res.Vertices(), want.Vertices) {
+			t.Fatalf("vertices %v, want %v", res.Vertices(), want.Vertices)
+		}
+		if res.Stats.Algo != AlgoDTruss || res.Stats.Total <= 0 {
+			t.Fatalf("stats not filled: %+v", res.Stats)
+		}
+	})
+
+	t.Run("DTrussDirections", func(t *testing.T) {
+		for _, dir := range []DirectionMode{DirBoth, DirLowHigh, DirHighLow, DirHash} {
+			res, err := s.Search(ctx, Request{Q: []int{0}, Algo: AlgoDTruss, Direction: dir, Verify: true})
+			if err != nil {
+				t.Fatalf("direction %v: %v", dir, err)
+			}
+			if !res.Contains(0) {
+				t.Fatalf("direction %v: dropped the query vertex", dir)
+			}
+		}
+	})
+
+	t.Run("ProbTruss", func(t *testing.T) {
+		res, err := s.Search(ctx, Request{Q: q, Algo: AlgoProbTruss, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs := prob.SyntheticProbs(g)
+		pg, err := prob.NewGraph(g, prob.ProbMap(g, probs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := prob.Search(pg, q, DefaultMinProb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K != want.K {
+			t.Fatalf("K = %d, want %d", res.K, want.K)
+		}
+		if !reflect.DeepEqual(res.Vertices(), want.Vertices) {
+			t.Fatalf("vertices %v, want %v", res.Vertices(), want.Vertices)
+		}
+		// A stricter explicit threshold must also dispatch (MinProb is the
+		// satellite-1 fix: its own field, not a reuse of Eta).
+		if _, err := s.Search(ctx, Request{Q: q, Algo: AlgoProbTruss, MinProb: 0.9, Verify: true}); err != nil &&
+			!errors.Is(err, prob.ErrNoCommunity) {
+			t.Fatalf("MinProb=0.9: %v", err)
+		}
+	})
+
+	t.Run("MDC", func(t *testing.T) {
+		res, err := s.Search(ctx, Request{Q: q, Algo: AlgoMDC, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := baseline.MDC(g, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Vertices(), want.Vertices) {
+			t.Fatalf("vertices %v, want %v", res.Vertices(), want.Vertices)
+		}
+		if int(res.K) != int(want.Score) {
+			t.Fatalf("K = %d, want min degree %v", res.K, want.Score)
+		}
+	})
+
+	t.Run("QDC", func(t *testing.T) {
+		res, err := s.Search(ctx, Request{Q: q, Algo: AlgoQDC, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := baseline.QDC(g, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Vertices(), want.Vertices) {
+			t.Fatalf("vertices %v, want %v", res.Vertices(), want.Vertices)
+		}
+		if res.K != 0 {
+			t.Fatalf("K = %d, want 0 (density objective has no trussness)", res.K)
+		}
+	})
+}
+
+// TestModelDispatchNoCommunity checks the typed sentinels survive the
+// dispatch wrapping: errors.Is must still match the model package's
+// ErrNoCommunity through the core prefix.
+func TestModelDispatchNoCommunity(t *testing.T) {
+	// Two isolated triangles: a query spanning both has no community.
+	g := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	s := NewSearcher(trussindex.Build(g))
+	ctx := context.Background()
+	q := []int{0, 3}
+	for _, tc := range []struct {
+		algo Algo
+		want error
+	}{
+		{AlgoDTruss, directed.ErrNoCommunity},
+		{AlgoProbTruss, prob.ErrNoCommunity},
+		{AlgoMDC, baseline.ErrNoCommunity},
+		{AlgoQDC, baseline.ErrNoCommunity},
+	} {
+		if _, err := s.Search(ctx, Request{Q: q, Algo: tc.algo}); !errors.Is(err, tc.want) {
+			t.Fatalf("%v: err = %v, want errors.Is(..., %v)", tc.algo, err, tc.want)
+		}
+	}
+}
+
+// TestModelDispatchCancellation: a pre-cancelled context must surface
+// context.Canceled from every new model's peel loop.
+func TestModelDispatchCancellation(t *testing.T) {
+	s := NewSearcher(trussindex.Build(modelTestGraph()))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algo{AlgoDTruss, AlgoProbTruss, AlgoMDC, AlgoQDC} {
+		if _, err := s.Search(ctx, Request{Q: []int{0, 1}, Algo: algo}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", algo, err)
+		}
+	}
+}

@@ -27,41 +27,99 @@ const (
 	// containing Q — with no free-rider removal (Algorithm 2 / the "Truss"
 	// baseline).
 	AlgoTrussOnly
+	// AlgoDTruss is the directed (kc, kf)-D-truss community search over the
+	// orientation of the serving graph selected by Request.Direction: find
+	// the largest cycle-support level kc (flow-support level kf = Request.K)
+	// whose D-truss connects Q, then greedily shrink the query distance.
+	AlgoDTruss
+	// AlgoProbTruss is the probabilistic (k,γ)-truss community search: edges
+	// carry existence probabilities (derived deterministically from their
+	// endpoints) and every community edge must satisfy
+	// Pr[e exists ∧ sup(e) >= k-2] >= γ, with γ = Request.MinProb.
+	AlgoProbTruss
+	// AlgoMDC is the minimum-degree community baseline (Sozio & Gionis's
+	// Cocktail Party): maximize the minimum degree of a connected subgraph
+	// containing Q within a fixed query-distance ball.
+	AlgoMDC
+	// AlgoQDC is the query-biased densest connected subgraph baseline (Wu et
+	// al.): maximize edge mass normalized by random-walk proximity weights.
+	AlgoQDC
 
 	algoEnd // one past the last valid Algo; keep last
 )
 
+// algoInfo is the single registry every algo-keyed surface derives from: the
+// display name (Community.Algorithm, the telemetry "algo" label) and the
+// accepted wire/CLI spellings (first spelling canonical). Adding an Algo
+// means adding one entry here — ParseAlgo, AlgoNames, and the error text of
+// every frontend follow automatically and cannot drift.
+var algoInfo = [algoEnd]struct {
+	name      string
+	spellings []string
+}{
+	AlgoLCTC:       {"LCTC", []string{"lctc"}},
+	AlgoBasic:      {"Basic", []string{"basic"}},
+	AlgoBulkDelete: {"BD", []string{"bd", "bulk", "bulkdelete"}},
+	AlgoTrussOnly:  {"Truss", []string{"truss"}},
+	AlgoDTruss:     {"DTruss", []string{"dtruss", "directed"}},
+	AlgoProbTruss:  {"ProbTruss", []string{"prob", "probtruss"}},
+	AlgoMDC:        {"MDC", []string{"mdc"}},
+	AlgoQDC:        {"QDC", []string{"qdc"}},
+}
+
 // String returns the algorithm's display name, matching the historical
-// Community.Algorithm labels ("LCTC", "Basic", "BD", "Truss").
+// Community.Algorithm labels ("LCTC", "Basic", "BD", "Truss", ...).
 func (a Algo) String() string {
-	switch a {
-	case AlgoLCTC:
-		return "LCTC"
-	case AlgoBasic:
-		return "Basic"
-	case AlgoBulkDelete:
-		return "BD"
-	case AlgoTrussOnly:
-		return "Truss"
+	if a < algoEnd {
+		return algoInfo[a].name
 	}
 	return fmt.Sprintf("Algo(%d)", uint8(a))
 }
 
-// ParseAlgo maps the wire/CLI spellings onto an Algo: "lctc", "basic",
-// "bd"/"bulk"/"bulkdelete", "truss" (case-sensitive, lower-case). The empty
-// string selects the LCTC default.
-func ParseAlgo(s string) (Algo, error) {
-	switch s {
-	case "", "lctc":
-		return AlgoLCTC, nil
-	case "basic":
-		return AlgoBasic, nil
-	case "bd", "bulk", "bulkdelete":
-		return AlgoBulkDelete, nil
-	case "truss":
-		return AlgoTrussOnly, nil
+// AlgoNames returns the display names of every valid Algo in enum order —
+// the exact label set of the per-algo metric vecs, so the telemetry plane
+// can pre-register all children at construction.
+func AlgoNames() []string {
+	names := make([]string, algoEnd)
+	for a := Algo(0); a < algoEnd; a++ {
+		names[a] = algoInfo[a].name
 	}
-	return 0, fmt.Errorf("%w: unknown algo %q (want lctc, basic, bd/bulk or truss)", ErrBadParam, s)
+	return names
+}
+
+// AlgoSpellings renders the accepted wire spellings for error/usage text
+// ("lctc, basic, bd/bulk/bulkdelete, truss, ..."). Derived from the
+// registry so frontend messages stay accurate as algorithms are added.
+func AlgoSpellings() string {
+	var b []byte
+	for a := Algo(0); a < algoEnd; a++ {
+		if a > 0 {
+			b = append(b, ", "...)
+		}
+		for i, sp := range algoInfo[a].spellings {
+			if i > 0 {
+				b = append(b, '/')
+			}
+			b = append(b, sp...)
+		}
+	}
+	return string(b)
+}
+
+// ParseAlgo maps the wire/CLI spellings onto an Algo (case-sensitive,
+// lower-case; see algoInfo). The empty string selects the LCTC default.
+func ParseAlgo(s string) (Algo, error) {
+	if s == "" {
+		return AlgoLCTC, nil
+	}
+	for a := Algo(0); a < algoEnd; a++ {
+		for _, sp := range algoInfo[a].spellings {
+			if s == sp {
+				return a, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown algo %q (want %s)", ErrBadParam, s, AlgoSpellings())
 }
 
 // DistanceMode selects the metric LCTC's Steiner seed is built under. It
@@ -91,6 +149,62 @@ func (m DistanceMode) String() string {
 	return fmt.Sprintf("DistanceMode(%d)", uint8(m))
 }
 
+// DirectionMode selects how AlgoDTruss orients the undirected serving graph
+// into its directed view. Every mode is a pure function of the edge's
+// endpoints, so the view is identical across epochs, replicas, and the
+// differential oracle — a requirement for the epoch-keyed result cache.
+type DirectionMode uint8
+
+const (
+	// DirBoth materializes both arcs u⇄v per undirected edge (the zero
+	// value): every triangle is both a cycle and a flow triangle, so the
+	// model degenerates gracefully toward the undirected semantics.
+	DirBoth DirectionMode = iota
+	// DirLowHigh orients each edge from the lower vertex ID to the higher:
+	// a DAG view (no directed cycles, kc is always 0), stressing the
+	// flow-support side of the model.
+	DirLowHigh
+	// DirHighLow orients each edge from the higher vertex ID to the lower.
+	DirHighLow
+	// DirHash orients each edge by a deterministic hash of its endpoint
+	// pair: a mixed view with both cycle and flow triangles.
+	DirHash
+
+	directionModeEnd // one past the last valid DirectionMode; keep last
+)
+
+// String names the direction mode ("both", "lowhigh", "highlow", "hash").
+func (m DirectionMode) String() string {
+	switch m {
+	case DirBoth:
+		return "both"
+	case DirLowHigh:
+		return "lowhigh"
+	case DirHighLow:
+		return "highlow"
+	case DirHash:
+		return "hash"
+	}
+	return fmt.Sprintf("DirectionMode(%d)", uint8(m))
+}
+
+// ParseDirection maps the wire/CLI spellings onto a DirectionMode: "both",
+// "lowhigh", "highlow", "hash". The empty string selects the DirBoth
+// default.
+func ParseDirection(s string) (DirectionMode, error) {
+	switch s {
+	case "", "both":
+		return DirBoth, nil
+	case "lowhigh":
+		return DirLowHigh, nil
+	case "highlow":
+		return DirHighLow, nil
+	case "hash":
+		return DirHash, nil
+	}
+	return 0, fmt.Errorf("%w: unknown direction %q (want both, lowhigh, highlow or hash)", ErrBadParam, s)
+}
+
 // Typed request-validation errors. Search validates once up front and
 // returns these instead of letting a malformed query reach VertexTruss/BFS
 // unchecked; match with errors.Is.
@@ -116,16 +230,29 @@ type Request struct {
 	Algo Algo
 	// K, when > 0, requests a community of that fixed trussness instead of
 	// the maximum (the Exp-5 variant; values 1..2 behave as 2, since
-	// trussness is only defined from 2 up). K < 0 is ErrBadParam.
+	// trussness is only defined from 2 up). For AlgoDTruss, K is instead the
+	// flow-support level kf (the cycle level kc is maximized); for
+	// AlgoProbTruss it caps the probabilistic trussness. Ignored by
+	// AlgoMDC/AlgoQDC. K < 0 is ErrBadParam.
 	K int32
 	// Eta is LCTC's node-budget threshold η for the local expansion
-	// (0 = default 1000). Ignored by the other algorithms.
+	// (0 = default 1000). Ignored by the other algorithms. (The
+	// edge-probability threshold of AlgoProbTruss — historically also called
+	// η — is the separate MinProb field; the two share nothing but a letter.)
 	Eta int
 	// Gamma is the truss-distance penalty γ under DistTrussPenalty
 	// (0 = default 3). Must be 0 under DistHop. Only LCTC reads it.
 	Gamma float64
 	// DistanceMode selects LCTC's seed metric (default DistTrussPenalty).
 	DistanceMode DistanceMode
+	// Direction selects AlgoDTruss's orientation of the undirected serving
+	// graph (default DirBoth). Ignored by the other algorithms.
+	Direction DirectionMode
+	// MinProb is AlgoProbTruss's confidence threshold γ: every community
+	// edge must exist with support >= k-2 with probability at least MinProb.
+	// Domain (0, 1]; 0 selects the default 0.5. Values outside [0, 1] (or
+	// NaN) are ErrBadParam. Ignored by the other algorithms.
+	MinProb float64
 	// Verify re-checks the output against the CTC conditions (connected
 	// k-truss containing Q) and fails loudly on violation. Meant for tests.
 	Verify bool
@@ -165,6 +292,12 @@ func (r *Request) Validate(n int) error {
 	if r.DistanceMode == DistHop && r.Gamma != 0 {
 		return fmt.Errorf("%w: Gamma %v is meaningless under DistHop", ErrBadParam, r.Gamma)
 	}
+	if r.Direction >= directionModeEnd {
+		return fmt.Errorf("%w: unknown DirectionMode(%d)", ErrBadParam, uint8(r.Direction))
+	}
+	if r.MinProb < 0 || r.MinProb > 1 || math.IsNaN(r.MinProb) {
+		return fmt.Errorf("%w: MinProb %v outside (0, 1]", ErrBadParam, r.MinProb)
+	}
 	return nil
 }
 
@@ -185,6 +318,18 @@ func (r *Request) gamma() float64 {
 		return 3
 	}
 	return r.Gamma
+}
+
+// DefaultMinProb is AlgoProbTruss's confidence threshold when
+// Request.MinProb is zero.
+const DefaultMinProb = 0.5
+
+// minProb returns the effective (k,γ)-truss confidence threshold.
+func (r *Request) minProb() float64 {
+	if r.MinProb == 0 {
+		return DefaultMinProb
+	}
+	return r.MinProb
 }
 
 // QueryStats is the per-query execution report of one Search call. Phase
@@ -334,6 +479,14 @@ func (s *Searcher) searchW(ctx context.Context, req Request, ws *trussindex.Work
 		err = s.searchGlobal(req, ws, res)
 	case AlgoLCTC:
 		err = s.searchLCTC(req, ws, res)
+	case AlgoDTruss:
+		err = s.searchDirected(req, ws, res)
+	case AlgoProbTruss:
+		err = s.searchProb(req, ws, res)
+	case AlgoMDC:
+		err = s.searchMDC(req, ws, res)
+	case AlgoQDC:
+		err = s.searchQDC(req, ws, res)
 	default: // unreachable after Validate
 		err = fmt.Errorf("%w: unknown Algo(%d)", ErrBadParam, uint8(req.Algo))
 	}

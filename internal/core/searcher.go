@@ -70,6 +70,10 @@ func (o *Options) request(algo Algo, q []int) Request {
 // Searcher safely serves any number of concurrent queries.
 type Searcher struct {
 	ix *trussindex.Index
+
+	// probs caches the synthetic edge-probability vector for AlgoProbTruss
+	// (see models.go); built lazily on the first probabilistic query.
+	probs probStore
 }
 
 // NewSearcher wraps a prebuilt truss index.
@@ -372,10 +376,25 @@ func connectedOn(mu *graph.Mutable, q []int, ws *trussindex.Workspace) bool {
 	return true
 }
 
-// verifyResult re-checks the CTC conditions on a finished result
-// (Request.Verify).
+// verifyResult re-checks a finished result (Request.Verify): the CTC
+// conditions for the undirected truss algorithms, or Q-membership plus
+// connectivity for the ported models, whose "k" is not an undirected
+// trussness (cycle support for DTruss, probabilistic trussness for
+// ProbTruss, minimum degree for MDC, nothing for QDC).
 func verifyResult(res *Result) error {
 	c := &res.Community
+	switch res.Stats.Algo {
+	case AlgoDTruss, AlgoProbTruss, AlgoMDC, AlgoQDC:
+		for _, v := range c.Query {
+			if !c.sub.Present(v) {
+				return fmt.Errorf("core: %s dropped query vertex %d", c.Algorithm, v)
+			}
+		}
+		if !graph.Connected(c.sub, c.Query) {
+			return fmt.Errorf("core: %s produced a disconnected community", c.Algorithm)
+		}
+		return nil
+	}
 	if err := truss.VerifyCommunity(c.sub, c.K, c.Query); err != nil {
 		return fmt.Errorf("core: %s produced an invalid community: %w", c.Algorithm, err)
 	}

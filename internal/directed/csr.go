@@ -1,0 +1,493 @@
+package directed
+
+// This file is the dense CSR port of the D-truss community search: the
+// serving plane's undirected CSR graph is oriented into a directed view by
+// a deterministic Orientation (a pure function of each edge's endpoints, so
+// every epoch, replica, and the map-based oracle agree), arcs get dense IDs
+// by flattening the view's out-lists, and the peel runs over flat liveness
+// and support arrays — no maps anywhere on the query path. The map-based
+// Search above is retained as the differential oracle; both must produce
+// identical communities (internal/directed csr_test.go enforces it).
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/trussindex"
+)
+
+// Orientation selects how an undirected edge {u, v} becomes arcs of the
+// directed view. Values mirror core.DirectionMode one-to-one.
+type Orientation uint8
+
+const (
+	// OrientBoth materializes u→v and v→u.
+	OrientBoth Orientation = iota
+	// OrientLowHigh orients min(u,v)→max(u,v) — a DAG (kc always 0).
+	OrientLowHigh
+	// OrientHighLow orients max(u,v)→min(u,v).
+	OrientHighLow
+	// OrientHash orients by a deterministic endpoint-pair hash.
+	OrientHash
+)
+
+// orientHashForward reports whether the {u, v} edge is oriented
+// min→max under OrientHash (splitmix64 over the canonical edge key).
+func orientHashForward(u, v int) bool {
+	x := uint64(graph.Key(u, v)) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return x&1 == 0
+}
+
+// FromCSR derives the directed view of an undirected CSR graph under the
+// given orientation.
+func FromCSR(g *graph.Graph, mode Orientation) *DiGraph {
+	b := NewDiBuilder(g.N())
+	g.ForEachEdge(func(u, v int) {
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		switch mode {
+		case OrientLowHigh:
+			b.AddArc(lo, hi)
+		case OrientHighLow:
+			b.AddArc(hi, lo)
+		case OrientHash:
+			if orientHashForward(lo, hi) {
+				b.AddArc(lo, hi)
+			} else {
+				b.AddArc(hi, lo)
+			}
+		default: // OrientBoth
+			b.AddArc(lo, hi)
+			b.AddArc(hi, lo)
+		}
+	})
+	return b.Build()
+}
+
+// denseDi is the flat peeling structure of the CSR port. Arc a of vertex u
+// is out[u][a-off[u]]; inArc mirrors the in-lists with arc IDs so
+// predecessor scans stay O(indeg) without lookups.
+type denseDi struct {
+	g     *DiGraph
+	off   []int32   // off[u]..off[u+1] = arc IDs of g.Out(u)
+	inArc [][]int32 // inArc[v][j] = arc ID of the j-th in-arc of v
+	alive []bool
+	live  int
+
+	// mark/markEpoch dedupe the flow-support candidate scan without a map.
+	mark      []int32
+	markEpoch int32
+
+	victims []int32
+}
+
+func newDenseDi(g *DiGraph) *denseDi {
+	n := g.N()
+	d := &denseDi{
+		g:     g,
+		off:   make([]int32, n+1),
+		inArc: make([][]int32, n),
+		alive: make([]bool, g.M()),
+		mark:  make([]int32, n),
+	}
+	for u := 0; u < n; u++ {
+		d.off[u+1] = d.off[u] + int32(len(g.Out(u)))
+	}
+	for v := 0; v < n; v++ {
+		in := g.In(v)
+		if len(in) == 0 {
+			continue
+		}
+		d.inArc[v] = make([]int32, len(in))
+		for j, u := range in {
+			d.inArc[v][j] = d.rawArcID(u, int32(v))
+		}
+	}
+	d.reset()
+	return d
+}
+
+// rawArcID binary-searches u's sorted out-list for v, ignoring liveness.
+func (d *denseDi) rawArcID(u, v int32) int32 {
+	nb := d.g.Out(int(u))
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nb[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nb) && nb[lo] == v {
+		return d.off[u] + int32(lo)
+	}
+	return -1
+}
+
+// reset revives every arc.
+func (d *denseDi) reset() {
+	for i := range d.alive {
+		d.alive[i] = true
+	}
+	d.live = len(d.alive)
+}
+
+// load installs a saved liveness snapshot.
+func (d *denseDi) load(snapshot []bool) {
+	copy(d.alive, snapshot)
+	d.live = 0
+	for _, a := range d.alive {
+		if a {
+			d.live++
+		}
+	}
+}
+
+func (d *denseDi) has(u, v int32) bool {
+	id := d.rawArcID(u, v)
+	return id >= 0 && d.alive[id]
+}
+
+// arcEnds recovers (u, v) of an arc ID by locating its out-list owner.
+func (d *denseDi) arcEnds(id int32) (int32, int32) {
+	// Binary search the offset array for the owning vertex.
+	lo, hi := 0, len(d.off)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if d.off[mid] <= id {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	u := int32(lo)
+	return u, d.g.Out(lo)[id-d.off[u]]
+}
+
+// cycleSupport counts live w with v→w and w→u (cycle triangles of u→v).
+func (d *denseDi) cycleSupport(u, v int32) int {
+	c := 0
+	base := d.off[v]
+	for i, w := range d.g.Out(int(v)) {
+		if d.alive[base+int32(i)] && d.has(w, u) {
+			c++
+		}
+	}
+	return c
+}
+
+// flowSupport counts the non-pure-cycle triangles of u→v, mirroring the
+// oracle's flowSupportExact: candidates are the live out/in neighbors of u,
+// each triangle counted once.
+func (d *denseDi) flowSupport(u, v int32) int {
+	d.markEpoch++
+	c := 0
+	check := func(w int32) {
+		if w == v || d.mark[w] == d.markEpoch {
+			return
+		}
+		d.mark[w] = d.markEpoch
+		if !d.has(v, w) && !d.has(w, v) {
+			return
+		}
+		pureCycle := d.has(v, w) && d.has(w, u) && !d.has(w, v) && !d.has(u, w)
+		if !pureCycle {
+			c++
+		}
+	}
+	base := d.off[u]
+	for i, w := range d.g.Out(int(u)) {
+		if d.alive[base+int32(i)] {
+			check(w)
+		}
+	}
+	for j, w := range d.g.In(int(u)) {
+		if d.alive[d.inArc[u][j]] {
+			check(w)
+		}
+	}
+	return c
+}
+
+// peel removes arcs below the (kc, kf) support levels until a fixed point,
+// the round-based cascade of the oracle's MaxDTruss. cancel is polled once
+// per round.
+func (d *denseDi) peel(kc, kf int, cancel func() error) error {
+	for {
+		if cancel != nil {
+			if err := cancel(); err != nil {
+				return err
+			}
+		}
+		d.victims = d.victims[:0]
+		for u := 0; u < d.g.N(); u++ {
+			base := d.off[u]
+			for i, w := range d.g.Out(u) {
+				id := base + int32(i)
+				if !d.alive[id] {
+					continue
+				}
+				if d.cycleSupport(int32(u), w) < kc || d.flowSupport(int32(u), w) < kf {
+					d.victims = append(d.victims, id)
+				}
+			}
+		}
+		if len(d.victims) == 0 {
+			return nil
+		}
+		for _, id := range d.victims {
+			if d.alive[id] {
+				d.alive[id] = false
+				d.live--
+			}
+		}
+	}
+}
+
+// maxKc returns the largest cycle support of any arc in the full view (the
+// oracle's maxPossibleKc).
+func (d *denseDi) maxKc() int {
+	max := 0
+	for u := 0; u < d.g.N(); u++ {
+		base := d.off[u]
+		for i, w := range d.g.Out(u) {
+			if !d.alive[base+int32(i)] {
+				continue
+			}
+			if c := d.cycleSupport(int32(u), w); c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+// footprint rebuilds mu (an empty shell of the undirected base) with the
+// undirected footprint of the live arcs, using the precomputed arc→edge-ID
+// map.
+func (d *denseDi) footprint(mu *graph.Mutable, arcEdge []int32) {
+	for id, a := range d.alive {
+		if a {
+			mu.AddEdgeByID(arcEdge[id])
+		}
+	}
+}
+
+// Stats reports the execution shape of one CSR search (consumed by
+// core.QueryStats).
+type Stats struct {
+	// SeedEdges counts undirected footprint edges of the starting D-truss.
+	SeedEdges int
+	// PeelRounds counts diameter-reduction iterations.
+	PeelRounds int
+	// EdgesPeeled counts arcs removed between the seed and the answer.
+	EdgesPeeled int
+	// Seed is the time to orient the graph and find the starting D-truss;
+	// Peel the greedy diameter-reduction time.
+	Seed, Peel time.Duration
+}
+
+// CSRCommunity is the dense-port answer. Sub is freshly allocated and never
+// aliases pooled workspace scratch.
+type CSRCommunity struct {
+	// Kc and Kf are the cycle/flow support levels of the community.
+	Kc, Kf int
+	// Arcs counts community arcs.
+	Arcs int
+	// Sub is the undirected footprint subgraph (an overlay of the base CSR).
+	Sub *graph.Mutable
+	// QueryDist is the query distance in the footprint.
+	QueryDist int
+}
+
+// SearchCSR is the dense-port twin of Search, running against the serving
+// plane's CSR graph and pooled workspace: orient g, find the largest kc
+// (with flow level kf) whose D-truss footprint connects q, then greedily
+// delete the furthest vertex and re-peel, keeping the intermediate state
+// with the smallest query distance. Cancellation is polled through ws once
+// per peel round and reduction iteration.
+func SearchCSR(g *graph.Graph, q []int, kf int, mode Orientation, ws *trussindex.Workspace) (*CSRCommunity, *Stats, error) {
+	if len(q) == 0 {
+		return nil, nil, ErrNoCommunity
+	}
+	tSeed := time.Now()
+	dg := FromCSR(g, mode)
+	d := newDenseDi(dg)
+	// arcEdge maps every arc to its undirected base edge ID.
+	arcEdge := make([]int32, dg.M())
+	for u := 0; u < dg.N(); u++ {
+		base := d.off[u]
+		for i, w := range dg.Out(u) {
+			arcEdge[base+int32(i)] = g.EdgeID(u, int(w))
+		}
+	}
+	st := &Stats{}
+
+	// Largest kc admitting a footprint that connects q.
+	kc := -1
+	for try := d.maxKc(); try >= 0; try-- {
+		d.reset()
+		if err := d.peel(try, kf, ws.Canceled); err != nil {
+			return nil, nil, err
+		}
+		mu := ws.Shell()
+		d.footprint(mu, arcEdge)
+		if connectedOn(mu, q, ws) {
+			kc = try
+			break
+		}
+	}
+	if kc < 0 {
+		return nil, nil, ErrNoCommunity
+	}
+
+	// Restrict to the Q-component of the footprint.
+	mu := ws.Shell()
+	d.footprint(mu, arcEdge)
+	comp := graph.BFSMarked(mu, q[0], ws.ValA, ws.StampA, ws.QueueA)
+	ws.QueueA = comp
+	for id, a := range d.alive {
+		if !a {
+			continue
+		}
+		u, w := d.arcEnds(int32(id))
+		if !ws.StampA.Marked(u) || !ws.StampA.Marked(w) {
+			d.alive[id] = false
+			d.live--
+		}
+	}
+	st.SeedEdges = footprintEdges(d, arcEdge, ws)
+	st.Seed = time.Since(tSeed)
+	seedArcs := d.live
+	tPeel := time.Now()
+
+	cur := append([]bool(nil), d.alive...)
+	best := append([]bool(nil), d.alive...)
+	bestQD := queryDistCSR(d, arcEdge, q, ws)
+
+	// Greedy diameter reduction: delete the furthest non-query vertex, then
+	// re-peel the (kc, kf) property within the remaining arcs.
+	isQ := ws.StampB
+	isQ.Next()
+	for _, v := range q {
+		isQ.Set(int32(v))
+	}
+	for iter := 0; iter < g.N(); iter++ {
+		if err := ws.Canceled(); err != nil {
+			return nil, nil, err
+		}
+		muCur := ws.Shell()
+		d.load(cur)
+		d.footprint(muCur, arcEdge)
+		qd := graph.QueryDistances(muCur, q)
+		pick, pickD := -1, int32(0)
+		for v := 0; v < g.N(); v++ {
+			if !muCur.Present(v) || isQ.Marked(int32(v)) {
+				continue
+			}
+			dv := qd[v]
+			if dv == graph.Unreachable {
+				dv = 1 << 30
+			}
+			if dv > pickD {
+				pick, pickD = v, dv
+			}
+		}
+		if pick < 0 || pickD == 0 {
+			break
+		}
+		st.PeelRounds++
+		// Remove every arc touching pick, then restore the D-truss property.
+		for id, a := range d.alive {
+			if !a {
+				continue
+			}
+			u, w := d.arcEnds(int32(id))
+			if int(u) == pick || int(w) == pick {
+				d.alive[id] = false
+				d.live--
+			}
+		}
+		if err := d.peel(kc, kf, ws.Canceled); err != nil {
+			return nil, nil, err
+		}
+		muNext := ws.Shell()
+		d.footprint(muNext, arcEdge)
+		if !connectedOn(muNext, q, ws) {
+			break
+		}
+		copy(cur, d.alive)
+		if qdist := queryDistCSR(d, arcEdge, q, ws); qdist >= 0 && qdist < bestQD {
+			copy(best, d.alive)
+			bestQD = qdist
+		}
+	}
+
+	// Materialize the Q-component of the best state into a fresh overlay.
+	d.load(best)
+	muBest := ws.Shell()
+	d.footprint(muBest, arcEdge)
+	comp = graph.BFSMarked(muBest, q[0], ws.ValA, ws.StampA, ws.QueueA)
+	ws.QueueA = comp
+	sub := graph.NewMutableShell(g)
+	arcs := 0
+	for id, a := range d.alive {
+		if !a {
+			continue
+		}
+		u, w := d.arcEnds(int32(id))
+		if ws.StampA.Marked(u) && ws.StampA.Marked(w) {
+			arcs++
+			sub.AddEdgeByID(arcEdge[id])
+		}
+	}
+	st.EdgesPeeled = seedArcs - arcs
+	st.Peel = time.Since(tPeel)
+	return &CSRCommunity{Kc: kc, Kf: kf, Arcs: arcs, Sub: sub, QueryDist: bestQD}, st, nil
+}
+
+// footprintEdges counts distinct undirected edges of the live arcs.
+func footprintEdges(d *denseDi, arcEdge []int32, ws *trussindex.Workspace) int {
+	mu := ws.Shell()
+	d.footprint(mu, arcEdge)
+	return mu.M()
+}
+
+// queryDistCSR is the oracle's queryDistOf on the live arc set: the query
+// distance of the footprint, or -1 when some query vertex is unreachable.
+func queryDistCSR(d *denseDi, arcEdge []int32, q []int, ws *trussindex.Workspace) int {
+	mu := ws.Shell()
+	d.footprint(mu, arcEdge)
+	qd, ok := graph.GraphQueryDistance(mu, q)
+	if !ok {
+		return -1
+	}
+	return int(qd)
+}
+
+// connectedOn reports whether all of q is present and mutually reachable in
+// mu, on stamped workspace scratch.
+func connectedOn(mu *graph.Mutable, q []int, ws *trussindex.Workspace) bool {
+	for _, v := range q {
+		if !mu.Present(v) {
+			return false
+		}
+	}
+	if len(q) <= 1 {
+		return true
+	}
+	reach := graph.BFSMarked(mu, q[0], ws.ValA, ws.StampA, ws.QueueA)
+	ws.QueueA = reach
+	for _, v := range q[1:] {
+		if !ws.StampA.Marked(int32(v)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,135 @@
+package directed
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/trussindex"
+)
+
+func undirRandom(seed int64, n int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, 0)
+	b.EnsureVertex(n - 1)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func acquireWS(g *graph.Graph) *trussindex.Workspace {
+	return trussindex.Build(g).AcquireWorkspace()
+}
+
+func TestFromCSROrientations(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	both := FromCSR(g, OrientBoth)
+	if both.M() != 2*g.M() {
+		t.Fatalf("both: M = %d, want %d", both.M(), 2*g.M())
+	}
+	lh := FromCSR(g, OrientLowHigh)
+	if lh.M() != g.M() || !lh.HasArc(0, 1) || lh.HasArc(1, 0) {
+		t.Fatal("lowhigh orientation wrong")
+	}
+	hl := FromCSR(g, OrientHighLow)
+	if hl.M() != g.M() || !hl.HasArc(1, 0) || hl.HasArc(0, 1) {
+		t.Fatal("highlow orientation wrong")
+	}
+	h := FromCSR(g, OrientHash)
+	if h.M() != g.M() {
+		t.Fatalf("hash: M = %d, want %d", h.M(), g.M())
+	}
+	// Hash orientation is a pure function of the endpoints: rebuilt graphs
+	// agree arc for arc.
+	h2 := FromCSR(g, OrientHash)
+	for u := 0; u < g.N(); u++ {
+		if !reflect.DeepEqual(h.Out(u), h2.Out(u)) {
+			t.Fatalf("hash orientation unstable at vertex %d", u)
+		}
+	}
+}
+
+// TestSearchCSRMatchesOracle is the differential harness: the dense CSR
+// port must produce byte-identical answers to the retained map-based oracle
+// on every orientation, including agreeing on which queries have no
+// community.
+func TestSearchCSRMatchesOracle(t *testing.T) {
+	modes := []Orientation{OrientBoth, OrientLowHigh, OrientHighLow, OrientHash}
+	for seed := int64(0); seed < 8; seed++ {
+		g := undirRandom(seed, 28, 0.18)
+		ws := acquireWS(g)
+		rng := rand.New(rand.NewSource(seed + 100))
+		for _, mode := range modes {
+			dg := FromCSR(g, mode)
+			for _, kf := range []int{1, 2} {
+				q := []int{rng.Intn(g.N()), rng.Intn(g.N())}
+				want, wantErr := Search(dg, q, kf)
+				got, _, gotErr := SearchCSR(g, q, kf, mode, ws)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("seed %d mode %d kf %d q %v: oracle err %v, port err %v",
+						seed, mode, kf, q, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					if !errors.Is(gotErr, ErrNoCommunity) {
+						t.Fatalf("seed %d mode %d: port error %v, want ErrNoCommunity", seed, mode, gotErr)
+					}
+					continue
+				}
+				if got.Kc != want.Kc || got.Kf != want.Kf {
+					t.Fatalf("seed %d mode %d q %v: (kc,kf) = (%d,%d), want (%d,%d)",
+						seed, mode, q, got.Kc, got.Kf, want.Kc, want.Kf)
+				}
+				if got.Arcs != len(want.Arcs) {
+					t.Fatalf("seed %d mode %d q %v: arcs = %d, want %d", seed, mode, q, got.Arcs, len(want.Arcs))
+				}
+				if !reflect.DeepEqual(got.Sub.Vertices(), want.Vertices) {
+					t.Fatalf("seed %d mode %d q %v: vertices = %v, want %v",
+						seed, mode, q, got.Sub.Vertices(), want.Vertices)
+				}
+				if got.QueryDist != want.QueryDist {
+					t.Fatalf("seed %d mode %d q %v: query dist = %d, want %d",
+						seed, mode, q, got.QueryDist, want.QueryDist)
+				}
+				if um := underlying(g.N(), want.Arcs); got.Sub.M() != um.M() {
+					t.Fatalf("seed %d mode %d q %v: footprint edges = %d, want %d",
+						seed, mode, q, got.Sub.M(), um.M())
+				}
+			}
+		}
+		ws.Release()
+	}
+}
+
+func TestSearchCSRErrors(t *testing.T) {
+	g := undirRandom(1, 12, 0.3)
+	ws := acquireWS(g)
+	defer ws.Release()
+	if _, _, err := SearchCSR(g, nil, 1, OrientBoth, ws); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	// An absurd flow requirement has no community.
+	if _, _, err := SearchCSR(g, []int{0}, 50, OrientBoth, ws); !errors.Is(err, ErrNoCommunity) {
+		t.Fatalf("err = %v, want ErrNoCommunity", err)
+	}
+}
+
+func TestSearchCSRCancellation(t *testing.T) {
+	g := undirRandom(2, 40, 0.25)
+	ws := acquireWS(g)
+	defer ws.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ws.SetContext(ctx)
+	defer ws.SetContext(context.Background())
+	if _, _, err := SearchCSR(g, []int{0, 1}, 1, OrientBoth, ws); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

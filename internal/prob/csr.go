@@ -1,0 +1,361 @@
+package prob
+
+// This file is the dense CSR port of the probabilistic (k,γ)-truss
+// machinery: edge probabilities live in a flat edge-ID-indexed []float64
+// instead of an EdgeKey map, trussness in a flat []int32, the survival-
+// probability DP runs on reusable scratch, and the peeling states are
+// pooled workspace shells. The map-based Decompose/Search above are
+// retained as differential oracles; both must produce identical
+// decompositions and communities (csr_test.go enforces it). Identity is
+// exact down to float bits: both sides enumerate the triangle neighbors of
+// an edge in ascending-w merged order, so the Poisson-binomial DP performs
+// the same operations in the same order.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/trussindex"
+)
+
+// SyntheticProb returns the deterministic synthetic existence probability
+// of edge {u, v}: a splitmix64 hash of the canonical edge key mapped into
+// [0.5, 1.0). It depends only on the endpoints, so every epoch, replica and
+// oracle assigns the same probability to the same edge — the serving plane
+// uses it when the ingest path carries no probabilities of its own.
+func SyntheticProb(u, v int) float64 {
+	x := uint64(graph.Key(u, v)) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return 0.5 + float64(x>>11)/(1<<53)/2
+}
+
+// SyntheticProbs returns the dense edge-ID-indexed synthetic probability
+// vector of g.
+func SyntheticProbs(g *graph.Graph) []float64 {
+	p := make([]float64, g.M())
+	for e := int32(0); e < int32(g.M()); e++ {
+		u, v := g.EdgeEndpoints(e)
+		p[e] = SyntheticProb(u, v)
+	}
+	return p
+}
+
+// ProbMap converts a dense probability vector to the EdgeKey map form the
+// map-based oracle consumes (differential-test plumbing).
+func ProbMap(g *graph.Graph, probs []float64) map[graph.EdgeKey]float64 {
+	m := make(map[graph.EdgeKey]float64, g.M())
+	for e := int32(0); e < int32(g.M()); e++ {
+		u, v := g.EdgeEndpoints(e)
+		m[graph.Key(u, v)] = probs[e]
+	}
+	return m
+}
+
+// etaScratch is the reusable buffer set of the survival-probability DP.
+type etaScratch struct {
+	tri  []float64 // per-triangle survival probabilities of one edge
+	dist []float64 // truncated Poisson-binomial partial distribution
+}
+
+// supTailProbInto is supTailProb on caller-owned scratch: identical
+// operation sequence, no allocation.
+func supTailProbInto(tri []float64, s int, sc *etaScratch) float64 {
+	if s <= 0 {
+		return 1
+	}
+	if s > len(tri) {
+		return 0
+	}
+	if cap(sc.dist) < s {
+		sc.dist = make([]float64, s)
+	}
+	dist := sc.dist[:s]
+	dist[0] = 1
+	for i := 1; i < s; i++ {
+		dist[i] = 0
+	}
+	tail := 0.0
+	for _, t := range tri {
+		tail += dist[s-1] * t
+		for j := s - 1; j >= 1; j-- {
+			dist[j] = dist[j]*(1-t) + dist[j-1]*t
+		}
+		dist[0] *= 1 - t
+	}
+	return tail
+}
+
+// etaOf is edgeEta on dense storage: Pr[e exists ∧ sup(e) >= k-2] in mu.
+// mu must be overlay-pure so the triangle enumeration is the ascending-w
+// merge the oracle's CommonNeighbors performs.
+func etaOf(mu *graph.Mutable, probs []float64, e int32, u, v int, k int32, sc *etaScratch) float64 {
+	tri := sc.tri[:0]
+	mu.CommonNeighborsEdges(u, v, func(_, euw, evw int32) {
+		tri = append(tri, probs[euw]*probs[evw])
+	})
+	sc.tri = tri
+	return probs[e] * supTailProbInto(tri, int(k-2), sc)
+}
+
+// forEachAliveEdge visits every live edge of a pure overlay once, as
+// (edge ID, endpoints u < w).
+func forEachAliveEdge(mu *graph.Mutable, fn func(e int32, u, v int)) {
+	for u := 0; u < mu.NumIDs(); u++ {
+		if !mu.Present(u) {
+			continue
+		}
+		mu.ForEachIncidentEdge(u, func(e int32, w int) {
+			if w > u {
+				fn(e, u, w)
+			}
+		})
+	}
+}
+
+// DenseDecomposition is the flat-array twin of Decomposition: Truss[e] is
+// the probabilistic trussness of base edge e at level Gamma.
+type DenseDecomposition struct {
+	Gamma    float64
+	Truss    []int32
+	MaxTruss int32
+}
+
+// EdgeIDsAtLeast appends the base edge IDs with trussness >= k to dst.
+func (d *DenseDecomposition) EdgeIDsAtLeast(k int32, dst []int32) []int32 {
+	for e, t := range d.Truss {
+		if t >= k {
+			dst = append(dst, int32(e))
+		}
+	}
+	return dst
+}
+
+// DecomposeCSR is the dense twin of Decompose: iterated peeling on a pooled
+// workspace shell with flat probability/trussness arrays, polling
+// cancellation once per cascade round. The Truss values are identical to
+// the oracle's EdgeTruss map.
+func DecomposeCSR(g *graph.Graph, probs []float64, gamma float64, ws *trussindex.Workspace) (*DenseDecomposition, error) {
+	if gamma <= 0 || gamma > 1 {
+		return nil, fmt.Errorf("prob: gamma %v outside (0,1]", gamma)
+	}
+	if len(probs) != g.M() {
+		return nil, fmt.Errorf("prob: %d probabilities for %d edges", len(probs), g.M())
+	}
+	d := &DenseDecomposition{Gamma: gamma, Truss: make([]int32, g.M())}
+	mu := ws.Shell()
+	for e := int32(0); e < int32(g.M()); e++ {
+		mu.AddEdgeByID(e)
+	}
+	sc := &etaScratch{}
+	k := int32(2)
+	for mu.M() > 0 {
+		for {
+			if err := ws.Canceled(); err != nil {
+				return nil, err
+			}
+			ws.Victims = ws.Victims[:0]
+			forEachAliveEdge(mu, func(e int32, u, v int) {
+				if etaOf(mu, probs, e, u, v, k, sc) < gamma {
+					ws.Victims = append(ws.Victims, int(e))
+				}
+			})
+			if len(ws.Victims) == 0 {
+				break
+			}
+			for _, e := range ws.Victims {
+				if mu.DeleteEdgeByID(int32(e)) {
+					// τ_γ(e) = k-1: survived level k-1, failed level k.
+					d.Truss[e] = k - 1
+				}
+			}
+		}
+		if mu.M() > 0 {
+			if k > d.MaxTruss {
+				d.MaxTruss = k
+			}
+			forEachAliveEdge(mu, func(e int32, _, _ int) { d.Truss[e] = k })
+		}
+		k++
+	}
+	return d, nil
+}
+
+// maintainCSR restores the (k,γ)-truss property after deletions, the dense
+// twin of maintainProbTruss: cascade removal of edges whose survival
+// probability fell below γ, dropping isolated vertices each round.
+func maintainCSR(mu *graph.Mutable, probs []float64, k int32, gamma float64, sc *etaScratch, ws *trussindex.Workspace) error {
+	for {
+		if err := ws.Canceled(); err != nil {
+			return err
+		}
+		ws.Victims = ws.Victims[:0]
+		forEachAliveEdge(mu, func(e int32, u, v int) {
+			if etaOf(mu, probs, e, u, v, k, sc) < gamma {
+				ws.Victims = append(ws.Victims, int(e))
+			}
+		})
+		if len(ws.Victims) == 0 {
+			return nil
+		}
+		for _, e := range ws.Victims {
+			mu.DeleteEdgeByID(int32(e))
+		}
+		mu.RemoveIsolated(nil)
+	}
+}
+
+// Stats reports the execution shape of one CSR search.
+type Stats struct {
+	// MaxTruss is the decomposition's largest probabilistic trussness.
+	MaxTruss int32
+	// SeedEdges counts edges of the starting (k,γ)-truss component.
+	SeedEdges int
+	// PeelRounds counts diameter-reduction iterations.
+	PeelRounds int
+	// EdgesPeeled counts edges removed between the seed and the answer.
+	EdgesPeeled int
+	// Seed is the decomposition-plus-seed-selection time; Peel the greedy
+	// diameter-reduction time.
+	Seed, Peel time.Duration
+}
+
+// CSRCommunity is the dense-port answer; Sub is freshly allocated and never
+// aliases pooled workspace scratch.
+type CSRCommunity struct {
+	// K is the probabilistic trussness and Gamma the confidence level.
+	K     int32
+	Gamma float64
+	// Sub is the community subgraph (an overlay of the base CSR graph).
+	Sub *graph.Mutable
+	// QueryDist is the graph query distance within the community.
+	QueryDist int
+}
+
+// SearchCSR is the dense-port twin of Search: decompose at level gamma,
+// seed with the highest-k connected (k,γ)-truss containing q (kCap > 0
+// additionally caps the starting k), then greedily delete the furthest
+// vertex and restore the truss property, keeping the best intermediate
+// state. Cancellation is polled through ws once per peel round.
+func SearchCSR(g *graph.Graph, probs []float64, q []int, gamma float64, kCap int32, ws *trussindex.Workspace) (*CSRCommunity, *Stats, error) {
+	if len(q) == 0 {
+		return nil, nil, ErrNoCommunity
+	}
+	tSeed := time.Now()
+	d, err := DecomposeCSR(g, probs, gamma, ws)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{MaxTruss: d.MaxTruss}
+
+	// Largest (capped) k whose (k,γ)-truss connects q, then its Q-component.
+	start := d.MaxTruss
+	if kCap >= 2 && kCap < start {
+		start = kCap
+	}
+	var work *graph.Mutable
+	var k int32
+	for k = start; k >= 2; k-- {
+		mu := ws.Shell()
+		for e, t := range d.Truss {
+			if t >= k {
+				mu.AddEdgeByID(int32(e))
+			}
+		}
+		if !connectedOn(mu, q, ws) {
+			continue
+		}
+		comp := graph.BFSMarked(mu, q[0], ws.ValA, ws.StampA, ws.QueueA)
+		ws.QueueA = comp
+		work = ws.Shell()
+		for e, t := range d.Truss {
+			if t < k {
+				continue
+			}
+			u, v := g.EdgeEndpoints(int32(e))
+			if ws.StampA.Marked(int32(u)) && ws.StampA.Marked(int32(v)) {
+				work.AddEdgeByID(int32(e))
+			}
+		}
+		break
+	}
+	if work == nil {
+		return nil, nil, ErrNoCommunity
+	}
+	st.SeedEdges = work.M()
+	st.Seed = time.Since(tSeed)
+	tPeel := time.Now()
+
+	best := work.Clone()
+	bestQD, _ := graph.GraphQueryDistance(best, q)
+	isQ := ws.StampB
+	isQ.Next()
+	for _, v := range q {
+		isQ.Set(int32(v))
+	}
+	sc := &etaScratch{}
+	for {
+		if err := ws.Canceled(); err != nil {
+			return nil, nil, err
+		}
+		qd := graph.QueryDistances(work, q)
+		// Furthest vertex, preferring non-query on ties.
+		pick, pickD := -1, int32(-1)
+		for v := 0; v < work.NumIDs(); v++ {
+			if !work.Present(v) {
+				continue
+			}
+			dv := qd[v]
+			if dv == graph.Unreachable {
+				dv = 1 << 30
+			}
+			if dv > pickD || (dv == pickD && pick >= 0 && isQ.Marked(int32(pick)) && !isQ.Marked(int32(v))) {
+				pick, pickD = v, dv
+			}
+		}
+		if pick < 0 || pickD == 0 {
+			break
+		}
+		st.PeelRounds++
+		work.DeleteVertex(pick)
+		if err := maintainCSR(work, probs, k, gamma, sc, ws); err != nil {
+			return nil, nil, err
+		}
+		if !connectedOn(work, q, ws) {
+			break
+		}
+		if cur, ok := graph.GraphQueryDistance(work, q); ok && cur < bestQD {
+			best = work.Clone()
+			bestQD = cur
+		}
+	}
+	comp := graph.Component(best, q[0])
+	sub := graph.InducedMutable(best, comp)
+	st.EdgesPeeled = st.SeedEdges - sub.M()
+	st.Peel = time.Since(tPeel)
+	return &CSRCommunity{K: k, Gamma: gamma, Sub: sub, QueryDist: int(bestQD)}, st, nil
+}
+
+// connectedOn reports whether all of q is present and mutually reachable in
+// mu, on stamped workspace scratch (the allocation-free twin of
+// graph.Connected).
+func connectedOn(mu *graph.Mutable, q []int, ws *trussindex.Workspace) bool {
+	for _, v := range q {
+		if !mu.Present(v) {
+			return false
+		}
+	}
+	if len(q) <= 1 {
+		return true
+	}
+	reach := graph.BFSMarked(mu, q[0], ws.ValA, ws.StampA, ws.QueueA)
+	ws.QueueA = reach
+	for _, v := range q[1:] {
+		if !ws.StampA.Marked(int32(v)) {
+			return false
+		}
+	}
+	return true
+}

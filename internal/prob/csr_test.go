@@ -1,0 +1,177 @@
+package prob
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/trussindex"
+)
+
+func undirRandom(seed int64, n int, p float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, 0)
+	b.EnsureVertex(n - 1)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func acquireWS(g *graph.Graph) *trussindex.Workspace {
+	return trussindex.Build(g).AcquireWorkspace()
+}
+
+func TestSyntheticProbsStable(t *testing.T) {
+	g := undirRandom(3, 20, 0.3)
+	a, b := SyntheticProbs(g), SyntheticProbs(g)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("synthetic probabilities are not a pure function of the edges")
+	}
+	for e, p := range a {
+		if p < 0.5 || p >= 1 {
+			t.Fatalf("edge %d: prob %f outside [0.5, 1)", e, p)
+		}
+	}
+}
+
+// TestDecomposeCSRMatchesOracle checks the dense decomposition against the
+// map-based oracle edge by edge: identical trussness for every edge at
+// several confidence levels. The Poisson-binomial DP runs over identical
+// ascending-neighbor orders on both sides, so the float comparisons — and
+// therefore the peel — agree exactly, not just approximately.
+func TestDecomposeCSRMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := undirRandom(seed, 26, 0.22)
+		probs := SyntheticProbs(g)
+		pg, err := NewGraph(g, ProbMap(g, probs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := acquireWS(g)
+		for _, gamma := range []float64{0.3, 0.5, 0.8} {
+			want, err := Decompose(pg, gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecomposeCSR(g, probs, gamma, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.MaxTruss != want.MaxTruss {
+				t.Fatalf("seed %d γ=%.1f: max truss %d, want %d", seed, gamma, got.MaxTruss, want.MaxTruss)
+			}
+			for e := int32(0); e < int32(g.M()); e++ {
+				if got.Truss[e] != want.EdgeTruss[g.EdgeKeyOf(e)] {
+					u, v := g.EdgeEndpoints(e)
+					t.Fatalf("seed %d γ=%.1f: edge (%d,%d) truss %d, want %d",
+						seed, gamma, u, v, got.Truss[e], want.EdgeTruss[g.EdgeKeyOf(e)])
+				}
+			}
+		}
+		ws.Release()
+	}
+}
+
+// TestSearchCSRMatchesOracle is the differential harness for the full
+// search: seed level, community membership, edge count, and query distance
+// all byte-identical to the retained oracle.
+func TestSearchCSRMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := undirRandom(seed, 26, 0.22)
+		probs := SyntheticProbs(g)
+		pg, err := NewGraph(g, ProbMap(g, probs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := acquireWS(g)
+		rng := rand.New(rand.NewSource(seed + 200))
+		for _, gamma := range []float64{0.3, 0.6} {
+			q := []int{rng.Intn(g.N()), rng.Intn(g.N())}
+			want, wantErr := Search(pg, q, gamma)
+			got, _, gotErr := SearchCSR(g, probs, q, gamma, 0, ws)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed %d γ=%.1f q %v: oracle err %v, port err %v", seed, gamma, q, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if !errors.Is(gotErr, ErrNoCommunity) {
+					t.Fatalf("seed %d: port error %v, want ErrNoCommunity", seed, gotErr)
+				}
+				continue
+			}
+			if got.K != want.K || got.Gamma != want.Gamma {
+				t.Fatalf("seed %d γ=%.1f q %v: (k,γ) = (%d,%v), want (%d,%v)",
+					seed, gamma, q, got.K, got.Gamma, want.K, want.Gamma)
+			}
+			if !reflect.DeepEqual(got.Sub.Vertices(), want.Vertices) {
+				t.Fatalf("seed %d γ=%.1f q %v: vertices = %v, want %v",
+					seed, gamma, q, got.Sub.Vertices(), want.Vertices)
+			}
+			if got.Sub.M() != want.EdgeCount {
+				t.Fatalf("seed %d γ=%.1f q %v: edges = %d, want %d", seed, gamma, q, got.Sub.M(), want.EdgeCount)
+			}
+			if got.QueryDist != want.QueryDist {
+				t.Fatalf("seed %d γ=%.1f q %v: query dist = %d, want %d", seed, gamma, q, got.QueryDist, want.QueryDist)
+			}
+		}
+		ws.Release()
+	}
+}
+
+func TestSearchCSRKCap(t *testing.T) {
+	g := undirRandom(4, 26, 0.3)
+	probs := SyntheticProbs(g)
+	ws := acquireWS(g)
+	defer ws.Release()
+	free, _, err := SearchCSR(g, probs, []int{0, 1}, 0.3, 0, ws)
+	if err != nil {
+		t.Skip("query has no community on this seed")
+	}
+	capped, _, err := SearchCSR(g, probs, []int{0, 1}, 0.3, 2, ws)
+	if err != nil {
+		t.Fatalf("capped search failed: %v", err)
+	}
+	if capped.K > 2 {
+		t.Fatalf("kCap=2 produced k=%d", capped.K)
+	}
+	if free.K < capped.K {
+		t.Fatalf("uncapped k %d below capped k %d", free.K, capped.K)
+	}
+}
+
+func TestDecomposeCSRValidation(t *testing.T) {
+	g := undirRandom(5, 10, 0.4)
+	probs := SyntheticProbs(g)
+	ws := acquireWS(g)
+	defer ws.Release()
+	if _, err := DecomposeCSR(g, probs, 0, ws); err == nil {
+		t.Fatal("γ=0 accepted")
+	}
+	if _, err := DecomposeCSR(g, probs, 1.5, ws); err == nil {
+		t.Fatal("γ>1 accepted")
+	}
+	if _, err := DecomposeCSR(g, probs[:1], 0.5, ws); err == nil {
+		t.Fatal("short prob vector accepted")
+	}
+}
+
+func TestSearchCSRCancellation(t *testing.T) {
+	g := undirRandom(6, 40, 0.3)
+	probs := SyntheticProbs(g)
+	ws := acquireWS(g)
+	defer ws.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ws.SetContext(ctx)
+	defer ws.SetContext(context.Background())
+	if _, _, err := SearchCSR(g, probs, []int{0, 1}, 0.5, 0, ws); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

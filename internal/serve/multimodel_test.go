@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestMultiModelThroughManager drives every newly ported model — D-truss,
+// probabilistic (k,γ)-truss, MDC, QDC — through Manager.Query concurrently
+// while an updater streams edge churn. Run under -race (CI does): the
+// models share the pooled workspaces and the epoch-keyed cache with the
+// truss algorithms, so this is the aliasing/reuse stress for the ports.
+func TestMultiModelThroughManager(t *testing.T) {
+	g, truth := gen.CommunityGraph(gen.CommunityParams{
+		N: 200, NumCommunities: 8, MinSize: 8, MaxSize: 24,
+		Overlap: 0.3, PIntra: 0.5, BackgroundEdges: 200, Seed: 0xBEEF,
+	})
+	m := NewManager(g, Options{
+		QueueSize:       256,
+		PublishDirty:    32,
+		PublishInterval: 5 * time.Millisecond,
+	})
+	defer m.Close()
+
+	rng := gen.NewRNG(0xFEED)
+	queries := make([][]int, 0, 8)
+	for _, q := range gen.QueriesFromGroundTruth(rng, truth, 8, 2, 2) {
+		queries = append(queries, q.Q)
+	}
+	if len(queries) == 0 {
+		t.Fatal("no ground-truth queries")
+	}
+	algos := []core.Algo{core.AlgoDTruss, core.AlgoProbTruss, core.AlgoMDC, core.AlgoQDC}
+
+	const dur = 300 * time.Millisecond
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var ok, noCommunity atomic.Int64
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := w; !stop.Load(); i++ {
+				req := core.Request{Q: queries[i%len(queries)], Algo: algos[i%len(algos)]}
+				if req.Algo == core.AlgoDTruss {
+					req.Direction = core.DirectionMode(i % 4)
+				}
+				res, err := m.Query(ctx, req)
+				switch {
+				case err == nil:
+					if res.Stats.Algo != req.Algo {
+						t.Errorf("stats algo %v, want %v", res.Stats.Algo, req.Algo)
+						return
+					}
+					ok.Add(1)
+				case cacheableErr(err):
+					noCommunity.Add(1)
+				default:
+					t.Errorf("algo %v: %v", req.Algo, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		urng := gen.NewRNG(0xD00D)
+		for i := 0; !stop.Load(); i++ {
+			u, v := int(urng.Uint64()%200), int(urng.Uint64()%200)
+			if u == v {
+				continue
+			}
+			if i%2 == 0 {
+				m.Offer(Update{Op: OpAdd, U: u, V: v})
+			} else {
+				m.Offer(Update{Op: OpRemove, U: u, V: v})
+			}
+		}
+	}()
+
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	if ok.Load() == 0 {
+		t.Fatalf("no model query succeeded (%d no-community)", noCommunity.Load())
+	}
+}
+
+// TestMultiModelCacheKeying pins the canonical-key folding for the model
+// parameters: MinProb 0 and the explicit default share an entry, a
+// different direction is a different key, and the baselines ignore K.
+func TestMultiModelCacheKeying(t *testing.T) {
+	g, truth := gen.CommunityGraph(gen.CommunityParams{
+		N: 120, NumCommunities: 6, MinSize: 8, MaxSize: 20,
+		Overlap: 0.2, PIntra: 0.6, BackgroundEdges: 100, Seed: 0xCAFE,
+	})
+	m := NewManager(g, Options{PublishDirty: 1 << 30, PublishInterval: time.Hour})
+	defer m.Close()
+	rng := gen.NewRNG(0xF00D)
+	qs := gen.QueriesFromGroundTruth(rng, truth, 4, 2, 2)
+	if len(qs) == 0 {
+		t.Fatal("no ground-truth queries")
+	}
+	q := qs[0].Q
+	ctx := context.Background()
+
+	query := func(req core.Request) (bool, error) {
+		res, err := m.Query(ctx, req)
+		if err != nil {
+			return false, err
+		}
+		return res.Stats.CacheHit, nil
+	}
+	okOrNone := func(err error) {
+		t.Helper()
+		if err != nil && !cacheableErr(err) {
+			t.Fatal(err)
+		}
+	}
+
+	// MinProb: zero folds to the default, so the three spellings share one
+	// cache entry.
+	if _, err := query(core.Request{Q: q, Algo: core.AlgoProbTruss}); err != nil {
+		okOrNone(err)
+	}
+	hit, err := query(core.Request{Q: q, Algo: core.AlgoProbTruss, MinProb: core.DefaultMinProb})
+	if err != nil {
+		okOrNone(err)
+	} else if !hit {
+		t.Fatal("MinProb default not folded: explicit 0.5 missed the cache")
+	}
+	// A different threshold is a different answer, never served from the
+	// folded entry's key.
+	if hit, err := query(core.Request{Q: q, Algo: core.AlgoProbTruss, MinProb: 0.9}); err == nil && hit {
+		t.Fatal("MinProb=0.9 hit the 0.5 entry")
+	}
+
+	// Direction distinguishes DTruss entries...
+	if _, err := query(core.Request{Q: q, Algo: core.AlgoDTruss}); err != nil {
+		okOrNone(err)
+	}
+	if hit, err := query(core.Request{Q: q, Algo: core.AlgoDTruss, Direction: core.DirLowHigh}); err == nil && hit {
+		t.Fatal("lowhigh direction hit the both-direction entry")
+	}
+	// ...but is folded to zero for algorithms that never read it.
+	if _, err := query(core.Request{Q: q, Algo: core.AlgoMDC}); err != nil {
+		okOrNone(err)
+	}
+	hit, err = query(core.Request{Q: q, Algo: core.AlgoMDC, K: 7})
+	if err != nil {
+		okOrNone(err)
+	} else if !hit {
+		t.Fatal("MDC K not folded: K=7 missed the K=0 entry")
+	}
+}

@@ -349,3 +349,23 @@ func TestCacheHitSkipsPhases(t *testing.T) {
 		t.Errorf("cache hit not in latency histogram: count %d, want 1", snap.Count)
 	}
 }
+
+// TestTracerAlgoLabelPreregistration: AlgoLabels children exist in the
+// exposition before any query is observed, so dashboards see every served
+// algorithm from scrape one and late registrations cannot land in "_other".
+func TestTracerAlgoLabelPreregistration(t *testing.T) {
+	r := NewRegistry()
+	labels := []string{"LCTC", "Basic", "DTruss", "ProbTruss", "MDC", "QDC"}
+	NewTracer(r, TracerOptions{SlowThreshold: -1, AlgoLabels: labels})
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, a := range labels {
+		series := `ctc_query_duration_seconds_count{algo="` + a + `"} 0`
+		if !strings.Contains(body, series) {
+			t.Errorf("exposition missing pre-registered series %q", series)
+		}
+	}
+}

@@ -50,6 +50,12 @@ type TracerOptions struct {
 	SlowThreshold time.Duration
 	// SlowLogEntries bounds the slowlog ring. Default 128.
 	SlowLogEntries int
+	// AlgoLabels pre-registers the per-algorithm latency children at
+	// construction. The vec bounds its cardinality (64 children, overflow
+	// folds into "_other"), so frontends pass the full algorithm-name
+	// registry here to guarantee every served algorithm gets its own
+	// series instead of racing for slots at first use.
+	AlgoLabels []string
 }
 
 func (o TracerOptions) withDefaults() TracerOptions {
@@ -108,6 +114,9 @@ func NewTracer(reg *Registry, opt TracerOptions) *Tracer {
 	t.phaseSeed = t.phase.With("seed")
 	t.phaseExpand = t.phase.With("expand")
 	t.phasePeel = t.phase.With("peel")
+	for _, a := range opt.AlgoLabels {
+		t.latency.With(a)
+	}
 	return t
 }
 
@@ -120,8 +129,9 @@ func (t *Tracer) SlowThreshold() time.Duration {
 }
 
 // Observe records one query. Zero allocations once the record's algo and
-// tenant children exist (algo children are a fixed set of four; tenant
-// children are capped by the vec's cardinality bound).
+// tenant children exist (algo children are the fixed algorithm registry,
+// pre-registered via TracerOptions.AlgoLabels; tenant children are capped
+// by the vec's cardinality bound).
 func (t *Tracer) Observe(rec QueryRecord) {
 	if t == nil {
 		return

@@ -91,6 +91,32 @@ const (
 	AlgoBulkDelete = core.AlgoBulkDelete
 	// AlgoTrussOnly returns G0 without free-rider removal (Algorithm 2).
 	AlgoTrussOnly = core.AlgoTrussOnly
+	// AlgoDTruss is the directed (kc, kf)-D-truss model; Request.K sets
+	// the flow level kf, Request.Direction the edge orientation.
+	AlgoDTruss = core.AlgoDTruss
+	// AlgoProbTruss is the probabilistic (k,γ)-truss model over synthetic
+	// edge probabilities; Request.MinProb sets γ.
+	AlgoProbTruss = core.AlgoProbTruss
+	// AlgoMDC is the minimum-degree-community baseline.
+	AlgoMDC = core.AlgoMDC
+	// AlgoQDC is the query-biased densest-subgraph baseline.
+	AlgoQDC = core.AlgoQDC
+)
+
+// DirectionMode selects AlgoDTruss's edge orientation.
+type DirectionMode = core.DirectionMode
+
+// Direction modes for Request.Direction.
+const (
+	// DirBoth orients every undirected edge as two opposing arcs (the
+	// default, zero value).
+	DirBoth = core.DirBoth
+	// DirLowHigh orients each edge from its lower to its higher endpoint.
+	DirLowHigh = core.DirLowHigh
+	// DirHighLow orients each edge from its higher to its lower endpoint.
+	DirHighLow = core.DirHighLow
+	// DirHash picks each edge's arc direction by endpoint hash.
+	DirHash = core.DirHash
 )
 
 // Distance modes for Request.DistanceMode.
@@ -112,9 +138,21 @@ var (
 	ErrBadParam = core.ErrBadParam
 )
 
-// ParseAlgo maps the wire/CLI spellings ("lctc", "basic", "bd"/"bulk",
-// "truss"; "" = LCTC) onto an Algo.
+// ParseAlgo maps the wire/CLI spellings (see AlgoSpellings; "" = LCTC)
+// onto an Algo.
 func ParseAlgo(s string) (Algo, error) { return core.ParseAlgo(s) }
+
+// ParseDirection maps the wire/CLI spellings ("both", "lowhigh",
+// "highlow", "hash"; "" = both) onto a DirectionMode.
+func ParseDirection(s string) (DirectionMode, error) { return core.ParseDirection(s) }
+
+// AlgoNames lists the canonical display names of every registered
+// algorithm, in Algo order.
+func AlgoNames() []string { return core.AlgoNames() }
+
+// AlgoSpellings lists every spelling ParseAlgo accepts, comma-separated —
+// the single source for CLI usage strings and error messages.
+func AlgoSpellings() string { return core.AlgoSpellings() }
 
 // NewBuilder returns a graph builder with capacity hints.
 func NewBuilder(n, m int) *Builder { return graph.NewBuilder(n, m) }
