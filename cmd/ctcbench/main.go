@@ -68,6 +68,7 @@ func main() {
 		mxNet   = flag.String("mixed-net", "dblp", "network analogue the -mixed stress serves")
 		mxRate  = flag.Int("mixed-rate", 500, "target updates/second for the -mixed stress")
 		mxWAL   = flag.Bool("wal", false, "with -mixed, compare durability configurations (no WAL vs WAL without fsync vs WAL with group-commit fsync)")
+		mxShard = flag.Int("shards", 1, "with -mixed, compare a single manager against a sharded tier of N partitioned managers behind the scatter-gather router")
 		ovTen   = flag.Int("overload", 0, "run the overload-injection harness with this many tenants instead of experiments (exits nonzero on an invariant violation)")
 		ovDur   = flag.Duration("overload-dur", 3*time.Second, "duration of each timed -overload phase (baseline, burst)")
 		ovNet   = flag.String("overload-net", "dblp", "network analogue the -overload harness serves")
@@ -93,7 +94,7 @@ func main() {
 		return
 	}
 	if *mxWork > 0 {
-		if err := runMixed(*mxWork, *mxDur, *mxNet, *mxRate, *seed, *mxOut, *mxWAL, os.Stdout); err != nil {
+		if err := runMixed(*mxWork, *mxDur, *mxNet, *mxRate, *mxShard, *seed, *mxOut, *mxWAL, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ctcbench:", err)
 			os.Exit(1)
 		}

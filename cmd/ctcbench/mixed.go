@@ -14,7 +14,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
 	"repro/internal/wal"
@@ -24,8 +26,12 @@ import (
 // (BENCH_pr3.json records one run per tracked configuration;
 // BENCH_pr6.json records one per durability configuration).
 type mixedResult struct {
-	Network         string  `json:"network"`
-	Durability      string  `json:"durability"` // none | wal-nosync | wal-fsync
+	Network    string `json:"network"`
+	Durability string `json:"durability"` // none | wal-nosync | wal-fsync
+	// Shards is the partitioned-tier width; absent (1) = single manager.
+	// In sharded runs an update to a cut edge applies on both endpoint
+	// homes, so updates_applied can exceed updates_enqueued.
+	Shards          int     `json:"shards,omitempty"`
 	N               int     `json:"n"`
 	M               int     `json:"m"`
 	Workers         int     `json:"workers"`
@@ -51,33 +57,64 @@ type mixedResult struct {
 	GoVersion       string  `json:"go_version"`
 }
 
-// newMixedManager builds the manager for one durability configuration:
-// plain in-memory ("none"), or durable with the WAL directory under a
-// temp dir — "wal-nosync" appends without fsync (group-commit bookkeeping
-// only), "wal-fsync" is the full durability path. cleanup removes the WAL
-// directory after Close.
-func newMixedManager(durability string, ixBase func() (*trussindex.Index, error), opts serve.Options) (mgr *serve.Manager, cleanup func(), err error) {
+// mixedBackend is the serving plane one stress run drives: a single
+// serve.Manager, or the sharded tier's scatter-gather router.
+type mixedBackend interface {
+	Query(ctx context.Context, req core.Request) (*core.Result, error)
+	Apply(up serve.Update) error
+	Stats() serve.Stats
+	Close()
+}
+
+// newMixedBackend builds the serving plane for one configuration: a single
+// manager (shards <= 1) or a shard.Router over the same graph, each either
+// plain in-memory ("none") or durable with the WAL directory under a temp
+// dir — "wal-nosync" appends without fsync (group-commit bookkeeping
+// only), "wal-fsync" is the full durability path (per shard, in sharded
+// runs). cleanup removes the WAL directory after Close.
+func newMixedBackend(durability string, shards int, g *graph.Graph, ixBase func() (*trussindex.Index, error), opts serve.Options) (b mixedBackend, cleanup func(), err error) {
+	walDir := ""
+	cleanup = func() {}
 	switch durability {
 	case "", "none":
+	case "wal-nosync", "wal-fsync":
+		walDir, err = os.MkdirTemp("", "ctcbench-wal-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanup = func() { os.RemoveAll(walDir) }
+	default:
+		return nil, nil, fmt.Errorf("unknown durability mode %q", durability)
+	}
+	walOpts := wal.Options{NoSync: durability == "wal-nosync"}
+
+	if shards > 1 {
+		r, err := shard.New(g, shard.Config{
+			Shards: shards,
+			Seed:   9,
+			Serve:  opts,
+			WALDir: walDir,
+			WAL:    walOpts,
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return r, cleanup, nil
+	}
+	if walDir == "" {
 		ix, err := ixBase()
 		if err != nil {
 			return nil, nil, err
 		}
-		return serve.NewManagerFromIndex(ix, opts), func() {}, nil
-	case "wal-nosync", "wal-fsync":
-		dir, err := os.MkdirTemp("", "ctcbench-wal-*")
-		if err != nil {
-			return nil, nil, err
-		}
-		m, _, err := serve.OpenDurable(dir, ixBase, wal.Options{NoSync: durability == "wal-nosync"}, opts)
-		if err != nil {
-			os.RemoveAll(dir)
-			return nil, nil, err
-		}
-		return m, func() { os.RemoveAll(dir) }, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown durability mode %q", durability)
+		return serve.NewManagerFromIndex(ix, opts), cleanup, nil
 	}
+	m, _, err := serve.OpenDurable(walDir, ixBase, walOpts, opts)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return m, cleanup, nil
 }
 
 // runMixedOnce drives the serving scenario end to end: one serve.Manager
@@ -86,7 +123,7 @@ func newMixedManager(durability string, ixBase func() (*trussindex.Index, error)
 // acquire — queries never block on the writer (the acquire path is an
 // atomic load plus a refcount CAS). Per-query latencies are recorded and
 // reported as percentiles.
-func runMixedOnce(workers int, dur time.Duration, netName, durability string, rate int, seed uint64, out io.Writer) (mixedResult, error) {
+func runMixedOnce(workers int, dur time.Duration, netName, durability string, rate, shards int, seed uint64, out io.Writer) (mixedResult, error) {
 	var res mixedResult
 	if rate <= 0 {
 		return res, fmt.Errorf("-mixed-rate must be positive, got %d", rate)
@@ -96,9 +133,9 @@ func runMixedOnce(workers int, dur time.Duration, netName, durability string, ra
 		return res, err
 	}
 	g := nw.Graph()
-	fmt.Fprintf(out, "mixed[%s]: network %s (n=%d m=%d), building epoch 1...\n", durability, netName, g.N(), g.M())
+	fmt.Fprintf(out, "mixed[%s]: network %s (n=%d m=%d, shards=%d), building epoch 1...\n", durability, netName, g.N(), g.M(), shards)
 	t0 := time.Now()
-	mgr, cleanup, err := newMixedManager(durability, func() (*trussindex.Index, error) {
+	mgr, cleanup, err := newMixedBackend(durability, shards, g, func() (*trussindex.Index, error) {
 		return trussindex.BuildFromDecomposition(g, truss.Decompose(g)), nil
 	}, serve.Options{
 		QueueSize:       4096,
@@ -235,9 +272,14 @@ func runMixedOnce(workers int, dur time.Duration, netName, durability string, ra
 	if durName == "" {
 		durName = "none"
 	}
+	resShards := 0
+	if shards > 1 {
+		resShards = shards
+	}
 	res = mixedResult{
 		Network:         netName,
 		Durability:      durName,
+		Shards:          resShards,
 		N:               g.N(),
 		M:               g.M(),
 		Workers:         workers,
@@ -294,14 +336,51 @@ func writeBenchArtifact(path string, v any, out io.Writer) error {
 }
 
 // runMixed is the -mixed entry point. Without walCompare it runs the plain
-// in-memory configuration (the PR-3 artifact shape). With walCompare it
-// runs the same stress three times — no WAL, WAL without fsync, WAL with
-// fsync — and records all three in one artifact, so the fsync cost of the
-// durability path is measured against the append cost and the baseline on
-// identical load.
-func runMixed(workers int, dur time.Duration, netName string, rate int, seed uint64, benchOut string, walCompare bool, out io.Writer) error {
+// in-memory configuration (the PR-3 artifact shape; with -shards > 1 the
+// sharded tier's PR-10 shape, comparing the single-manager baseline against
+// the scatter-gather router on identical load). With walCompare it runs the
+// same stress three times — no WAL, WAL without fsync, WAL with fsync — and
+// records all three in one artifact, so the fsync cost of the durability
+// path is measured against the append cost and the baseline on identical
+// load.
+func runMixed(workers int, dur time.Duration, netName string, rate, shards int, seed uint64, benchOut string, walCompare bool, out io.Writer) error {
+	if walCompare && shards > 1 {
+		return fmt.Errorf("-wal and -shards are separate comparisons; run them one at a time")
+	}
+	if !walCompare && shards > 1 {
+		baseline, err := runMixedOnce(workers, dur, netName, "none", rate, 1, seed, out)
+		if err != nil {
+			return err
+		}
+		res, err := runMixedOnce(workers, dur, netName, "none", rate, shards, seed, out)
+		if err != nil {
+			return err
+		}
+		if baseline.QPS > 0 {
+			fmt.Fprintf(out, "mixed: sharding overhead (%d shards vs 1): qps %.1f%%, query p50 %+d us, p99 %+d us\n",
+				shards, 100*res.QPS/baseline.QPS, res.P50US-baseline.P50US, res.P99US-baseline.P99US)
+		}
+		if benchOut == "" {
+			return nil
+		}
+		return writeBenchArtifact(benchOut, struct {
+			PR          int           `json:"pr"`
+			Title       string        `json:"title"`
+			Description string        `json:"description"`
+			Reproduce   string        `json:"how_to_reproduce"`
+			Caveat      string        `json:"caveat"`
+			Results     []mixedResult `json:"sharding_configs"`
+		}{
+			PR:          10,
+			Title:       "Sharded serving tier: partitioned managers behind a scatter-gather router",
+			Description: "The mixed read/write stress against a single manager and against the sharded tier on identical load: queries scatter to the shards owning the query vertices, gather the exact connected component across shard snapshots, and recompute the k-truss of the union; updates split to the endpoint home shards. The latency delta bounds the scatter-gather merge cost in one process.",
+			Reproduce:   fmt.Sprintf("go run ./cmd/ctcbench -mixed %d -mixed-dur %s -mixed-net %s -mixed-rate %d -shards %d -bench-out BENCH_pr10.json", workers, dur, netName, rate, shards),
+			Caveat:      "Recorded on a small shared CI runner (often 1 vCPU): in-process sharding cannot parallelize there, so absolute numbers are noisy and the router's merge overhead is an upper bound; read the two configurations relative to each other.",
+			Results:     []mixedResult{baseline, res},
+		}, out)
+	}
 	if !walCompare {
-		res, err := runMixedOnce(workers, dur, netName, "none", rate, seed, out)
+		res, err := runMixedOnce(workers, dur, netName, "none", rate, 1, seed, out)
 		if err != nil {
 			return err
 		}
@@ -325,7 +404,7 @@ func runMixed(workers int, dur time.Duration, netName string, rate int, seed uin
 
 	var results []mixedResult
 	for _, durability := range []string{"none", "wal-nosync", "wal-fsync"} {
-		res, err := runMixedOnce(workers, dur, netName, durability, rate, seed, out)
+		res, err := runMixedOnce(workers, dur, netName, durability, rate, 1, seed, out)
 		if err != nil {
 			return fmt.Errorf("durability %s: %w", durability, err)
 		}

@@ -42,6 +42,19 @@
 // timeout; /healthz reports {"status":"overloaded"} (still 200 — shedding
 // is healthy) while the gate is saturated.
 //
+// With -shards N (N > 1), the server becomes a sharded tier in one
+// process: the edge set is vertex-cut across N serve.Managers (hash of the
+// vertex ID by default; -shard-mode community co-locates ground-truth
+// communities), each with its own writer loop, admission gate and — with
+// -wal — its own log directory (shard-0000/, shard-0001/, ...). Queries
+// scatter to the shards owning the query vertices, gather the exact
+// connected component across shard snapshots, and recompute the k-truss of
+// the union locally; responses carry the per-shard epoch vector in
+// stats.shard_epochs. /stats gains a per-shard "shards" block, /healthz
+// reports degraded if ANY shard is degraded, and /metrics grows
+// ctc_shard_*{shard="i"} families plus router merge-phase histograms.
+// -save is single-manager only and is rejected with -shards.
+//
 // Observability: /metrics exposes the full telemetry plane (query latency
 // per algorithm and tenant, phase breakdowns, admission and cache counters,
 // WAL fsync latency, epoch age, workspace-pool stats) in Prometheus text
@@ -68,7 +81,9 @@ import (
 	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
@@ -93,6 +108,9 @@ func main() {
 		slowN     = flag.Int("slowlog", 128, "slow-query ring-buffer entries")
 		debugAddr = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty = no pprof)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		shards    = flag.Int("shards", 1, "serve a sharded tier of N partitioned managers behind a scatter-gather router")
+		shardMode = flag.String("shard-mode", "hash", "vertex-to-shard assignment: hash, or community (ground-truth co-location; needs -net)")
+		shardSeed = flag.Uint64("shard-seed", 1, "seed of the deterministic vertex-to-shard hash")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logLevel)
@@ -109,6 +127,9 @@ func main() {
 		debugAddr: *debugAddr,
 		slowQuery: *slowQ,
 		slowlogN:  *slowN,
+		shards:    *shards,
+		shardMode: *shardMode,
+		shardSeed: *shardSeed,
 		logger:    logger,
 		opts: serve.Options{
 			QueueSize:       *queue,
@@ -146,6 +167,9 @@ type runConfig struct {
 	debugAddr string
 	slowQuery time.Duration
 	slowlogN  int
+	shards    int
+	shardMode string
+	shardSeed uint64
 	logger    *slog.Logger
 	opts      serve.Options
 }
@@ -214,10 +238,25 @@ func run(cfg runConfig) error {
 		"admit_queue", cfg.opts.Admission.QueueSize,
 		"cache_entries", cfg.opts.Admission.CacheEntries,
 		"slow_query", cfg.slowQuery, "debug_addr", cfg.debugAddr,
+		"shards", cfg.shards, "shard_mode", cfg.shardMode,
 		"go_version", b.GoVersion, "revision", b.Revision)
 
+	var back backend
 	var mgr *serve.Manager
-	if cfg.walDir != "" {
+	if cfg.shards > 1 {
+		if cfg.savePath != "" {
+			return fmt.Errorf("-save is single-manager only; with -shards use -wal for per-shard durability")
+		}
+		router, err := openRouter(cfg, reg, tracer, logger)
+		if err != nil {
+			return err
+		}
+		defer router.Close()
+		st := router.Stats()
+		logger.Info("sharded tier up", "shards", router.Shards(),
+			"n", st.Vertices, "edges_materialized", st.Edges)
+		back = router
+	} else if cfg.walDir != "" {
 		m, recovered, err := serve.OpenDurable(cfg.walDir,
 			func() (*trussindex.Index, error) { return baseIndex(cfg.netName, cfg.loadPath, logger) },
 			wal.Options{}, cfg.opts)
@@ -225,6 +264,8 @@ func run(cfg runConfig) error {
 			return fmt.Errorf("opening wal %s: %w", cfg.walDir, err)
 		}
 		mgr = m
+		defer mgr.Close()
+		back = mgr
 		if recovered {
 			st := mgr.Stats()
 			logger.Info("recovered from write-ahead log", "dir", cfg.walDir,
@@ -239,10 +280,11 @@ func run(cfg runConfig) error {
 			return err
 		}
 		mgr = serve.NewManagerFromIndex(ix, cfg.opts)
+		defer mgr.Close()
+		back = mgr
 	}
-	defer mgr.Close()
 
-	srv := &http.Server{Addr: cfg.addr, Handler: newServerWith(mgr, reg, tracer)}
+	srv := &http.Server{Addr: cfg.addr, Handler: newServerWith(back, reg, tracer)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", cfg.addr)
@@ -272,12 +314,62 @@ func run(cfg runConfig) error {
 		}
 		cancel()
 	}
-	if cfg.savePath != "" {
+	if cfg.savePath != "" && mgr != nil {
 		if err := saveSnapshot(mgr, cfg.savePath, logger); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// openRouter builds the sharded tier: the base graph (generated network, or
+// a loaded index's graph), partitioned across cfg.shards managers behind
+// the scatter-gather router. Each shard decomposes its own subgraph, so
+// there is no full-graph decomposition on this path; with -wal every shard
+// logs into its own subdirectory. Per-shard managers get no registry of
+// their own — the router exposes the ctc_shard_*{shard} families instead.
+func openRouter(cfg runConfig, reg *telemetry.Registry, tracer *telemetry.Tracer, logger *slog.Logger) (*shard.Router, error) {
+	var g *graph.Graph
+	var comms [][]int
+	if cfg.loadPath != "" {
+		ix, err := baseIndex("", cfg.loadPath, logger)
+		if err != nil {
+			return nil, err
+		}
+		g = ix.Graph()
+	} else {
+		nw, err := gen.NetworkByName(cfg.netName)
+		if err != nil {
+			return nil, err
+		}
+		g = nw.Graph()
+		comms = nw.GroundTruth()
+	}
+	scfg := shard.Config{
+		Shards:  cfg.shards,
+		Seed:    cfg.shardSeed,
+		Serve:   cfg.opts,
+		WALDir:  cfg.walDir,
+		Metrics: reg,
+		Tracer:  tracer,
+		Logger:  logger,
+	}
+	// One registry serves one metrics owner: the router owns observability,
+	// so the per-shard managers must not register their own families (and
+	// shard.New rejects a non-nil per-shard registry outright).
+	scfg.Serve.Metrics, scfg.Serve.Tracer, scfg.Serve.Logger = nil, nil, nil
+	switch cfg.shardMode {
+	case "", "hash":
+	case "community":
+		if comms == nil {
+			return nil, fmt.Errorf("-shard-mode community needs a -net with ground-truth communities (got net=%q load=%q)",
+				cfg.netName, cfg.loadPath)
+		}
+		scfg.Communities = comms
+	default:
+		return nil, fmt.Errorf("bad -shard-mode %q (want hash or community)", cfg.shardMode)
+	}
+	return shard.New(g, scfg)
 }
 
 // debugMux serves net/http/pprof on its own mux, for the -debug-addr

@@ -15,33 +15,49 @@ import (
 	"repro/internal/directed"
 	"repro/internal/prob"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/steiner"
 	"repro/internal/telemetry"
 	"repro/internal/truss"
 	"repro/internal/trussindex"
 )
 
-// server wires the serve.Manager to the HTTP API. Query handlers acquire a
-// snapshot reference, run against that epoch's immutable index, and release;
-// they never touch the writer, so query latency is independent of update
-// load.
+// backend is the query/update plane the HTTP API serves: a single
+// *serve.Manager, or the sharded tier's *shard.Router (N partitioned
+// managers behind scatter-gather). Both satisfy it without adapters.
+type backend interface {
+	Query(ctx context.Context, req core.Request) (*core.Result, error)
+	Apply(up serve.Update) error
+	Flush() error
+	Stats() serve.Stats
+}
+
+// server wires the backend to the HTTP API. Query handlers run against an
+// immutable epoch snapshot (one per shard in sharded mode); they never
+// touch the writer loops, so query latency is independent of update load.
 type server struct {
-	mgr   *serve.Manager
-	start time.Time
+	b backend
+	// router is non-nil in sharded mode and adds the per-shard /stats
+	// block and the shards count on /healthz.
+	router *shard.Router
+	start  time.Time
 }
 
 // newServer builds the API without the telemetry endpoints (tests and
 // embedders that wire no registry).
-func newServer(mgr *serve.Manager) http.Handler {
-	return newServerWith(mgr, nil, nil)
+func newServer(b backend) http.Handler {
+	return newServerWith(b, nil, nil)
 }
 
 // newServerWith builds the full API: the query/update/stats plane plus,
 // when wired, GET /metrics (Prometheus text exposition of reg) and
 // GET /debug/slowlog (the tracer's slow-query ring). pprof is NOT mounted
 // here — it lives on the separate -debug-addr listener.
-func newServerWith(mgr *serve.Manager, reg *telemetry.Registry, tracer *telemetry.Tracer) http.Handler {
-	s := &server{mgr: mgr, start: time.Now()}
+func newServerWith(b backend, reg *telemetry.Registry, tracer *telemetry.Tracer) http.Handler {
+	s := &server{b: b, start: time.Now()}
+	if r, ok := b.(*shard.Router); ok {
+		s.router = r
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /update", s.handleUpdate)
@@ -103,6 +119,10 @@ type queryStats struct {
 	TotalWithQueueUS int64  `json:"total_with_queue_us"`
 	CacheHit         bool   `json:"cache_hit"`
 	Tenant           string `json:"tenant,omitempty"`
+	// ShardEpochs is the per-shard epoch vector of the sharded tier: entry
+	// i is the epoch of shard i's snapshot this answer was computed
+	// against. Absent in single-manager mode.
+	ShardEpochs []int64 `json:"shard_epochs,omitempty"`
 }
 
 type queryResponse struct {
@@ -171,7 +191,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(qr.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	res, err := s.mgr.Query(ctx, req)
+	res, err := s.b.Query(ctx, req)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -199,6 +219,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			TotalWithQueueUS: st.TotalWithQueue().Microseconds(),
 			CacheHit:         st.CacheHit,
 			Tenant:           st.Tenant,
+			ShardEpochs:      st.ShardEpochs,
 		},
 	})
 }
@@ -305,21 +326,21 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	enqueued := 0
 	for _, up := range ups {
-		if err := s.mgr.Apply(up); err != nil {
+		if err := s.b.Apply(up); err != nil {
 			writeUpdateError(w, err)
 			return
 		}
 		enqueued++
 	}
 	if req.Flush {
-		if err := s.mgr.Flush(); err != nil {
+		if err := s.b.Flush(); err != nil {
 			writeUpdateError(w, err)
 			return
 		}
 	}
 	writeJSON(w, updateResponse{
 		Enqueued: enqueued,
-		Epoch:    s.mgr.Stats().Epoch,
+		Epoch:    s.b.Stats().Epoch,
 		Flushed:  req.Flush,
 	})
 }
@@ -331,16 +352,24 @@ type statsResponse struct {
 	// Build identifies the binary: Go toolchain version, and the VCS
 	// revision/dirty flag when the build stamped them.
 	Build telemetry.BuildInfo `json:"build"`
+	// Shards breaks the aggregate down per shard in sharded mode: the
+	// embedded Stats are then tier-wide aggregates (max epoch, summed
+	// counters, any-of flags). Absent in single-manager mode.
+	Shards []shard.ShardStat `json:"shards,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.mgr.Stats()
-	writeJSON(w, statsResponse{
+	st := s.b.Stats()
+	resp := statsResponse{
 		Stats:         st,
 		SnapshotAgeMS: float64(st.SnapshotAge.Microseconds()) / 1000,
 		UptimeS:       time.Since(s.start).Seconds(),
 		Build:         telemetry.Build(),
-	})
+	}
+	if s.router != nil {
+		resp.Shards = s.router.ShardStats()
+	}
+	writeJSON(w, resp)
 }
 
 // degradedRetryAfterS is the Retry-After hint on degraded (read-only)
@@ -366,7 +395,9 @@ func writeUpdateError(w http.ResponseWriter, err error) {
 // orchestrator must treat differently: "degraded" (read-only after a WAL
 // failure — fail the instance over, 503) and "overloaded" (shedding load
 // but fully functional — do NOT restart it, that only loses the warm
-// cache; 200).
+// cache; 200). In sharded mode the flags aggregate any-of across shards:
+// one degraded shard makes the tier degraded, because scatter-gather
+// answers computed without it would silently miss community members.
 type healthzResponse struct {
 	Status     string  `json:"status"` // ok | degraded | overloaded
 	Epoch      int64   `json:"epoch"`
@@ -374,19 +405,18 @@ type healthzResponse struct {
 	Overloaded bool    `json:"overloaded"`
 	WALError   string  `json:"wal_error,omitempty"`
 	QueueDepth int     `json:"query_queue_depth"`
+	Shards     int     `json:"shards,omitempty"`
 	UptimeS    float64 `json:"uptime_s"`
 	GoVersion  string  `json:"go_version"`
 	Revision   string  `json:"revision,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.mgr.Acquire()
-	defer snap.Release()
-	st := s.mgr.Stats()
+	st := s.b.Stats()
 	b := telemetry.Build()
 	hr := healthzResponse{
 		Status:     "ok",
-		Epoch:      snap.Epoch(),
+		Epoch:      st.Epoch,
 		Degraded:   st.Degraded,
 		Overloaded: st.Overloaded,
 		WALError:   st.WALLastError,
@@ -394,6 +424,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeS:    time.Since(s.start).Seconds(),
 		GoVersion:  b.GoVersion,
 		Revision:   b.Revision,
+	}
+	if s.router != nil {
+		hr.Shards = s.router.Shards()
 	}
 	switch {
 	case hr.Degraded:

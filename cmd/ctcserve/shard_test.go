@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+func testRouter(t *testing.T, shards int) *shard.Router {
+	t.Helper()
+	g, _ := gen.CommunityGraph(gen.CommunityParams{
+		N: 200, NumCommunities: 10, MinSize: 8, MaxSize: 24,
+		Overlap: 0.3, PIntra: 0.5, BackgroundEdges: 150, Seed: 0x5E17E,
+	})
+	r, err := shard.New(g, shard.Config{
+		Shards: shards,
+		Seed:   9,
+		Serve: serve.Options{
+			PublishDirty:    16,
+			PublishInterval: 20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+// TestShardedServerSmoke drives the sharded tier over real HTTP: health,
+// stats, a clique inserted through the router-side update splitter, queried
+// back by scatter-gather (with the per-shard epoch vector on the wire),
+// then removed again.
+func TestShardedServerSmoke(t *testing.T) {
+	router := testRouter(t, 4)
+	ts := httptest.NewServer(newServer(router))
+	defer ts.Close()
+	c := ts.Client()
+
+	resp, err := c.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || hz.Status != "ok" {
+		t.Fatalf("/healthz status %d %q", resp.StatusCode, hz.Status)
+	}
+	if hz.Shards != 4 {
+		t.Fatalf("/healthz shards = %d, want 4", hz.Shards)
+	}
+
+	var st0 statsResponse
+	resp, err = c.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st0); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	base := st0.Vertices
+
+	// A fresh clique on new vertex IDs, spread across shards by the hash.
+	var edges []updateOp
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, updateOp{Op: "add", U: base + i, V: base + j})
+		}
+	}
+	var ur updateResponse
+	if code := postJSON(t, c, ts.URL+"/update", updateRequest{Edges: edges, Flush: true}, &ur); code != 200 {
+		t.Fatalf("/update status %d", code)
+	}
+	if ur.Enqueued != len(edges) || !ur.Flushed {
+		t.Fatalf("update response %+v", ur)
+	}
+
+	for _, algo := range []string{"truss", "basic", "bulk", "lctc"} {
+		var qr queryResponse
+		if code := postJSON(t, c, ts.URL+"/query", queryRequest{Q: []int{base, base + 4}, Algo: algo}, &qr); code != 200 {
+			t.Fatalf("/query %s status %d", algo, code)
+		}
+		if qr.K != 5 || qr.N != 5 {
+			t.Fatalf("%s on fresh clique: k=%d n=%d, want 5/5", algo, qr.K, qr.N)
+		}
+		if len(qr.Stats.ShardEpochs) != 4 {
+			t.Fatalf("%s: shard_epochs has %d entries, want 4", algo, len(qr.Stats.ShardEpochs))
+		}
+		var max int64
+		for _, e := range qr.Stats.ShardEpochs {
+			if e > max {
+				max = e
+			}
+		}
+		if qr.Epoch != max {
+			t.Fatalf("%s: epoch %d != max(shard_epochs) %d", algo, qr.Epoch, max)
+		}
+	}
+
+	var dels []updateOp
+	for _, e := range edges {
+		dels = append(dels, updateOp{Op: "remove", U: e.U, V: e.V})
+	}
+	if code := postJSON(t, c, ts.URL+"/update", updateRequest{Edges: dels, Flush: true}, &ur); code != 200 {
+		t.Fatalf("/update status %d", code)
+	}
+	if code := postJSON(t, c, ts.URL+"/query", queryRequest{Q: []int{base, base + 4}}, nil); code != 404 {
+		t.Fatalf("query after delete: status %d, want 404", code)
+	}
+	// S6 surface: a vertex no shard has ever seen is a 400, not a 404.
+	if code := postJSON(t, c, ts.URL+"/query", queryRequest{Q: []int{base + 10_000}}, nil); code != 400 {
+		t.Fatalf("out-of-range query: status %d, want 400", code)
+	}
+}
+
+// TestShardedStatsJSONShape pins the /stats wire contract in sharded mode
+// (satellite S3): the aggregate fields stay where single-manager clients
+// expect them, and the "shards" block carries one entry per shard with the
+// documented keys. Decoding into a raw map keeps the test honest about the
+// actual JSON, not the Go structs.
+func TestShardedStatsJSONShape(t *testing.T) {
+	router := testRouter(t, 2)
+	ts := httptest.NewServer(newServer(router))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"epoch", "n", "m", "degraded", "uptime_s", "build"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("/stats missing aggregate key %q", key)
+		}
+	}
+	shardsAny, ok := raw["shards"]
+	if !ok {
+		t.Fatal(`/stats missing "shards" block in sharded mode`)
+	}
+	shards, ok := shardsAny.([]any)
+	if !ok || len(shards) != 2 {
+		t.Fatalf(`"shards" = %v, want a 2-entry array`, shardsAny)
+	}
+	sumEdges := 0.0
+	for i, sa := range shards {
+		s, ok := sa.(map[string]any)
+		if !ok {
+			t.Fatalf("shards[%d] is %T, want an object", i, sa)
+		}
+		for _, key := range []string{"shard", "epoch", "n", "m", "queue_len",
+			"query_queue_depth", "dirty", "degraded", "overloaded", "wal_enabled"} {
+			if _, ok := s[key]; !ok {
+				t.Errorf("shards[%d] missing key %q", i, key)
+			}
+		}
+		if got := s["shard"].(float64); got != float64(i) {
+			t.Errorf("shards[%d].shard = %v", i, got)
+		}
+		sumEdges += s["m"].(float64)
+	}
+	// The aggregate edge count is the sum of the per-shard counts (cut
+	// edges counted once per holding shard — documented in shard.Stats).
+	if agg := raw["m"].(float64); agg != sumEdges {
+		t.Errorf("aggregate m = %v, sum of shards = %v", agg, sumEdges)
+	}
+
+	// Single-manager /stats must NOT grow a shards block: omitempty keeps
+	// the old wire shape byte-compatible.
+	mgr := testManager(t)
+	ts1 := httptest.NewServer(newServer(mgr))
+	defer ts1.Close()
+	resp1, err := ts1.Client().Get(ts1.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp1.Body.Close()
+	var raw1 map[string]any
+	if err := json.NewDecoder(resp1.Body).Decode(&raw1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw1["shards"]; ok {
+		t.Error(`single-manager /stats grew a "shards" key`)
+	}
+}
+
+// TestShardedMetricsEndpoint: the per-shard families and router phase
+// histograms reach the HTTP exposition.
+func TestShardedMetricsEndpoint(t *testing.T) {
+	g, _ := gen.CommunityGraph(gen.CommunityParams{
+		N: 120, NumCommunities: 6, MinSize: 8, MaxSize: 20,
+		PIntra: 0.5, BackgroundEdges: 80, Seed: 3,
+	})
+	reg := telemetry.NewRegistry()
+	router, err := shard.New(g, shard.Config{Shards: 2, Seed: 9, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	ts := httptest.NewServer(newServerWith(router, reg, nil))
+	defer ts.Close()
+	c := ts.Client()
+
+	if code := postJSON(t, c, ts.URL+"/query", queryRequest{Q: []int{0, 1}}, nil); code != 200 && code != 404 {
+		t.Fatalf("/query status %d", code)
+	}
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ctc_shards", "ctc_shard_epoch",
+		"ctc_router_phase_duration_seconds", "ctc_router_queries_total"} {
+		if fams[name] == nil {
+			t.Errorf("/metrics missing family %q", name)
+		}
+	}
+	if f := fams["ctc_shard_epoch"]; f != nil && len(f.Samples) != 2 {
+		t.Errorf("ctc_shard_epoch has %d samples, want 2", len(f.Samples))
+	}
+}

@@ -382,6 +382,12 @@ type QueryStats struct {
 	CacheHit bool
 	// Tenant echoes the request's tenant ("" = anonymous).
 	Tenant string
+	// ShardEpochs is the per-shard epoch vector stamped by the sharded
+	// serving tier (internal/shard): entry i is the epoch of shard i's
+	// snapshot the answer was computed against, and Epoch is their maximum.
+	// Nil outside the shard router (single-manager and standalone queries),
+	// so the field costs nothing on the unsharded hot path.
+	ShardEpochs []int64
 }
 
 // TotalWithQueue is the client-observed latency of the query through the

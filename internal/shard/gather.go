@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// gather reconstructs the exact connected component(s) of the query
+// vertices across the shard snapshots and returns them as one union graph
+// over the tier-wide vertex space [0, routerN).
+//
+// It is a multi-round BFS: every frontier vertex is expanded at each shard
+// whose snapshot knows it. The home shard holds the vertex's complete
+// adjacency (the replication invariant), so one round per BFS level
+// suffices for exactness; reading the non-home replicas too costs one
+// redundant scan but tolerates replication skew — an edge already
+// published by one home and not yet by the other is still found. Every
+// incident edge is added to the builder (which dedupes), so the union is
+// exactly the component's edge set as the acquired epoch vector sees it.
+//
+// seeds are extra known-component vertices (the scatter partials) folded
+// into the initial frontier; they never change the result — a partial
+// community is connected to the query by construction — but let the BFS
+// start from the whole partial instead of rediscovering it.
+func (r *Router) gather(ctx context.Context, q, seeds []int, snaps []*serve.Snapshot, routerN int) (*graph.Graph, int, error) {
+	b := graph.NewBuilder(routerN, 0)
+	if routerN > 0 {
+		b.EnsureVertex(routerN - 1)
+	}
+	visited := make([]bool, routerN)
+	frontier := make([]int, 0, len(q)+len(seeds))
+	push := func(v int) {
+		if v >= 0 && v < routerN && !visited[v] {
+			visited[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	for _, v := range q {
+		push(v)
+	}
+	for _, v := range seeds {
+		push(v)
+	}
+
+	comp := len(frontier)
+	var next []int
+	sincePoll := 0
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, v := range frontier {
+			if sincePoll++; sincePoll >= gatherPollStride {
+				sincePoll = 0
+				if err := ctx.Err(); err != nil {
+					return nil, comp, err
+				}
+			}
+			for _, s := range snaps {
+				g := s.Graph()
+				if v >= g.N() {
+					continue
+				}
+				for _, w32 := range g.Neighbors(v) {
+					w := int(w32)
+					b.AddEdge(v, w)
+					if w < routerN && !visited[w] {
+						visited[w] = true
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		comp += len(next)
+		frontier, next = next, frontier
+	}
+	return b.Build(), comp, nil
+}

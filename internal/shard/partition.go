@@ -1,0 +1,194 @@
+// Package shard is the sharded serving tier: it splits one graph's edge
+// set across N per-shard serve.Managers (each with its own single-writer
+// update loop, WAL directory, admission gate, and RCU epoch-snapshot
+// index) and puts a scatter-gather router in front that speaks the same
+// Search(ctx, Request) → Result plane as a single manager.
+//
+// Partitioning rule (vertex-home vertex-cut): every vertex v has one
+// deterministic home shard, Home(v). An edge (u,v) is materialized at
+// Home(u) and at Home(v) — once when they coincide, twice (a replicated
+// "cut" edge) when they differ; its owner for accounting is Home(min(u,v)).
+// The invariant this buys: a shard holds the complete adjacency of each of
+// its home vertices, so any vertex can be fully expanded by consulting
+// exactly one shard, and triangles whose two smaller-ID endpoints share a
+// home close locally. Triangles spanning three homes do not close on any
+// single shard — global trussness is restored by the router, which gathers
+// the exact connected component of the query and recomputes on the union
+// (see query.go).
+//
+// Assignment is hash-based by default (splitmix64 over vertex ID and
+// seed), or community-aware: ground-truth communities from internal/gen
+// map whole communities onto shards round-robin, which keeps most edges
+// internal and most query components single-shard; unlabeled vertices fall
+// back to the hash.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Partitioner deterministically assigns vertices to shard homes. It is
+// immutable after construction and safe for concurrent use; the same
+// (shards, seed, communities) always yields the same assignment, for any
+// vertex ID — including IDs beyond the base graph, so foreign edges
+// streamed later route identically on every run.
+type Partitioner struct {
+	shards int
+	seed   uint64
+	// homes overrides the hash for community-assigned vertices; -1 (and any
+	// vertex past the table) falls back to the hash. Nil in hash mode.
+	homes []int32
+}
+
+// NewPartitioner builds a hash partitioner over the given shard count.
+func NewPartitioner(shards int, seed uint64) (*Partitioner, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: shard count must be >= 1, got %d", shards)
+	}
+	return &Partitioner{shards: shards, seed: seed}, nil
+}
+
+// NewCommunityPartitioner builds a community-aware partitioner: community
+// i lands on shard i mod shards (whole communities stay together, shards
+// stay balanced when communities are similar in size), a vertex in several
+// communities goes with the first one that claims it, and vertices in no
+// community use the hash assignment.
+func NewCommunityPartitioner(shards int, seed uint64, communities [][]int) (*Partitioner, error) {
+	p, err := NewPartitioner(shards, seed)
+	if err != nil {
+		return nil, err
+	}
+	maxV := -1
+	for _, c := range communities {
+		for _, v := range c {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV < 0 {
+		return p, nil // no labels: pure hash
+	}
+	homes := make([]int32, maxV+1)
+	for i := range homes {
+		homes[i] = -1
+	}
+	for ci, c := range communities {
+		s := int32(ci % shards)
+		for _, v := range c {
+			if v >= 0 && homes[v] < 0 {
+				homes[v] = s
+			}
+		}
+	}
+	p.homes = homes
+	return p, nil
+}
+
+// Shards returns the shard count N.
+func (p *Partitioner) Shards() int { return p.shards }
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Home returns the shard that owns vertex v's adjacency. Defined for every
+// int (negative and oversized IDs hash like any other, so malformed
+// updates route somewhere deterministic and get rejected by that shard's
+// manager exactly as a single manager would reject them).
+func (p *Partitioner) Home(v int) int {
+	if p.shards == 1 {
+		return 0
+	}
+	if p.homes != nil && v >= 0 && v < len(p.homes) && p.homes[v] >= 0 {
+		return int(p.homes[v])
+	}
+	return int(splitmix64(uint64(int64(v))^p.seed) % uint64(p.shards))
+}
+
+// Owner returns the single accounting owner of edge (u,v): the home of the
+// smaller endpoint.
+func (p *Partitioner) Owner(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	return p.Home(u)
+}
+
+// IsCut reports whether edge (u,v) spans two homes and is therefore
+// replicated to both.
+func (p *Partitioner) IsCut(u, v int) bool { return p.Home(u) != p.Home(v) }
+
+// Placement is the deterministic partitioning of one graph's edge set:
+// the edge→shard owner map (indexed by edge ID) and, per shard, the sorted
+// replicated cut edges that shard holds without owning.
+type Placement struct {
+	// Owner[e] is the owning shard of edge ID e (the home of its smaller
+	// endpoint).
+	Owner []int32
+	// Cut[s] lists the edges replicated to shard s that s does not own,
+	// sorted in canonical EdgeKey order.
+	Cut [][]graph.EdgeKey
+}
+
+// Place computes the placement of g's edges under p.
+func (p *Partitioner) Place(g *graph.Graph) *Placement {
+	pl := &Placement{
+		Owner: make([]int32, g.M()),
+		Cut:   make([][]graph.EdgeKey, p.shards),
+	}
+	keys := g.EdgeKeys()
+	for e, k := range keys {
+		u, v := k.Endpoints()
+		hu, hv := p.Home(u), p.Home(v)
+		own := hu
+		if v < u {
+			own = hv
+		}
+		pl.Owner[e] = int32(own)
+		if hu != hv {
+			other := hu + hv - own
+			pl.Cut[other] = append(pl.Cut[other], k)
+		}
+	}
+	for s := range pl.Cut {
+		sort.Slice(pl.Cut[s], func(i, j int) bool {
+			return pl.Cut[s][i] < pl.Cut[s][j]
+		})
+	}
+	return pl
+}
+
+// Subgraph builds shard s's local graph: every edge incident to one of its
+// home vertices (owned + replicated cut edges), over the full vertex ID
+// space [0, g.N()) — vertex IDs are global, so request validation and
+// community labels agree across shards and with the unsharded oracle.
+func (p *Partitioner) Subgraph(g *graph.Graph, s int) *graph.Graph {
+	n := g.N()
+	b := graph.NewBuilder(n, 0)
+	if n > 0 {
+		b.EnsureVertex(n - 1)
+	}
+	g.ForEachEdge(func(u, v int) {
+		if p.Home(u) == s || p.Home(v) == s {
+			b.AddEdge(u, v)
+		}
+	})
+	return b.Build()
+}
+
+// Subgraphs builds all N shard subgraphs of g.
+func (p *Partitioner) Subgraphs(g *graph.Graph) []*graph.Graph {
+	out := make([]*graph.Graph, p.shards)
+	for s := range out {
+		out[s] = p.Subgraph(g, s)
+	}
+	return out
+}

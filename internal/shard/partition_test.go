@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func testGraph() (*graph.Graph, [][]int) {
+	return gen.CommunityGraph(gen.CommunityParams{
+		N: 300, NumCommunities: 12, MinSize: 8, MaxSize: 30,
+		PIntra: 0.45, BackgroundEdges: 150, Seed: 7,
+	})
+}
+
+var shardCounts = []int{1, 2, 4, 8}
+
+// Satellite: same edge stream + seed ⇒ identical shard assignment and
+// cut-edge sets, across N ∈ {1,2,4,8}.
+func TestPartitionerDeterminism(t *testing.T) {
+	g, comms := testGraph()
+	for _, n := range shardCounts {
+		for _, mode := range []string{"hash", "community"} {
+			build := func() *Partitioner {
+				if mode == "community" {
+					p, err := NewCommunityPartitioner(n, 42, comms)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return p
+				}
+				p, err := NewPartitioner(n, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			}
+			p1, p2 := build(), build()
+			for v := -3; v < g.N()+50; v++ {
+				if p1.Home(v) != p2.Home(v) {
+					t.Fatalf("N=%d %s: Home(%d) differs across constructions", n, mode, v)
+				}
+			}
+			pl1, pl2 := p1.Place(g), p2.Place(g)
+			if !reflect.DeepEqual(pl1, pl2) {
+				t.Fatalf("N=%d %s: placement differs across constructions", n, mode)
+			}
+			for s := 0; s < n; s++ {
+				g1, g2 := p1.Subgraph(g, s), p2.Subgraph(g, s)
+				if !reflect.DeepEqual(g1.EdgeKeys(), g2.EdgeKeys()) || g1.N() != g2.N() {
+					t.Fatalf("N=%d %s shard %d: subgraph differs across constructions", n, mode, s)
+				}
+			}
+		}
+	}
+	// A different seed must actually move vertices (hash mode, N >= 2).
+	pa, _ := NewPartitioner(4, 1)
+	pb, _ := NewPartitioner(4, 2)
+	moved := 0
+	for v := 0; v < g.N(); v++ {
+		if pa.Home(v) != pb.Home(v) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the seed moved no vertex")
+	}
+}
+
+// Satellite: N=1 must be byte-identical to unsharded serving — one shard
+// owns everything, holds exactly the input edge list, and has no cut edges.
+func TestPartitionerSingleShardIdentity(t *testing.T) {
+	g, _ := testGraph()
+	p, err := NewPartitioner(1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := p.Subgraph(g, 0)
+	if sub.N() != g.N() {
+		t.Fatalf("N=1 subgraph has %d vertices, want %d", sub.N(), g.N())
+	}
+	if !reflect.DeepEqual(sub.EdgeKeys(), g.EdgeKeys()) {
+		t.Fatal("N=1 subgraph edge list differs from the input graph")
+	}
+	pl := p.Place(g)
+	for e, own := range pl.Owner {
+		if own != 0 {
+			t.Fatalf("N=1: edge %d owned by shard %d", e, own)
+		}
+	}
+	if len(pl.Cut[0]) != 0 {
+		t.Fatalf("N=1: %d cut edges, want 0", len(pl.Cut[0]))
+	}
+}
+
+// checkPlacement asserts the structural invariants of one placement:
+//   - every edge's owner is the home of its smaller endpoint;
+//   - a shard's subgraph is exactly the edges incident to its home vertices;
+//   - the subgraphs' union is the input edge set;
+//   - cut edges are materialized at exactly their two endpoint homes, and
+//     Placement.Cut lists precisely the replicas (held but not owned).
+func checkPlacement(t *testing.T, g *graph.Graph, p *Partitioner) {
+	t.Helper()
+	n := p.Shards()
+	pl := p.Place(g)
+	keys := g.EdgeKeys()
+	union := make(map[graph.EdgeKey]int)
+	cutWant := make([][]graph.EdgeKey, n)
+	for e, k := range keys {
+		u, v := k.Endpoints()
+		lo := u
+		if v < lo {
+			lo = v
+		}
+		if int(pl.Owner[e]) != p.Home(lo) {
+			t.Fatalf("edge %v: owner %d, want home(min)=%d", k, pl.Owner[e], p.Home(lo))
+		}
+		if p.IsCut(u, v) {
+			other := p.Home(u) + p.Home(v) - int(pl.Owner[e])
+			cutWant[other] = append(cutWant[other], k)
+		}
+	}
+	for s := 0; s < n; s++ {
+		sub := p.Subgraph(g, s)
+		if sub.N() != g.N() {
+			t.Fatalf("shard %d: vertex space %d, want %d", s, sub.N(), g.N())
+		}
+		for _, k := range sub.EdgeKeys() {
+			u, v := k.Endpoints()
+			if p.Home(u) != s && p.Home(v) != s {
+				t.Fatalf("shard %d holds foreign edge %v", s, k)
+			}
+			if g.EdgeID(u, v) < 0 {
+				t.Fatalf("shard %d invented edge %v", s, k)
+			}
+			union[k]++
+		}
+		// Completeness: every edge incident to a home vertex is present.
+		g.ForEachEdge(func(u, v int) {
+			if (p.Home(u) == s || p.Home(v) == s) && !sub.HasEdge(u, v) {
+				t.Fatalf("shard %d missing incident edge (%d,%d)", s, u, v)
+			}
+		})
+	}
+	for e, k := range keys {
+		u, v := k.Endpoints()
+		want := 1
+		if p.IsCut(u, v) {
+			want = 2
+		}
+		if union[k] != want {
+			t.Fatalf("edge %v materialized %d times, want %d", keys[e], union[k], want)
+		}
+	}
+	for s := 0; s < n; s++ {
+		if len(pl.Cut[s]) != len(cutWant[s]) {
+			t.Fatalf("shard %d: %d cut replicas, want %d", s, len(pl.Cut[s]), len(cutWant[s]))
+		}
+		seen := make(map[graph.EdgeKey]bool, len(pl.Cut[s]))
+		for _, k := range pl.Cut[s] {
+			seen[k] = true
+		}
+		for _, k := range cutWant[s] {
+			if !seen[k] {
+				t.Fatalf("shard %d cut list missing %v", s, k)
+			}
+		}
+	}
+}
+
+func TestPlacementInvariants(t *testing.T) {
+	g, comms := testGraph()
+	for _, n := range shardCounts {
+		p, err := NewPartitioner(n, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlacement(t, g, p)
+		cp, err := NewCommunityPartitioner(n, 13, comms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlacement(t, g, cp)
+	}
+}
+
+func TestCommunityPartitionerAssignment(t *testing.T) {
+	comms := [][]int{{0, 1, 2}, {3, 4, 2}, {5}}
+	p, err := NewCommunityPartitioner(2, 0, comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Community 0 → shard 0, community 1 → shard 1, community 2 → shard 0.
+	for _, v := range []int{0, 1, 2} { // vertex 2 is claimed by community 0 first
+		if got := p.Home(v); got != 0 {
+			t.Fatalf("Home(%d) = %d, want 0", v, got)
+		}
+	}
+	for _, v := range []int{3, 4} {
+		if got := p.Home(v); got != 1 {
+			t.Fatalf("Home(%d) = %d, want 1", v, got)
+		}
+	}
+	if got := p.Home(5); got != 0 {
+		t.Fatalf("Home(5) = %d, want 0 (community 2 mod 2)", got)
+	}
+	// Unlabeled vertices fall back to the hash assignment.
+	h, _ := NewPartitioner(2, 0)
+	for v := 6; v < 40; v++ {
+		if p.Home(v) != h.Home(v) {
+			t.Fatalf("unlabeled Home(%d): community %d != hash %d", v, p.Home(v), h.Home(v))
+		}
+	}
+}
+
+func TestNewPartitionerRejectsBadCounts(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewPartitioner(n, 0); err == nil {
+			t.Fatalf("NewPartitioner(%d) accepted", n)
+		}
+	}
+}
+
+// FuzzPartitioner drives the placement invariants over arbitrary edge
+// streams, seeds and shard counts.
+func FuzzPartitioner(f *testing.F) {
+	f.Add(uint64(1), uint8(2), []byte{1, 2, 2, 3, 3, 1, 0, 4})
+	f.Add(uint64(7), uint8(8), []byte{9, 9, 1, 0, 255, 3})
+	f.Fuzz(func(t *testing.T, seed uint64, nShards uint8, raw []byte) {
+		n := int(nShards)%8 + 1
+		b := graph.NewBuilder(0, 0)
+		b.EnsureVertex(0)
+		for i := 0; i+1 < len(raw); i += 2 {
+			u, v := int(raw[i]), int(raw[i+1])
+			if u == v {
+				continue
+			}
+			b.EnsureVertex(u)
+			b.EnsureVertex(v)
+			b.AddEdge(u, v)
+		}
+		g := b.Build()
+		p, err := NewPartitioner(n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlacement(t, g, p)
+	})
+}

@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/truss"
+	"repro/internal/trussindex"
+	"repro/internal/wal"
+)
+
+// Config tunes the sharded tier. Shards is the only required field.
+type Config struct {
+	// Shards is the shard count N (>= 1). N == 1 degenerates to a single
+	// manager: the router delegates queries directly, byte-identical to
+	// unsharded serving.
+	Shards int
+	// Seed keys the hash partitioner. The same (Shards, Seed, Communities)
+	// always yields the same assignment.
+	Seed uint64
+	// Communities, when set, switches to community-aware assignment (see
+	// NewCommunityPartitioner); typically internal/gen ground truth.
+	Communities [][]int
+	// Serve is the per-shard manager template. Metrics and Tracer must be
+	// nil — N managers cannot share one registry's family names; per-shard
+	// observability is the router's ctc_shard_*{shard} families and the
+	// merged-query records it feeds its own Tracer.
+	Serve serve.Options
+	// WALDir, when non-empty, makes every shard durable: shard i logs to
+	// WALDir/shard-000i (created if missing) via serve.OpenDurable, so each
+	// shard recovers independently after a crash.
+	WALDir string
+	// WAL tunes the per-shard logs (shared template; FS default OsFS).
+	WAL wal.Options
+	// Metrics, when set, registers the router families: per-shard labeled
+	// gauges (ctc_shard_epoch{shard}, ...) read at scrape time, and the
+	// merge-pipeline phase histogram ctc_router_phase_duration_seconds.
+	Metrics *telemetry.Registry
+	// Tracer, when set, receives one QueryRecord per merged router query.
+	Tracer *telemetry.Tracer
+	// Logger, when set, receives router events; each shard's manager gets
+	// Logger.With("shard", i).
+	Logger *slog.Logger
+}
+
+// Router fans one Search(ctx, Request) plane across N per-shard managers:
+// updates split to the home shards of their endpoints, queries scatter to
+// the shards owning the query vertices and gather an exact merged answer
+// (see query.go for the merge semantics and its exactness argument).
+type Router struct {
+	part    *Partitioner
+	mgrs    []*serve.Manager
+	tracer  *telemetry.Tracer
+	logger  *slog.Logger
+	metrics routerMetrics
+}
+
+// New partitions g and starts one serve.Manager per shard (concurrently —
+// each runs its own initial truss decomposition over its subgraph). On any
+// startup error the already-started shards are closed before returning.
+func New(g *graph.Graph, cfg Config) (*Router, error) {
+	part, err := newPartitionerFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Serve.Metrics != nil || cfg.Serve.Tracer != nil {
+		return nil, errors.New("shard: per-shard Serve.Metrics/Serve.Tracer must be nil (set Config.Metrics/Config.Tracer on the router)")
+	}
+	r := &Router{
+		part:   part,
+		mgrs:   make([]*serve.Manager, part.Shards()),
+		tracer: cfg.Tracer,
+		logger: cfg.Logger,
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, part.Shards())
+	for s := 0; s < part.Shards(); s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r.mgrs[s], errs[s] = newShardManager(g, part, s, cfg)
+		}(s)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		for _, m := range r.mgrs {
+			if m != nil {
+				m.Close()
+			}
+		}
+		return nil, err
+	}
+	r.registerMetrics(cfg.Metrics)
+	if r.logger != nil {
+		r.logger.Info("shard router started",
+			"shards", part.Shards(), "seed", cfg.Seed,
+			"community_aware", part.homes != nil, "wal", cfg.WALDir != "")
+	}
+	return r, nil
+}
+
+func newPartitionerFor(cfg Config) (*Partitioner, error) {
+	if len(cfg.Communities) > 0 {
+		return NewCommunityPartitioner(cfg.Shards, cfg.Seed, cfg.Communities)
+	}
+	return NewPartitioner(cfg.Shards, cfg.Seed)
+}
+
+// CommunitiesFor resolves the community-aware assignment input for a named
+// generated network: its ground truth when it has one, nil (hash fallback)
+// otherwise. Shared by ctcserve and ctcbench flag wiring.
+func CommunitiesFor(network string) [][]int {
+	nw, err := gen.NetworkByName(network)
+	if err != nil {
+		return nil
+	}
+	return nw.GroundTruth()
+}
+
+func newShardManager(g *graph.Graph, part *Partitioner, s int, cfg Config) (*serve.Manager, error) {
+	sub := part.Subgraph(g, s)
+	opts := cfg.Serve
+	if cfg.Logger != nil {
+		opts.Logger = cfg.Logger.With("shard", s)
+	}
+	if cfg.WALDir == "" {
+		return serve.NewManager(sub, opts), nil
+	}
+	dir := filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%04d", s))
+	if cfg.WAL.FS == nil {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	base := func() (*trussindex.Index, error) {
+		return trussindex.BuildFromDecomposition(sub, truss.Decompose(sub)), nil
+	}
+	m, _, err := serve.OpenDurable(dir, base, cfg.WAL, opts)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", s, err)
+	}
+	return m, nil
+}
+
+// Shards returns the shard count N.
+func (r *Router) Shards() int { return len(r.mgrs) }
+
+// Partitioner exposes the assignment (for tests and tooling).
+func (r *Router) Partitioner() *Partitioner { return r.part }
+
+// Manager returns shard s's manager (for tests and tooling).
+func (r *Router) Manager(s int) *serve.Manager { return r.mgrs[s] }
+
+// Apply routes one update to the home shard(s) of its endpoints — one
+// manager when both endpoints share a home, both otherwise (the cut-edge
+// replication invariant). It blocks for backpressure like Manager.Apply.
+// On a cut edge, an error from the second shard after the first accepted
+// is returned as-is; the shards then disagree until the degraded shard
+// recovers, which Degraded()/Stats() surface.
+func (r *Router) Apply(up serve.Update) error {
+	a := r.part.Home(up.U)
+	b := r.part.Home(up.V)
+	if err := r.mgrs[a].Apply(up); err != nil {
+		return err
+	}
+	if b != a {
+		return r.mgrs[b].Apply(up)
+	}
+	return nil
+}
+
+// Offer is the non-blocking Apply: it routes to the home shard(s) and
+// reports whether every one of them accepted. To avoid a half-replicated
+// cut edge on a full queue, both queues are required to have room up
+// front (best effort — Offer remains lock-free).
+func (r *Router) Offer(up serve.Update) bool {
+	a := r.part.Home(up.U)
+	b := r.part.Home(up.V)
+	if !r.mgrs[a].Offer(up) {
+		return false
+	}
+	if b != a {
+		return r.mgrs[b].Offer(up)
+	}
+	return true
+}
+
+// Flush blocks until every shard's writer has drained and applied all
+// previously acknowledged updates, then forces a publish on each, so a
+// subsequent Query observes every prior Apply on every shard. Errors are
+// joined; healthy shards are still flushed when one is degraded.
+func (r *Router) Flush() error {
+	errs := make([]error, len(r.mgrs))
+	for i, m := range r.mgrs {
+		errs[i] = m.Flush()
+	}
+	return errors.Join(errs...)
+}
+
+// Close shuts every shard down (drain, final publish, WAL close). The last
+// published snapshots stay queryable.
+func (r *Router) Close() {
+	var wg sync.WaitGroup
+	for _, m := range r.mgrs {
+		wg.Add(1)
+		go func(m *serve.Manager) {
+			defer wg.Done()
+			m.Close()
+		}(m)
+	}
+	wg.Wait()
+}
+
+// Degraded reports whether ANY shard is in read-only degraded mode: one
+// degraded shard means updates touching its vertices are being lost, so
+// the tier as a whole must advertise it (healthz turns "degraded").
+func (r *Router) Degraded() bool {
+	for _, m := range r.mgrs {
+		if m.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// Overloaded reports whether any shard's admission gate is saturated.
+func (r *Router) Overloaded() bool {
+	for _, m := range r.mgrs {
+		if m.Overloaded() {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardStat is the per-shard block of /stats: enough to spot a lagging,
+// degraded, or overloaded shard at a glance.
+type ShardStat struct {
+	Shard           int   `json:"shard"`
+	Epoch           int64 `json:"epoch"`
+	Vertices        int   `json:"n"`
+	Edges           int   `json:"m"`
+	QueueLen        int   `json:"queue_len"`
+	QueryQueueDepth int   `json:"query_queue_depth"`
+	Dirty           int64 `json:"dirty"`
+	Degraded        bool  `json:"degraded"`
+	Overloaded      bool  `json:"overloaded"`
+	WALEnabled      bool  `json:"wal_enabled"`
+}
+
+// ShardStats returns the per-shard stats blocks, in shard order.
+func (r *Router) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(r.mgrs))
+	for i, m := range r.mgrs {
+		st := m.Stats()
+		out[i] = ShardStat{
+			Shard:           i,
+			Epoch:           st.Epoch,
+			Vertices:        st.Vertices,
+			Edges:           st.Edges,
+			QueueLen:        st.QueueLen,
+			QueryQueueDepth: st.QueryQueueDepth,
+			Dirty:           st.Dirty,
+			Degraded:        st.Degraded,
+			Overloaded:      st.Overloaded,
+			WALEnabled:      st.WALEnabled,
+		}
+	}
+	return out
+}
+
+// Stats aggregates the tier into one serve.Stats: epochs/sizes as maxima,
+// counters as sums, booleans as any-of. Edges counts each shard's local
+// edges, so replicated cut edges appear once per holding shard — the
+// per-shard truth is in ShardStats.
+func (r *Router) Stats() serve.Stats {
+	var agg serve.Stats
+	for i, m := range r.mgrs {
+		st := m.Stats()
+		if i == 0 || st.Epoch > agg.Epoch {
+			agg.Epoch = st.Epoch
+		}
+		if st.SnapshotAge > agg.SnapshotAge {
+			agg.SnapshotAge = st.SnapshotAge
+		}
+		if st.Vertices > agg.Vertices {
+			agg.Vertices = st.Vertices
+		}
+		if st.MaxTruss > agg.MaxTruss {
+			agg.MaxTruss = st.MaxTruss
+		}
+		agg.FullRebuild = agg.FullRebuild || st.FullRebuild
+		agg.Edges += st.Edges
+		agg.Dirty += st.Dirty
+		agg.QueueLen += st.QueueLen
+		agg.Publishes += st.Publishes
+		agg.FullRebuilds += st.FullRebuilds
+		agg.LiveSnapshots += st.LiveSnapshots
+		agg.Retired += st.Retired
+		agg.Adds += st.Adds
+		agg.Removes += st.Removes
+		agg.Rejected += st.Rejected
+		agg.QueriesAdmitted += st.QueriesAdmitted
+		agg.QueriesExecuted += st.QueriesExecuted
+		agg.ShedDeadline += st.ShedDeadline
+		agg.ShedQueueFull += st.ShedQueueFull
+		agg.CanceledInQueue += st.CanceledInQueue
+		agg.QueryQueueDepth += st.QueryQueueDepth
+		agg.QueryInflight += st.QueryInflight
+		agg.Overloaded = agg.Overloaded || st.Overloaded
+		agg.CacheHits += st.CacheHits
+		agg.CacheMisses += st.CacheMisses
+		agg.CacheEntries += st.CacheEntries
+		agg.WALEnabled = agg.WALEnabled || st.WALEnabled
+		agg.Degraded = agg.Degraded || st.Degraded
+		if st.WALLastError != "" && agg.WALLastError == "" {
+			agg.WALLastError = st.WALLastError
+		}
+		agg.WALSegments += st.WALSegments
+		agg.WALBytes += st.WALBytes
+		agg.WALAppends += st.WALAppends
+		agg.WALSyncs += st.WALSyncs
+		agg.WALDropped += st.WALDropped
+		if st.WALLastSeq > agg.WALLastSeq {
+			agg.WALLastSeq = st.WALLastSeq
+		}
+		if st.WALDurableSeq > agg.WALDurableSeq {
+			agg.WALDurableSeq = st.WALDurableSeq
+		}
+		if st.WALCheckpointSeq > agg.WALCheckpointSeq {
+			agg.WALCheckpointSeq = st.WALCheckpointSeq
+		}
+	}
+	if total := agg.CacheHits + agg.CacheMisses; total > 0 {
+		agg.CacheHitRatio = float64(agg.CacheHits) / float64(total)
+	}
+	return agg
+}

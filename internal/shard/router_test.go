@@ -1,0 +1,220 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func newTestRouter(t *testing.T, shards int) (*Router, int) {
+	t.Helper()
+	g, _ := testGraph()
+	r, err := New(g, Config{
+		Shards: shards,
+		Seed:   5,
+		Serve: serve.Options{
+			PublishDirty:    4,
+			PublishInterval: 10 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r, g.N()
+}
+
+// Satellite bugfix: a Request.Q vertex that exists in no shard must fail
+// with the typed core.ErrVertexOutOfRange — not a panic, not a silent
+// empty result — and the rest of the validation taxonomy must pass through
+// the router unchanged.
+func TestRouterValidationTable(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		r, n := newTestRouter(t, shards)
+		ctx := context.Background()
+		cases := []struct {
+			name string
+			req  core.Request
+			want error
+		}{
+			{"vertex == N", core.Request{Q: []int{n}}, core.ErrVertexOutOfRange},
+			{"vertex far out of range", core.Request{Q: []int{n + 1000}}, core.ErrVertexOutOfRange},
+			{"negative vertex", core.Request{Q: []int{-1}}, core.ErrVertexOutOfRange},
+			{"one good one bad", core.Request{Q: []int{0, n + 3}}, core.ErrVertexOutOfRange},
+			{"empty query", core.Request{}, core.ErrEmptyQuery},
+			{"negative k", core.Request{Q: []int{0}, Algo: core.AlgoBasic, K: -2}, core.ErrBadParam},
+			{"negative eta", core.Request{Q: []int{0}, Eta: -1}, core.ErrBadParam},
+		}
+		for _, tc := range cases {
+			res, err := r.Query(ctx, tc.req)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("shards=%d %s: err = %v, want %v", shards, tc.name, err, tc.want)
+			}
+			if res != nil {
+				t.Errorf("shards=%d %s: non-nil result alongside validation error", shards, tc.name)
+			}
+		}
+		// The bound is the tier-wide max: after an update grows one shard's
+		// vertex space, a previously out-of-range vertex becomes queryable.
+		grow := n + 2
+		if err := r.Apply(serve.Update{Op: serve.OpAdd, U: 0, V: grow}); err != nil {
+			t.Fatalf("shards=%d: apply: %v", shards, err)
+		}
+		if err := r.Flush(); err != nil {
+			t.Fatalf("shards=%d: flush: %v", shards, err)
+		}
+		if _, err := r.Query(ctx, core.Request{Q: []int{grow}}); errors.Is(err, core.ErrVertexOutOfRange) {
+			t.Errorf("shards=%d: vertex %d still out of range after growth", shards, grow)
+		}
+	}
+}
+
+// N == 1 delegates to the single manager: same answer as querying the
+// manager directly, plus the one-entry epoch vector.
+func TestRouterSingleShardDelegates(t *testing.T) {
+	r, _ := newTestRouter(t, 1)
+	ctx := context.Background()
+	req := core.Request{Q: []int{0}}
+	direct, derr := r.Manager(0).Query(ctx, req)
+	routed, rerr := r.Query(ctx, req)
+	if (derr == nil) != (rerr == nil) {
+		t.Fatalf("err mismatch: direct %v, routed %v", derr, rerr)
+	}
+	if derr != nil {
+		if !errors.Is(rerr, derr) && !errors.Is(derr, rerr) {
+			t.Fatalf("err mismatch: direct %v, routed %v", derr, rerr)
+		}
+		return
+	}
+	if !sameCommunity(direct, routed) {
+		t.Fatal("routed answer differs from direct manager answer")
+	}
+	if len(routed.Stats.ShardEpochs) != 1 || routed.Stats.ShardEpochs[0] != routed.Stats.Epoch {
+		t.Fatalf("ShardEpochs = %v, want [%d]", routed.Stats.ShardEpochs, routed.Stats.Epoch)
+	}
+}
+
+func TestRouterEpochVector(t *testing.T) {
+	r, _ := newTestRouter(t, 4)
+	res, err := r.Query(context.Background(), core.Request{Q: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.ShardEpochs) != 4 {
+		t.Fatalf("ShardEpochs has %d entries, want 4", len(res.Stats.ShardEpochs))
+	}
+	var max int64
+	for i, e := range res.Stats.ShardEpochs {
+		if e <= 0 {
+			t.Fatalf("shard %d epoch %d, want > 0", i, e)
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if res.Stats.Epoch != max {
+		t.Fatalf("Stats.Epoch = %d, want max(ShardEpochs) = %d", res.Stats.Epoch, max)
+	}
+}
+
+func TestRouterStatsAggregation(t *testing.T) {
+	r, n := newTestRouter(t, 4)
+	ss := r.ShardStats()
+	if len(ss) != 4 {
+		t.Fatalf("ShardStats has %d entries, want 4", len(ss))
+	}
+	sumEdges := 0
+	for i, s := range ss {
+		if s.Shard != i {
+			t.Fatalf("ShardStats[%d].Shard = %d", i, s.Shard)
+		}
+		if s.Epoch <= 0 || s.Vertices != n || s.Edges <= 0 {
+			t.Fatalf("ShardStats[%d] implausible: %+v", i, s)
+		}
+		if s.Degraded || s.WALEnabled {
+			t.Fatalf("ShardStats[%d] degraded/WAL without a WAL: %+v", i, s)
+		}
+		sumEdges += s.Edges
+	}
+	agg := r.Stats()
+	if agg.Vertices != n || agg.Edges != sumEdges {
+		t.Fatalf("aggregate n=%d m=%d, want n=%d m=%d", agg.Vertices, agg.Edges, n, sumEdges)
+	}
+	if agg.Degraded || agg.Overloaded {
+		t.Fatalf("aggregate degraded/overloaded on a healthy tier: %+v", agg)
+	}
+	if r.Degraded() || r.Overloaded() {
+		t.Fatal("router Degraded/Overloaded on a healthy tier")
+	}
+}
+
+// Per-shard telemetry: the ctc_shard_*{shard} families and the router
+// phase histogram land in the registry and expose scrape-time values.
+func TestRouterMetricsExposition(t *testing.T) {
+	g, _ := testGraph()
+	reg := telemetry.NewRegistry()
+	r, err := New(g, Config{Shards: 2, Seed: 5, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Query(context.Background(), core.Request{Q: []int{0, 1}}); err != nil {
+		t.Logf("query: %v (metrics still recorded)", err)
+	}
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`ctc_shards 2`,
+		`ctc_shard_epoch{shard="0"}`,
+		`ctc_shard_epoch{shard="1"}`,
+		`ctc_shard_graph_edges{shard="0"}`,
+		`ctc_shard_degraded{shard="1"} 0`,
+		`ctc_router_phase_duration_seconds_count{phase="merge"} 1`,
+		`ctc_router_queries_total{outcome="ok"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+	fams, err := telemetry.ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("self-exposition does not parse: %v", err)
+	}
+	if fams["ctc_shard_epoch"] == nil || len(fams["ctc_shard_epoch"].Samples) != 2 {
+		t.Fatal("ctc_shard_epoch should have one sample per shard")
+	}
+}
+
+// sameCommunity compares the answer surface the differential criterion
+// cares about: algorithm, trussness, size, and the exact vertex set.
+func sameCommunity(a, b *core.Result) bool {
+	if a.Stats.Algo != b.Stats.Algo || a.K != b.K || a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	av, bv := a.Vertices(), b.Vertices()
+	if len(av) != len(bv) {
+		return false
+	}
+	seen := make(map[int]bool, len(av))
+	for _, v := range av {
+		seen[v] = true
+	}
+	for _, v := range bv {
+		if !seen[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -83,6 +83,14 @@ func (f *family) write(w *countingWriter) error {
 			}
 		}
 		return nil
+	case kindGaugeVecFunc:
+		for _, child := range f.vecSnapshot() {
+			if err := w.printf("%s{%s=\"%s\"} %s\n", f.name, f.label, child.value,
+				formatValue(child.gaugeFn())); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	return nil
 }
@@ -92,6 +100,7 @@ type vecChild struct {
 	value   string
 	counter *Counter
 	hist    *Histogram
+	gaugeFn func() float64
 }
 
 // vecSnapshot copies a vec's children out under the read lock, sorted by
@@ -100,7 +109,7 @@ func (f *family) vecSnapshot() []vecChild {
 	f.vecMu.RLock()
 	out := make([]vecChild, 0, len(f.vecOrder))
 	for _, v := range f.vecOrder {
-		out = append(out, vecChild{value: escapeLabel(v), counter: f.vecCounters[v], hist: f.vecHists[v]})
+		out = append(out, vecChild{value: escapeLabel(v), counter: f.vecCounters[v], hist: f.vecHists[v], gaugeFn: f.vecGaugeFns[v]})
 	}
 	f.vecMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })

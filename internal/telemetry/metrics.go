@@ -184,6 +184,7 @@ const (
 	kindHistogram
 	kindCounterVec
 	kindHistogramVec
+	kindGaugeVecFunc
 	kindInfo
 )
 
@@ -205,6 +206,7 @@ type family struct {
 	vecMu       sync.RWMutex
 	vecCounters map[string]*Counter
 	vecHists    map[string]*Histogram
+	vecGaugeFns map[string]func() float64
 	vecOrder    []string
 	vecMax      int
 	histBounds  []float64
@@ -359,6 +361,47 @@ func (v *CounterVec) With(value string) *Counter {
 	f.vecCounters[value] = c
 	f.vecOrder = append(f.vecOrder, value)
 	return c
+}
+
+// GaugeVecFunc is a gauge family with one label dimension whose children
+// read their values from callbacks at scrape time. It is the labeled
+// analogue of NewGaugeFunc, built for subsystems that already keep
+// per-instance state (the shard router exposes each shard's epoch, graph
+// size and queue depth this way without double accounting).
+type GaugeVecFunc struct{ f *family }
+
+// NewGaugeVecFunc registers a labeled func-backed gauge family. Children
+// are registered with With at wiring time; each fn is called at scrape time
+// and must be safe for concurrent use.
+func (r *Registry) NewGaugeVecFunc(name, help, label string) *GaugeVecFunc {
+	f := &family{
+		name: name, help: help, kind: kindGaugeVecFunc, label: label,
+		vecGaugeFns: make(map[string]func() float64), vecMax: vecDefaultMax,
+	}
+	r.add(f)
+	return &GaugeVecFunc{f: f}
+}
+
+// With registers fn as the child for the label value. Re-registering a
+// value replaces its fn; past the cardinality cap the registration is
+// dropped (scrape-time funcs have no meaningful overflow aggregation).
+// Nil-safe.
+func (v *GaugeVecFunc) With(value string, fn func() float64) {
+	if v == nil || fn == nil {
+		return
+	}
+	f := v.f
+	f.vecMu.Lock()
+	defer f.vecMu.Unlock()
+	if _, ok := f.vecGaugeFns[value]; ok {
+		f.vecGaugeFns[value] = fn
+		return
+	}
+	if len(f.vecOrder) >= f.vecMax {
+		return
+	}
+	f.vecGaugeFns[value] = fn
+	f.vecOrder = append(f.vecOrder, value)
 }
 
 // HistogramVec is a histogram family with one label dimension.

@@ -108,6 +108,52 @@ func TestVecChildrenAndOverflow(t *testing.T) {
 	}
 }
 
+func TestGaugeVecFunc(t *testing.T) {
+	r := NewRegistry()
+	gv := r.NewGaugeVecFunc("t_shard_epoch", "per-shard epoch", "shard")
+	vals := []float64{3, 7}
+	gv.With("0", func() float64 { return vals[0] })
+	gv.With("1", func() float64 { return vals[1] })
+
+	render := func() string {
+		var sb strings.Builder
+		if _, err := r.WriteTo(&sb); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		return sb.String()
+	}
+	out := render()
+	for _, want := range []string{
+		"# TYPE t_shard_epoch gauge",
+		`t_shard_epoch{shard="0"} 3`,
+		`t_shard_epoch{shard="1"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Funcs are read at scrape time, not registration time.
+	vals[0] = 11
+	if out = render(); !strings.Contains(out, `t_shard_epoch{shard="0"} 11`) {
+		t.Fatalf("scrape did not re-read func:\n%s", out)
+	}
+	// Re-registering a value replaces its fn.
+	gv.With("1", func() float64 { return 99 })
+	if out = render(); !strings.Contains(out, `t_shard_epoch{shard="1"} 99`) {
+		t.Fatalf("re-registration did not replace fn:\n%s", out)
+	}
+	// Past the cap registrations are dropped, not aggregated.
+	gv.f.vecMax = 2
+	gv.With("2", func() float64 { return 1 })
+	if out = render(); strings.Contains(out, `shard="2"`) {
+		t.Fatalf("over-cap child should be dropped:\n%s", out)
+	}
+	// Nil-safety.
+	var nilGV *GaugeVecFunc
+	nilGV.With("x", func() float64 { return 1 })
+	gv.With("ignored", nil)
+}
+
 func TestDuplicateRegistrationPanics(t *testing.T) {
 	r := NewRegistry()
 	r.NewCounter("dup_total", "first")
